@@ -1,0 +1,64 @@
+"""Ablation (paper §5): sensitivity to the kNN size ``k`` and LRD level ``L``.
+
+The conclusion notes that 'more complex examples can be sensitive to the
+hyper-parameters k and L, as is the performance overhead'.  This bench
+sweeps both knobs on a fixed cloud, recording cluster statistics and build
+cost, plus a short training run per setting to expose the accuracy impact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ldc_config, ldc_methods, run_ldc_method
+from repro.graph import knn_adjacency, lrd_decompose
+from repro.sampling import SGMSampler
+
+N = 10_000
+
+
+@pytest.fixture(scope="module")
+def fixed_cloud():
+    return np.random.default_rng(0).uniform(size=(N, 2))
+
+
+@pytest.mark.parametrize("k", (5, 15, 30))
+def test_ablation_knn_k(benchmark, fixed_cloud, k):
+    def build():
+        adjacency = knn_adjacency(fixed_cloud, k)
+        return lrd_decompose(adjacency, level=6, num_vectors=8)
+
+    result = benchmark.pedantic(build, rounds=1, iterations=1)
+    sizes = np.bincount(result.labels)
+    print(f"\nk={k}: {result.n_clusters} clusters, "
+          f"edges={len(result.edges)}, max cluster {sizes.max()}")
+    assert result.n_clusters >= 2
+
+
+@pytest.mark.parametrize("level", (4, 8, 12))
+def test_ablation_lrd_level(benchmark, fixed_cloud, level):
+    adjacency = knn_adjacency(fixed_cloud, 12)
+
+    result = benchmark.pedantic(lrd_decompose, args=(adjacency,),
+                                kwargs={"level": level, "num_vectors": 8},
+                                rounds=1, iterations=1)
+    print(f"\nL={level}: {result.n_clusters} clusters "
+          f"(target ~{max(2, N // 2 ** level)})")
+    assert result.n_clusters >= 2
+
+
+@pytest.mark.parametrize("level", (3, 6))
+def test_ablation_training_accuracy(benchmark, level):
+    """Short SGM training runs at two coarsening levels (smoke scale)."""
+    config = ldc_config("smoke")
+    method = [m for m in ldc_methods(config) if m.kind == "sgm"][0]
+
+    def run():
+        import dataclasses
+        cfg = dataclasses.replace(config, lrd_level=level)
+        return run_ldc_method(cfg, method)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    err = result.history.min_error("u")
+    print(f"\nL={level}: clusters={len(result.sampler.clusters)}, "
+          f"min err(u)={err:.3f}")
+    assert np.isfinite(err)

@@ -1,0 +1,78 @@
+"""Engine micro-benchmarks: the per-iteration cost drivers of PINN training.
+
+Not a paper artifact, but the regression guard for everything the tables
+depend on: forward pass, parameter backward, and the second-order residual
+pipeline that dominates training time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, gradients
+from repro.nn import FullyConnected
+from repro.pde import Fields, NavierStokes2D
+
+BATCH = 256
+
+
+@pytest.fixture(scope="module")
+def net():
+    return FullyConnected(2, 3, width=64, depth=4,
+                          rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def features():
+    return np.random.default_rng(1).uniform(size=(BATCH, 2))
+
+
+def test_forward_pass(benchmark, net, features):
+    x = Tensor(features)
+    out = benchmark(net, x)
+    assert out.shape == (BATCH, 3)
+
+
+def test_parameter_backward(benchmark, net, features):
+    params = net.parameters()
+
+    def step():
+        out = net(Tensor(features))
+        loss = (out * out).mean()
+        return gradients(loss, params)
+
+    grads = benchmark(step)
+    assert len(grads) == len(params)
+
+
+def test_navier_stokes_residual_second_order(benchmark, net, features):
+    pde = NavierStokes2D(nu=0.01)
+
+    def residuals():
+        fields = Fields.from_features(features)
+        out = net(fields.input_tensor())
+        for i, name in enumerate(("u", "v", "p")):
+            fields.register(name, out[:, i:i + 1])
+        return pde.residuals(fields)
+
+    result = benchmark(residuals)
+    assert set(result) == {"continuity", "momentum_x", "momentum_y"}
+
+
+def test_full_training_step(benchmark, net, features):
+    pde = NavierStokes2D(nu=0.01)
+    params = net.parameters()
+
+    def step():
+        fields = Fields.from_features(features)
+        out = net(fields.input_tensor())
+        for i, name in enumerate(("u", "v", "p")):
+            fields.register(name, out[:, i:i + 1])
+        residuals = pde.residuals(fields)
+        loss = None
+        for r in residuals.values():
+            term = (r * r).mean()
+            loss = term if loss is None else loss + term
+        return gradients(loss, params)
+
+    grads = benchmark(step)
+    assert len(grads) == len(params)

@@ -1,0 +1,27 @@
+"""Figure 3: annular-ring v-error vs wall time, including plain SGM.
+
+The qualitative shape to reproduce: plain SGM (no ISR) trails the uniform
+baseline on the parameterized problem, while SGM-S recovers it (§4.2).
+"""
+
+from repro.experiments import error_curves, render_curves
+
+
+def test_figure3_curves(benchmark, ar_suite_results):
+    config, results = ar_suite_results
+    histories = {label: r.history for label, r in results.items()}
+
+    curves = benchmark(error_curves, histories, "v")
+
+    chart = render_curves(curves,
+                          f"Figure 3 (scale={config.scale}): AR v-error vs "
+                          f"wall time [s] (averaged over r_i)")
+    print()
+    print(chart)
+
+    labels = list(curves)
+    assert any("-S" in label for label in labels), "SGM-S curve missing"
+    assert any(label.startswith("SGM") and "-S" not in label
+               for label in labels), "plain SGM curve missing"
+    for label, (times, errors) in curves.items():
+        assert len(times) > 0, f"{label} has no error series"

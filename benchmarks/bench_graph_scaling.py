@@ -1,0 +1,49 @@
+"""§3.6 complexity: kNN construction, ER sketching, and LRD scaling.
+
+The paper claims O(N log N) kNN, nearly-linear ER estimation, and
+nearly-linear LRD.  These benchmarks record wall time across point-cloud
+sizes so the scaling exponent can be read off the pytest-benchmark table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import knn_adjacency, knn_search, lrd_decompose
+
+SIZES = (2_000, 8_000, 32_000)
+
+
+def cloud(n, seed=0):
+    return np.random.default_rng(seed).uniform(size=(n, 2))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_knn_scaling(benchmark, n):
+    points = cloud(n)
+    indices, _ = benchmark.pedantic(knn_search, args=(points, 12),
+                                    rounds=1, iterations=1, warmup_rounds=0)
+    assert indices.shape == (n, 12)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_lrd_scaling(benchmark, n):
+    adjacency = knn_adjacency(cloud(n), 12)
+
+    result = benchmark.pedantic(lrd_decompose, args=(adjacency,),
+                                kwargs={"level": 7, "num_vectors": 12},
+                                rounds=1, iterations=1, warmup_rounds=0)
+    assert result.labels.shape == (n,)
+    assert result.n_clusters >= max(2, n // 2 ** 7 // 2)
+
+
+@pytest.mark.parametrize("n", (1_000, 4_000))
+def test_isr_scaling(benchmark, n):
+    from repro.stability import spade_scores
+    rng = np.random.default_rng(1)
+    points = rng.uniform(size=(n, 2))
+    outputs = np.tanh(10.0 * (points[:, 0:1] - 0.5))
+
+    result = benchmark.pedantic(spade_scores, args=(points, outputs),
+                                kwargs={"k": 10, "rank": 6},
+                                rounds=1, iterations=1, warmup_rounds=0)
+    assert result.node_scores.shape == (n,)

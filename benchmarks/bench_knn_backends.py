@@ -1,0 +1,48 @@
+"""S1 backends: exact KD-tree vs the pure-python HNSW the paper cites.
+
+Records construction+query time and the HNSW recall against the exact
+result (the sampler only needs approximate neighbourhoods).
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import knn_search
+
+N = 1_500
+K = 8
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(0).uniform(size=(N, 2))
+
+
+@pytest.fixture(scope="module")
+def exact_indices(points):
+    indices, _ = knn_search(points, K, backend="kdtree")
+    return indices
+
+
+def test_kdtree_backend(benchmark, points):
+    indices, _ = benchmark(knn_search, points, K, backend="kdtree")
+    assert indices.shape == (N, K)
+
+
+def test_brute_backend(benchmark, points):
+    indices, _ = benchmark.pedantic(knn_search, args=(points, K),
+                                    kwargs={"backend": "brute"},
+                                    rounds=1, iterations=1)
+    assert indices.shape == (N, K)
+
+
+def test_hnsw_backend_with_recall(benchmark, points, exact_indices):
+    indices, _ = benchmark.pedantic(
+        knn_search, args=(points, K),
+        kwargs={"backend": "hnsw", "rng": np.random.default_rng(1)},
+        rounds=1, iterations=1)
+    hits = sum(len(set(a) & set(b))
+               for a, b in zip(indices, exact_indices))
+    recall = hits / exact_indices.size
+    print(f"\nHNSW recall@{K}: {recall:.3f}")
+    assert recall > 0.85

@@ -1,0 +1,71 @@
+"""Tour of the graph machinery behind SGM-PINN (steps S1-S3 in isolation).
+
+Builds the PGM of a synthetic point cloud, decomposes it into low-
+resistance-diameter clusters, and scores a toy model's stability with
+SPADE/ISR — printing the statistics each stage produces.  Useful for
+understanding what the sampler sees without running a PINN.
+"""
+
+import numpy as np
+
+from repro.graph import (
+    approx_edge_resistance, cluster_sizes, exact_effective_resistance,
+    knn_adjacency, lrd_decompose,
+)
+from repro.stability import spade_scores
+
+
+def main():
+    rng = np.random.default_rng(0)
+
+    # --- S1: kNN PGM over a point cloud with two density regimes
+    dense = rng.normal([0.3, 0.3], 0.05, (600, 2))
+    sparse = rng.uniform(0.0, 1.0, (400, 2))
+    points = np.vstack([dense, sparse])
+    adjacency = knn_adjacency(points, k=8)
+    print(f"S1: kNN PGM — {adjacency.shape[0]} nodes, "
+          f"{adjacency.nnz // 2} edges")
+
+    # --- effective resistance: sketch vs exact on a few edges
+    import scipy.sparse as sp
+    coo = sp.triu(adjacency, k=1).tocoo()
+    edges = np.stack([coo.row, coo.col], axis=1)
+    sample = rng.choice(len(edges), size=10, replace=False)
+    approx = approx_edge_resistance(adjacency, edges[sample],
+                                    num_vectors=64, seed=1)
+    exact = exact_effective_resistance(adjacency, edges[sample])
+    rel = np.abs(approx - exact) / exact
+    print(f"    ER sketch vs exact on 10 edges: "
+          f"median rel. error {np.median(rel):.1%}")
+
+    # --- S2: LRD decomposition
+    for level in (4, 6, 8):
+        result = lrd_decompose(adjacency, level=level, seed=2)
+        sizes = cluster_sizes(result.labels)
+        print(f"S2: LRD level {level}: {result.n_clusters:4d} clusters "
+              f"(sizes {sizes.min()}..{sizes.max()}, "
+              f"diameter budget {result.budget:.3g})")
+
+    # --- S3: SPADE/ISR on a map with a sharp transition at x = 0.5
+    outputs = np.tanh(25.0 * (points[:, 0:1] - 0.5))
+    spade = spade_scores(points, outputs, k=10, rank=6)
+    near = np.abs(points[:, 0] - 0.5) < 0.05
+    far = ~near
+    print(f"S3: ISR = {spade.isr:.2f}; mean node score near the transition "
+          f"{spade.node_scores[near].mean():.3g} vs far "
+          f"{spade.node_scores[far].mean():.3g}")
+
+    # --- what the sampler does with it: clusters crossing the transition
+    result = lrd_decompose(adjacency, level=6, seed=2)
+    scores = np.array([spade.node_scores[result.labels == c].mean()
+                       for c in range(result.n_clusters)])
+    top = np.argsort(scores)[::-1][:5]
+    centroids = np.array([points[result.labels == c].mean(axis=0)
+                          for c in top])
+    print("    top-5 ISR clusters sit at x ≈ "
+          + ", ".join(f"{c[0]:.2f}" for c in centroids)
+          + "  (transition is at x = 0.50)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments whose setuptools/pip lack the ``wheel`` package required by
+PEP 660 editable wheels (pip then falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""SGM-PINN reproduction (DAC 2024).
+
+A self-contained reproduction of "SGM-PINN: Sampling Graphical Models for
+Faster Training of Physics-Informed Neural Networks" including every substrate
+the paper depends on: a higher-order autodiff engine, a neural-network library,
+constructive 2-D geometry, PDE residuals, kNN/PGM graph construction,
+effective-resistance LRD clustering, SPADE/ISR stability scoring, the SGM
+importance sampler with uniform/MIS baselines, reference CFD solvers for
+validation data, and the full experiment harness for the paper's tables and
+figures.
+"""
+
+__version__ = "0.1.0"
+
+from . import autodiff
+from . import nn
+from . import geometry
+from . import pde
+from . import graph
+from . import stability
+from . import sampling
+from . import solvers
+from . import training
+from . import experiments
+from . import utils
+
+__all__ = [
+    "autodiff", "nn", "geometry", "pde", "graph", "stability", "sampling",
+    "solvers", "training", "experiments", "utils", "__version__",
+]

@@ -1,0 +1,31 @@
+"""Higher-order reverse-mode automatic differentiation on numpy arrays.
+
+This subpackage is the computational substrate for every PINN in the
+reproduction: it provides :class:`Tensor`, a set of differentiable primitives
+whose VJPs are themselves differentiable, and :func:`gradients` for
+reverse-mode differentiation of arbitrary order.
+"""
+
+from .tensor import Tensor, as_tensor
+from .functional import gradients, grad
+from .check import gradcheck, numeric_gradient
+from . import ops
+from .ops import (
+    add, sub, mul, div, neg, power, matmul,
+    exp, log, sqrt, square, sin, cos, tanh,
+    sigmoid, silu, relu, softplus, absolute,
+    maximum, minimum, where,
+    sum_, mean, reshape, transpose, broadcast_to,
+    concat, getitem, zeros_like, ones_like,
+)
+
+__all__ = [
+    "Tensor", "as_tensor", "gradients", "grad", "gradcheck", "numeric_gradient",
+    "ops",
+    "add", "sub", "mul", "div", "neg", "power", "matmul",
+    "exp", "log", "sqrt", "square", "sin", "cos", "tanh",
+    "sigmoid", "silu", "relu", "softplus", "absolute",
+    "maximum", "minimum", "where",
+    "sum_", "mean", "reshape", "transpose", "broadcast_to",
+    "concat", "getitem", "zeros_like", "ones_like",
+]

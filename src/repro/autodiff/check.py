@@ -1,0 +1,73 @@
+"""Finite-difference gradient checking utilities used by the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import gradients
+from .tensor import Tensor
+
+__all__ = ["numeric_gradient", "gradcheck"]
+
+
+def numeric_gradient(fn, args, index, eps=1e-6):
+    """Central-difference gradient of scalar ``fn(*args)`` w.r.t. ``args[index]``.
+
+    ``args`` are numpy arrays; a fresh set of leaf tensors is built for every
+    probe so the function sees clean inputs.
+    """
+    base = [np.asarray(a, dtype=np.float64) for a in args]
+    target = base[index]
+    grad_np = np.zeros_like(target)
+
+    def evaluate(arrays):
+        tensors = [Tensor(a, requires_grad=True) for a in arrays]
+        return float(fn(*tensors).item())
+
+    flat = target.reshape(-1)
+    grad_flat = grad_np.reshape(-1)
+    for j in range(flat.size):
+        orig = flat[j]
+        flat[j] = orig + eps
+        up = evaluate(base)
+        flat[j] = orig - eps
+        down = evaluate(base)
+        flat[j] = orig
+        grad_flat[j] = (up - down) / (2.0 * eps)
+    return grad_np
+
+
+def gradcheck(fn, args, rtol=1e-4, atol=1e-6, eps=1e-6):
+    """Assert analytic gradients of scalar ``fn`` match central differences.
+
+    Parameters
+    ----------
+    fn:
+        Callable mapping leaf tensors to a scalar tensor.
+    args:
+        Sequence of numpy arrays (float64 recommended).
+    rtol, atol:
+        Comparison tolerances.
+    eps:
+        Finite-difference step.
+
+    Returns
+    -------
+    bool
+        True on success; raises ``AssertionError`` with details otherwise.
+    """
+    arrays = [np.asarray(a, dtype=np.float64) for a in args]
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    out = fn(*tensors)
+    if out.size != 1:
+        raise ValueError("gradcheck requires a scalar-valued function")
+    analytic = gradients(out, tensors)
+    for i in range(len(arrays)):
+        numeric = numeric_gradient(fn, arrays, i, eps=eps)
+        got = analytic[i].numpy()
+        if not np.allclose(got, numeric, rtol=rtol, atol=atol):
+            worst = np.max(np.abs(got - numeric))
+            raise AssertionError(
+                f"gradient mismatch for argument {i}: max abs error {worst:.3e}\n"
+                f"analytic:\n{got}\nnumeric:\n{numeric}")
+    return True

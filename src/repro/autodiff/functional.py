@@ -1,0 +1,121 @@
+"""Reverse-mode differentiation over dynamically built tensor graphs."""
+
+from __future__ import annotations
+
+from .ops import add, ones_like, zeros_like
+from .tensor import Tensor
+
+__all__ = ["gradients", "grad"]
+
+
+def _topological_order(roots):
+    """Return graph nodes reachable from ``roots`` in topological order.
+
+    Only nodes that require gradients are visited; constant subgraphs are
+    pruned at op-construction time so this walk touches the minimal graph.
+    """
+    order = []
+    visited = set()
+    stack = [(root, False) for root in roots]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if parent.requires_grad and id(parent) not in visited:
+                stack.append((parent, False))
+    return order
+
+
+def gradients(outputs, inputs, grad_outputs=None, allow_unused=True):
+    """Compute ``d(outputs)/d(inputs)`` via reverse-mode differentiation.
+
+    The returned tensors are built from differentiable primitives, so calling
+    :func:`gradients` on them yields higher-order derivatives — the mechanism
+    PINN residuals rely on for second derivatives of network outputs with
+    respect to collocation coordinates.
+
+    Parameters
+    ----------
+    outputs:
+        Tensor or sequence of tensors to differentiate.
+    inputs:
+        Tensor or sequence of tensors to differentiate with respect to.
+    grad_outputs:
+        Optional cotangent seeds matching ``outputs`` (defaults to ones).
+    allow_unused:
+        When True (default), inputs not connected to the outputs receive a
+        zero tensor; otherwise a ``ValueError`` is raised.
+
+    Returns
+    -------
+    list[Tensor]
+        One gradient tensor per input, each with the input's shape.
+    """
+    single_out = isinstance(outputs, Tensor)
+    outputs = [outputs] if single_out else list(outputs)
+    inputs = [inputs] if isinstance(inputs, Tensor) else list(inputs)
+    for i, t in enumerate(inputs):
+        if not isinstance(t, Tensor):
+            raise TypeError(f"inputs[{i}] is not a Tensor")
+        if not t.requires_grad:
+            raise ValueError(f"inputs[{i}] does not require gradients")
+
+    if grad_outputs is None:
+        grad_outputs = [ones_like(out) for out in outputs]
+    else:
+        grad_outputs = [grad_outputs] if isinstance(grad_outputs, Tensor) else list(grad_outputs)
+
+    cotangents = {}
+    for out, seed in zip(outputs, grad_outputs):
+        if not out.requires_grad:
+            continue
+        key = id(out)
+        cotangents[key] = add(cotangents[key], seed) if key in cotangents else seed
+
+    input_ids = {id(t): i for i, t in enumerate(inputs)}
+    results = [None] * len(inputs)
+
+    roots = [out for out in outputs if out.requires_grad]
+    for node in reversed(_topological_order(roots)):
+        grad_node = cotangents.pop(id(node), None)
+        if grad_node is None:
+            continue
+        if id(node) in input_ids:
+            index = input_ids[id(node)]
+            results[index] = grad_node if results[index] is None else add(results[index], grad_node)
+        if node._vjp is None:
+            continue
+        parent_grads = node._vjp(grad_node)
+        for parent, parent_grad in zip(node._parents, parent_grads):
+            if parent_grad is None or not parent.requires_grad:
+                continue
+            key = id(parent)
+            cotangents[key] = (add(cotangents[key], parent_grad)
+                               if key in cotangents else parent_grad)
+
+    for i, value in enumerate(results):
+        if value is None:
+            if not allow_unused:
+                raise ValueError(f"inputs[{i}] is not connected to the outputs")
+            results[i] = zeros_like(inputs[i])
+    return results
+
+
+def grad(fn):
+    """Wrap scalar-valued ``fn(x)`` so the wrapper returns ``d fn/d x``.
+
+    Convenience for tests and examples; ``x`` must be a tensor with
+    ``requires_grad=True`` and ``fn`` must return a scalar tensor.
+    """
+
+    def wrapper(x):
+        out = fn(x)
+        return gradients(out, [x])[0]
+
+    return wrapper

@@ -1,0 +1,577 @@
+"""Primitive differentiable operations.
+
+Every primitive returns a new :class:`~repro.autodiff.tensor.Tensor` whose VJP
+callback is written **in terms of other primitives**, which makes the backward
+pass differentiable and therefore enables arbitrary-order derivatives (PINN
+residuals need at least second order).
+
+Composite convenience functions (``silu``, ``square``, ``mean`` ...) are
+expressed with primitives and inherit differentiability automatically.
+
+Implementation note: PINN training builds thousands of graph nodes per
+optimizer step, so the binary/unary primitives below use a slot-level node
+constructor (:func:`_node`) and avoid redundant ``np.asarray``/generator
+overhead on the hot path.  Semantics are identical to the naive versions and
+are pinned down by the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "add", "sub", "mul", "div", "neg", "power", "matmul",
+    "exp", "log", "sqrt", "square", "sin", "cos", "tanh",
+    "sigmoid", "silu", "relu", "softplus", "absolute",
+    "maximum", "minimum", "where",
+    "sum_", "mean", "reshape", "transpose", "broadcast_to",
+    "concat", "getitem", "zeros_like", "ones_like",
+]
+
+_new = Tensor.__new__
+
+
+def _node(data, parents, vjp):
+    """Fast construction of a gradient-tracking graph node."""
+    t = _new(Tensor)
+    t.data = data
+    t.requires_grad = True
+    t._parents = parents
+    t._vjp = vjp
+    t.name = None
+    return t
+
+
+def _leaf(data):
+    """Fast construction of a constant (non-tracking) tensor."""
+    t = _new(Tensor)
+    t.data = data
+    t.requires_grad = False
+    t._parents = ()
+    t._vjp = None
+    t.name = None
+    return t
+
+
+def _coerce(value):
+    if isinstance(value, Tensor):
+        return value
+    return _leaf(np.asarray(value))
+
+
+def _pair(a, b):
+    """Coerce a binary-op operand pair.
+
+    Python scalars adopt the other operand's dtype so float32 graphs are not
+    silently promoted to float64 by literals like ``x * 2.0``.
+    """
+    a_is = isinstance(a, Tensor)
+    b_is = isinstance(b, Tensor)
+    if a_is and b_is:
+        return a, b
+    if a_is:
+        dtype = a.data.dtype if isinstance(b, (int, float)) else None
+        return a, _leaf(np.asarray(b, dtype=dtype))
+    if b_is:
+        dtype = b.data.dtype if isinstance(a, (int, float)) else None
+        return _leaf(np.asarray(a, dtype=dtype)), b
+    return _coerce(a), _coerce(b)
+
+
+def _make(data, parents, vjp):
+    """Build an op result; prune the graph when no parent needs gradients."""
+    for p in parents:
+        if p.requires_grad:
+            return _node(data, parents, vjp)
+    return _leaf(data)
+
+
+def _unbroadcast(grad, shape):
+    """Reduce ``grad`` so its shape matches the pre-broadcast ``shape``."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = sum_(grad, axis=tuple(range(extra)))
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = sum_(grad, axis=axes, keepdims=True)
+    if grad.shape != shape:
+        grad = reshape(grad, shape)
+    return grad
+
+
+# ----------------------------------------------------------------------
+# Arithmetic
+# ----------------------------------------------------------------------
+def add(a, b):
+    """Elementwise ``a + b`` with numpy broadcasting."""
+    a, b = _pair(a, b)
+    data = a.data + b.data
+    if not (a.requires_grad or b.requires_grad):
+        return _leaf(data)
+    a_shape, b_shape = a.data.shape, b.data.shape
+
+    def vjp(g):
+        return _unbroadcast(g, a_shape), _unbroadcast(g, b_shape)
+
+    return _node(data, (a, b), vjp)
+
+
+def sub(a, b):
+    """Elementwise ``a - b`` with numpy broadcasting."""
+    a, b = _pair(a, b)
+    data = a.data - b.data
+    if not (a.requires_grad or b.requires_grad):
+        return _leaf(data)
+    a_shape, b_shape = a.data.shape, b.data.shape
+
+    def vjp(g):
+        return _unbroadcast(g, a_shape), _unbroadcast(neg(g), b_shape)
+
+    return _node(data, (a, b), vjp)
+
+
+def mul(a, b):
+    """Elementwise ``a * b`` with numpy broadcasting."""
+    a, b = _pair(a, b)
+    data = a.data * b.data
+    if not (a.requires_grad or b.requires_grad):
+        return _leaf(data)
+    a_shape, b_shape = a.data.shape, b.data.shape
+
+    def vjp(g):
+        return (_unbroadcast(mul(g, b), a_shape),
+                _unbroadcast(mul(g, a), b_shape))
+
+    return _node(data, (a, b), vjp)
+
+
+def div(a, b):
+    """Elementwise ``a / b`` with numpy broadcasting."""
+    a, b = _pair(a, b)
+    data = a.data / b.data
+    if not (a.requires_grad or b.requires_grad):
+        return _leaf(data)
+    a_shape, b_shape = a.data.shape, b.data.shape
+
+    def vjp(g):
+        ga = _unbroadcast(div(g, b), a_shape)
+        gb = _unbroadcast(neg(div(mul(g, a), mul(b, b))), b_shape)
+        return ga, gb
+
+    return _node(data, (a, b), vjp)
+
+
+def neg(a):
+    """Elementwise negation."""
+    a = _coerce(a)
+    data = -a.data
+    if not a.requires_grad:
+        return _leaf(data)
+
+    def vjp(g):
+        return (neg(g),)
+
+    return _node(data, (a,), vjp)
+
+
+def power(a, exponent):
+    """Elementwise ``a ** exponent`` for a constant scalar exponent."""
+    a = _coerce(a)
+    exponent = float(exponent)
+    data = a.data ** exponent
+    if not a.requires_grad:
+        return _leaf(data)
+
+    def vjp(g):
+        return (mul(g, mul(exponent, power(a, exponent - 1.0))),)
+
+    return _node(data, (a,), vjp)
+
+
+def matmul(a, b):
+    """Matrix product of two 2-D tensors."""
+    a, b = _coerce(a), _coerce(b)
+    if a.data.ndim != 2 or b.data.ndim != 2:
+        raise ValueError(f"matmul expects 2-D tensors, got "
+                         f"{a.data.shape} @ {b.data.shape}")
+    data = a.data @ b.data
+    if not (a.requires_grad or b.requires_grad):
+        return _leaf(data)
+
+    def vjp(g):
+        return matmul(g, transpose(b)), matmul(transpose(a), g)
+
+    return _node(data, (a, b), vjp)
+
+
+# ----------------------------------------------------------------------
+# Elementwise nonlinearities
+# ----------------------------------------------------------------------
+def exp(a):
+    """Elementwise exponential."""
+    a = _coerce(a)
+    data = np.exp(a.data)
+    if not a.requires_grad:
+        return _leaf(data)
+    out = _node(data, (a,), None)
+    out._vjp = lambda g: (mul(g, out),)
+    return out
+
+
+def log(a):
+    """Elementwise natural logarithm."""
+    a = _coerce(a)
+    data = np.log(a.data)
+    if not a.requires_grad:
+        return _leaf(data)
+
+    def vjp(g):
+        return (div(g, a),)
+
+    return _node(data, (a,), vjp)
+
+
+def sqrt(a):
+    """Elementwise square root."""
+    return power(a, 0.5)
+
+
+def square(a):
+    """Elementwise square."""
+    a = _coerce(a)
+    return mul(a, a)
+
+
+def sin(a):
+    """Elementwise sine."""
+    a = _coerce(a)
+    data = np.sin(a.data)
+    if not a.requires_grad:
+        return _leaf(data)
+
+    def vjp(g):
+        return (mul(g, cos(a)),)
+
+    return _node(data, (a,), vjp)
+
+
+def cos(a):
+    """Elementwise cosine."""
+    a = _coerce(a)
+    data = np.cos(a.data)
+    if not a.requires_grad:
+        return _leaf(data)
+
+    def vjp(g):
+        return (neg(mul(g, sin(a))),)
+
+    return _node(data, (a,), vjp)
+
+
+def tanh(a):
+    """Elementwise hyperbolic tangent."""
+    a = _coerce(a)
+    data = np.tanh(a.data)
+    if not a.requires_grad:
+        return _leaf(data)
+    out = _node(data, (a,), None)
+    out._vjp = lambda g: (mul(g, sub(1.0, mul(out, out))),)
+    return out
+
+
+def sigmoid(a):
+    """Elementwise logistic sigmoid (clipped for stability)."""
+    a = _coerce(a)
+    x = np.clip(a.data, -60.0, 60.0)
+    data = 1.0 / (1.0 + np.exp(-x))
+    if not a.requires_grad:
+        return _leaf(data)
+    out = _node(data, (a,), None)
+    out._vjp = lambda g: (mul(g, mul(out, sub(1.0, out))),)
+    return out
+
+
+def silu(a):
+    """SiLU (swish) activation ``x * sigmoid(x)`` used by the paper's PINNs."""
+    a = _coerce(a)
+    return mul(a, sigmoid(a))
+
+
+def relu(a):
+    """Rectified linear unit."""
+    a = _coerce(a)
+    mask = (a.data > 0).astype(a.data.dtype)
+    data = a.data * mask
+    if not a.requires_grad:
+        return _leaf(data)
+
+    def vjp(g):
+        return (mul(g, mask),)
+
+    return _node(data, (a,), vjp)
+
+
+def softplus(a):
+    """Numerically stable ``log(1 + exp(x))``."""
+    a = _coerce(a)
+    data = np.logaddexp(0.0, a.data)
+    if not a.requires_grad:
+        return _leaf(data)
+
+    def vjp(g):
+        return (mul(g, sigmoid(a)),)
+
+    return _node(data, (a,), vjp)
+
+
+def absolute(a):
+    """Elementwise absolute value (subgradient 0 at the origin is sign(0)=0)."""
+    a = _coerce(a)
+    sign = np.sign(a.data)
+    data = np.abs(a.data)
+    if not a.requires_grad:
+        return _leaf(data)
+
+    def vjp(g):
+        return (mul(g, sign),)
+
+    return _node(data, (a,), vjp)
+
+
+def maximum(a, b):
+    """Elementwise maximum; ties send the full gradient to ``a``."""
+    a, b = _pair(a, b)
+    take_a = (a.data >= b.data).astype(np.float64)
+    data = np.maximum(a.data, b.data)
+    if not (a.requires_grad or b.requires_grad):
+        return _leaf(data)
+    a_shape, b_shape = a.data.shape, b.data.shape
+
+    def vjp(g):
+        ga = _unbroadcast(mul(g, take_a), a_shape)
+        gb = _unbroadcast(mul(g, 1.0 - take_a), b_shape)
+        return ga, gb
+
+    return _node(data, (a, b), vjp)
+
+
+def minimum(a, b):
+    """Elementwise minimum; ties send the full gradient to ``a``."""
+    a, b = _pair(a, b)
+    take_a = (a.data <= b.data).astype(np.float64)
+    data = np.minimum(a.data, b.data)
+    if not (a.requires_grad or b.requires_grad):
+        return _leaf(data)
+    a_shape, b_shape = a.data.shape, b.data.shape
+
+    def vjp(g):
+        ga = _unbroadcast(mul(g, take_a), a_shape)
+        gb = _unbroadcast(mul(g, 1.0 - take_a), b_shape)
+        return ga, gb
+
+    return _node(data, (a, b), vjp)
+
+
+def where(condition, a, b):
+    """Select from ``a`` where ``condition`` (a constant bool array) else ``b``."""
+    cond = np.asarray(condition, dtype=bool)
+    a, b = _coerce(a), _coerce(b)
+    mask = cond.astype(np.float64)
+    data = np.where(cond, a.data, b.data)
+    if not (a.requires_grad or b.requires_grad):
+        return _leaf(data)
+    a_shape, b_shape = a.data.shape, b.data.shape
+
+    def vjp(g):
+        ga = _unbroadcast(mul(g, mask), a_shape)
+        gb = _unbroadcast(mul(g, 1.0 - mask), b_shape)
+        return ga, gb
+
+    return _node(data, (a, b), vjp)
+
+
+# ----------------------------------------------------------------------
+# Shape manipulation and reductions
+# ----------------------------------------------------------------------
+def sum_(a, axis=None, keepdims=False):
+    """Sum over ``axis`` (all axes when ``None``)."""
+    a = _coerce(a)
+    in_shape = a.data.shape
+
+    if axis is None:
+        axes = None
+    elif isinstance(axis, int):
+        axes = (axis % a.data.ndim,)
+    else:
+        axes = tuple(ax % a.data.ndim for ax in axis)
+
+    data = a.data.sum(axis=axes, keepdims=keepdims)
+    if not a.requires_grad:
+        return _leaf(data)
+
+    def vjp(g):
+        if not keepdims and in_shape:
+            reduced = axes if axes is not None else range(len(in_shape))
+            kept = [1 if i in reduced else n for i, n in enumerate(in_shape)]
+            g = reshape(g, tuple(kept))
+        return (broadcast_to(g, in_shape),)
+
+    return _node(data, (a,), vjp)
+
+
+def mean(a, axis=None, keepdims=False):
+    """Arithmetic mean over ``axis``."""
+    a = _coerce(a)
+    if axis is None:
+        count = a.data.size
+    elif isinstance(axis, int):
+        count = a.data.shape[axis]
+    else:
+        count = int(np.prod([a.data.shape[ax] for ax in axis]))
+    return div(sum_(a, axis=axis, keepdims=keepdims), float(count))
+
+
+def reshape(a, shape):
+    """Reshape to ``shape`` (must preserve the number of elements)."""
+    a = _coerce(a)
+    in_shape = a.data.shape
+    data = a.data.reshape(shape)
+    if not a.requires_grad:
+        return _leaf(data)
+
+    def vjp(g):
+        return (reshape(g, in_shape),)
+
+    return _node(data, (a,), vjp)
+
+
+def transpose(a, axes=None):
+    """Permute dimensions (reverse them when ``axes`` is ``None``)."""
+    a = _coerce(a)
+    data = np.transpose(a.data, axes)
+    if not a.requires_grad:
+        return _leaf(data)
+    inverse = None if axes is None else tuple(np.argsort(axes))
+
+    def vjp(g):
+        return (transpose(g, inverse),)
+
+    return _node(data, (a,), vjp)
+
+
+def broadcast_to(a, shape):
+    """Broadcast to ``shape`` following numpy rules."""
+    a = _coerce(a)
+    in_shape = a.data.shape
+    data = np.broadcast_to(a.data, shape).copy()
+    if not a.requires_grad:
+        return _leaf(data)
+
+    def vjp(g):
+        return (_unbroadcast(g, in_shape),)
+
+    return _node(data, (a,), vjp)
+
+
+def concat(tensors, axis=0):
+    """Concatenate tensors along ``axis``."""
+    tensors = [_coerce(t) for t in tensors]
+    axis_ = axis % tensors[0].data.ndim
+    data = np.concatenate([t.data for t in tensors], axis=axis_)
+    if not any(t.requires_grad for t in tensors):
+        return _leaf(data)
+    sizes = [t.data.shape[axis_] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+    ndim = data.ndim
+
+    def vjp(g):
+        grads = []
+        for i in range(len(tensors)):
+            index = [slice(None)] * ndim
+            index[axis_] = slice(int(offsets[i]), int(offsets[i + 1]))
+            grads.append(getitem(g, tuple(index)))
+        return tuple(grads)
+
+    return _node(data, tuple(tensors), vjp)
+
+
+def _index_has_int_array(index):
+    if isinstance(index, np.ndarray):
+        return True
+    if isinstance(index, tuple):
+        return any(isinstance(part, np.ndarray) for part in index)
+    return False
+
+
+def getitem(a, index):
+    """Basic indexing (ints, slices, tuples thereof, int arrays)."""
+    a = _coerce(a)
+    in_shape = a.data.shape
+    data = a.data[index]
+    if not a.requires_grad:
+        return _leaf(data)
+
+    def vjp(g):
+        return (_scatter(g, in_shape, index),)
+
+    return _node(data, (a,), vjp)
+
+
+def _scatter(g, shape, index):
+    """Adjoint of :func:`getitem`: place ``g`` into zeros of ``shape``."""
+    g = _coerce(g)
+    data = np.zeros(shape, dtype=g.data.dtype)
+    if _index_has_int_array(index):
+        np.add.at(data, index, g.data)   # integer arrays may repeat indices
+    else:
+        data[index] = g.data             # basic slices never alias
+    if not g.requires_grad:
+        return _leaf(data)
+
+    def vjp(gg):
+        return (getitem(gg, index),)
+
+    return _node(data, (g,), vjp)
+
+
+def zeros_like(a):
+    """Constant tensor of zeros with the shape/dtype of ``a``."""
+    a = _coerce(a)
+    return _leaf(np.zeros_like(a.data))
+
+
+def ones_like(a):
+    """Constant tensor of ones with the shape/dtype of ``a``."""
+    a = _coerce(a)
+    return _leaf(np.ones_like(a.data))
+
+
+# ----------------------------------------------------------------------
+# Operator installation on Tensor
+# ----------------------------------------------------------------------
+def _install_operators():
+    """Attach arithmetic dunders to :class:`Tensor` (runs once at import)."""
+    Tensor.__add__ = lambda self, other: add(self, other)
+    Tensor.__radd__ = lambda self, other: add(other, self)
+    Tensor.__sub__ = lambda self, other: sub(self, other)
+    Tensor.__rsub__ = lambda self, other: sub(other, self)
+    Tensor.__mul__ = lambda self, other: mul(self, other)
+    Tensor.__rmul__ = lambda self, other: mul(other, self)
+    Tensor.__truediv__ = lambda self, other: div(self, other)
+    Tensor.__rtruediv__ = lambda self, other: div(other, self)
+    Tensor.__neg__ = lambda self: neg(self)
+    Tensor.__pow__ = lambda self, exponent: power(self, exponent)
+    Tensor.__matmul__ = lambda self, other: matmul(self, other)
+    Tensor.__getitem__ = lambda self, index: getitem(self, index)
+    Tensor.sum = lambda self, axis=None, keepdims=False: sum_(self, axis, keepdims)
+    Tensor.mean = lambda self, axis=None, keepdims=False: mean(self, axis, keepdims)
+    Tensor.reshape = lambda self, *shape: reshape(
+        self, shape[0] if len(shape) == 1 and isinstance(shape[0], tuple) else shape)
+    Tensor.T = property(lambda self: transpose(self))
+
+
+_install_operators()

@@ -1,0 +1,124 @@
+"""Core ``Tensor`` type for the reverse-mode automatic differentiation engine.
+
+A :class:`Tensor` wraps a ``numpy.ndarray`` and, when it is the result of a
+primitive operation, remembers its parent tensors together with a
+vector-Jacobian-product (VJP) callback.  VJP callbacks are written in terms of
+other primitive operations, so the backward pass of
+:func:`repro.autodiff.functional.gradients` produces tensors that are
+themselves differentiable.  This is what lets PINN residuals take second (and
+higher) derivatives of network outputs with respect to network inputs.
+
+Operator overloading (``+``, ``*``, ``@`` ...) is installed by
+:mod:`repro.autodiff.ops` at import time; the class itself stays minimal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor"]
+
+
+class Tensor:
+    """A numpy-backed array node in a dynamically built computation graph.
+
+    Parameters
+    ----------
+    data:
+        Array (or scalar) payload.  Stored as ``numpy.ndarray``.
+    requires_grad:
+        Whether gradients should flow to this tensor.  Results of primitive
+        operations derive this flag from their parents.
+    parents:
+        Parent tensors this node was computed from (empty for leaves).
+    vjp:
+        Callback mapping the cotangent of this node to a tuple of cotangents,
+        one per parent (``None`` entries are allowed for non-differentiable
+        parents).  Must be built from primitive ops so that it is itself
+        differentiable.
+    name:
+        Optional label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("data", "requires_grad", "_parents", "_vjp", "name")
+
+    def __init__(self, data, requires_grad=False, parents=(), vjp=None, name=None):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data)
+        self.requires_grad = bool(requires_grad)
+        self._parents = tuple(parents)
+        self._vjp = vjp
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Array-like introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self):
+        """Number of dimensions of the underlying array."""
+        return self.data.ndim
+
+    @property
+    def size(self):
+        """Total number of elements."""
+        return self.data.size
+
+    @property
+    def dtype(self):
+        """Dtype of the underlying array."""
+        return self.data.dtype
+
+    @property
+    def is_leaf(self):
+        """True when the tensor was not produced by a primitive op."""
+        return not self._parents
+
+    def numpy(self):
+        """Return the underlying ``numpy.ndarray`` (no copy)."""
+        return self.data
+
+    def item(self):
+        """Return the value of a single-element tensor as a Python scalar."""
+        return self.data.item()
+
+    def detach(self):
+        """Return a new leaf tensor sharing this tensor's data.
+
+        Gradients do not flow through the returned tensor; use it to stop
+        gradient propagation (e.g. for loss normalisation constants).
+        """
+        return Tensor(self.data, requires_grad=False)
+
+    def __len__(self):
+        return len(self.data)
+
+    def __repr__(self):
+        label = f" name={self.name!r}" if self.name else ""
+        grad = ", grad" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}, dtype={self.data.dtype}{grad}{label})"
+
+    # Prevent numpy from hijacking ``ndarray <op> Tensor`` expressions: numpy
+    # sees this attribute and defers to the Tensor's reflected operators.
+    __array_priority__ = 100.0
+
+
+def as_tensor(value, dtype=None):
+    """Coerce ``value`` to a :class:`Tensor` (no-op for tensors).
+
+    Parameters
+    ----------
+    value:
+        Tensor, array, or scalar.
+    dtype:
+        Optional dtype used when converting non-tensor input.
+    """
+    if isinstance(value, Tensor):
+        return value
+    data = np.asarray(value, dtype=dtype)
+    return Tensor(data)

@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print the library version and subsystem inventory.
+``table1`` / ``table2``
+    Regenerate the paper's tables (wraps the ``examples/reproduce_*``
+    pipelines) at a chosen scale.
+``ldc`` / ``ar``
+    Train a single method on one of the two benchmark problems.
+``solve-ldc`` / ``solve-ar``
+    Run only the classical reference solver and report convergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+
+def _cmd_info(args):
+    import repro
+    print(f"repro {repro.__version__} — SGM-PINN reproduction (DAC 2024)")
+    subsystems = [
+        ("autodiff", "higher-order reverse-mode AD"),
+        ("nn", "MLPs, optimizers (Adam/L-BFGS), schedules"),
+        ("geometry", "2-D/3-D CSG with SDF sampling"),
+        ("pde", "NS2D, zero-eq turbulence, Poisson 2D/3D, Burgers"),
+        ("graph", "kNN/HNSW, effective resistance, LRD decomposition"),
+        ("stability", "SPADE/ISR scores"),
+        ("sampling", "SGM sampler + uniform/MIS/RAR baselines"),
+        ("solvers", "reference CFD (LDC, annular ring), Ghia tables"),
+        ("training", "constraints, trainer, validators"),
+        ("experiments", "Table 1/2 + Figures 2-4 harness"),
+    ]
+    for name, description in subsystems:
+        print(f"  repro.{name:<12} {description}")
+    return 0
+
+
+def _cmd_table(args, which):
+    if which == 1:
+        from repro.experiments import (
+            format_table, ldc_config, run_ldc_suite, table1_rows)
+        config = ldc_config(args.scale)
+        results = run_ldc_suite(config)
+        histories = {k: r.history for k, r in results.items()}
+        columns, rows = table1_rows(histories)
+        print(format_table(f"Table 1 (scale={args.scale})", columns, rows))
+    else:
+        from repro.experiments import (
+            annular_ring_config, format_table, run_ar_suite, table2_rows)
+        config = annular_ring_config(args.scale)
+        results = run_ar_suite(config)
+        histories = {k: r.history for k, r in results.items()}
+        columns, rows = table2_rows(histories)
+        print(format_table(f"Table 2 (scale={args.scale})", columns, rows))
+    return 0
+
+
+def _cmd_train(args, problem):
+    if problem == "ldc":
+        from repro.experiments import ldc_config, ldc_methods, run_ldc_method
+        config = ldc_config(args.scale)
+        methods = {m.kind: m for m in ldc_methods(config)}
+        run = run_ldc_method
+    else:
+        from repro.experiments import (
+            annular_ring_config, ar_methods, run_ar_method)
+        config = annular_ring_config(args.scale)
+        methods = {m.kind: m for m in
+                   ar_methods(config, include_plain_sgm=True)}
+        run = run_ar_method
+    method = methods.get(args.method)
+    if method is None:
+        print(f"unknown method {args.method!r}; have {sorted(methods)}")
+        return 2
+    result = run(config, method, steps=args.steps)
+    history = result.history
+    print(f"{method.label}: wall {history.wall_times[-1]:.0f}s, "
+          f"final loss {history.losses[-1]:.4g}")
+    for var in sorted(history.errors):
+        print(f"  min err({var}) = {history.min_error(var):.4f}")
+    return 0
+
+
+def _cmd_solve(args, problem):
+    if problem == "ldc":
+        from repro.solvers import solve_ldc
+        result = solve_ldc(reynolds=args.reynolds,
+                           resolution=args.resolution)
+        print(f"LDC Re={args.reynolds:g} on {args.resolution}^2: "
+              f"{result.steps} steps, residual {result.final_residual:.2e}")
+    else:
+        from repro.solvers import solve_annulus
+        result = solve_annulus(inner_radius=args.radius)
+        print(f"annular ring r_i={args.radius:g}: {result.steps} steps, "
+              f"residual {result.final_residual:.2e}")
+    return 0
+
+
+def build_parser():
+    """Construct the argparse CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SGM-PINN reproduction toolbox")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library inventory")
+
+    for n in (1, 2):
+        p = sub.add_parser(f"table{n}", help=f"regenerate Table {n}")
+        p.add_argument("--scale", default="smoke",
+                       choices=("smoke", "repro"))
+
+    for problem in ("ldc", "ar"):
+        p = sub.add_parser(problem, help=f"train one method on {problem}")
+        p.add_argument("--method", default="sgm",
+                       choices=("uniform", "mis", "sgm", "sgm_s"))
+        p.add_argument("--scale", default="smoke",
+                       choices=("smoke", "repro"))
+        p.add_argument("--steps", type=int, default=None)
+
+    p = sub.add_parser("solve-ldc", help="run the reference LDC solver")
+    p.add_argument("--reynolds", type=float, default=100.0)
+    p.add_argument("--resolution", type=int, default=65)
+    p = sub.add_parser("solve-ar", help="run the reference annulus solver")
+    p.add_argument("--radius", type=float, default=1.0)
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info(args)
+    if args.command in ("table1", "table2"):
+        return _cmd_table(args, int(args.command[-1]))
+    if args.command in ("ldc", "ar"):
+        return _cmd_train(args, args.command)
+    if args.command == "solve-ldc":
+        return _cmd_solve(args, "ldc")
+    if args.command == "solve-ar":
+        return _cmd_solve(args, "ar")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Experiment harness: configs, problems, runner, tables, figures."""
+
+from .configs import (
+    LDCConfig, AnnularRingConfig, ldc_config, annular_ring_config, SCALES,
+)
+from .ldc import build_ldc_problem, ldc_reference, ldc_validator
+from .annular_ring import (
+    annular_ring_geometry, build_ar_problem, ar_validators, ar_reference,
+)
+from .runner import (
+    MethodSpec, RunResult, run_ldc_method, run_ar_method,
+    run_ldc_suite, run_ar_suite, ldc_methods, ar_methods,
+)
+from .tables import table1_rows, table2_rows, format_table
+from .figures import (
+    error_curves, curves_to_csv, render_curves, pressure_error_fields,
+)
+
+__all__ = [
+    "LDCConfig", "AnnularRingConfig", "ldc_config", "annular_ring_config",
+    "SCALES",
+    "build_ldc_problem", "ldc_reference", "ldc_validator",
+    "annular_ring_geometry", "build_ar_problem", "ar_validators",
+    "ar_reference",
+    "MethodSpec", "RunResult", "run_ldc_method", "run_ar_method",
+    "run_ldc_suite", "run_ar_suite", "ldc_methods", "ar_methods",
+    "table1_rows", "table2_rows", "format_table",
+    "error_curves", "curves_to_csv", "render_curves",
+    "pressure_error_fields",
+]

@@ -1,0 +1,166 @@
+"""Experiment configurations and scale presets.
+
+The ``paper`` preset documents the exact hyper-parameters of §4 (V100-scale;
+listed for reference).  The ``repro`` preset shrinks dataset, batch, network,
+and iteration counts proportionally so the full suite runs on a CPU in
+minutes while preserving every structural ratio the paper's comparisons rely
+on (batch_small : batch_large, N_small : N_large, tau_e : tau_G : steps).
+The ``smoke`` preset is for CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["LDCConfig", "AnnularRingConfig", "ldc_config", "annular_ring_config",
+           "SCALES"]
+
+SCALES = ("paper", "repro", "smoke")
+
+
+@dataclass
+class NetworkConfig:
+    """PINN architecture (paper: width 512, depth 6, SiLU).
+
+    ``dtype`` is the working precision; the repro presets use float32, which
+    matches the paper's GPU setting (Modulus trains in single precision) and
+    roughly halves CPU matmul time.
+    """
+
+    width: int = 512
+    depth: int = 6
+    activation: str = "silu"
+    dtype: str = "float32"
+
+
+@dataclass
+class LDCConfig:
+    """Lid-driven cavity, zero-equation turbulence (paper §4.1, Table 1)."""
+
+    scale: str = "paper"
+    reynolds: float = 1000.0
+    lid_velocity: float = 1.0
+    turbulent: bool = True
+    #: dataset sizes: baseline (U4000) vs reduced (U500 / MIS500 / SGM500)
+    n_interior_large: int = 16_000_000
+    n_interior_small: int = 8_000_000
+    n_boundary: int = 40_000
+    batch_large: int = 4000
+    batch_small: int = 500
+    steps: int = 2_500_000
+    # SGM hyper-parameters (paper values)
+    tau_e: int = 7000
+    tau_G: int = 25_000
+    knn_k: int = 30
+    lrd_level: int = 10
+    probe_ratio: float = 0.15
+    # optimizer
+    lr: float = 1e-3
+    lr_decay_rate: float = 0.95
+    lr_decay_steps: int = 4000
+    boundary_weight: float = 100.0
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    # validation / bookkeeping
+    reference_resolution: int = 97
+    n_validation: int = 1600
+    validate_every: int = 200
+    record_every: int = 50
+    full_diffusion: bool = False
+    seed: int = 0
+
+
+@dataclass
+class AnnularRingConfig:
+    """Parameterized annular ring (paper §4.2, Table 2)."""
+
+    scale: str = "paper"
+    nu: float = 0.1
+    inlet_peak_velocity: float = 1.5
+    r_inner_range: tuple = (0.75, 1.1)
+    validation_radii: tuple = (1.0, 0.875, 0.75)
+    n_interior_large: int = 16_000_000
+    n_interior_small: int = 8_000_000
+    n_boundary: int = 40_000
+    n_inlet_outlet: int = 8_000
+    batch_large: int = 4096
+    batch_small: int = 1024
+    steps: int = 400_000
+    tau_e: int = 7000
+    tau_G: int = 60_000
+    knn_k: int = 7
+    lrd_level: int = 6
+    probe_ratio: float = 0.15
+    isr_weight: float = 1.0
+    isr_k: int = 10
+    isr_rank: int = 6
+    lr: float = 1e-3
+    lr_decay_rate: float = 0.95
+    lr_decay_steps: int = 4000
+    boundary_weight: float = 100.0
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    reference_nx: int = 201
+    reference_ny: int = 81
+    n_validation: int = 1200
+    validate_every: int = 200
+    record_every: int = 50
+    param_draws: int = 32
+    full_diffusion: bool = False
+    seed: int = 0
+
+
+def ldc_config(scale="repro"):
+    """LDC config at the requested scale preset."""
+    base = LDCConfig()
+    if scale == "paper":
+        return base
+    if scale == "repro":
+        return replace(
+            base, scale="repro", reynolds=100.0,
+            n_interior_large=40_000, n_interior_small=20_000,
+            n_boundary=2_000, batch_large=320, batch_small=128,
+            steps=3000, tau_e=300, tau_G=1000, knn_k=12, lrd_level=7,
+            lr=1e-3, lr_decay_steps=1200, boundary_weight=10.0,
+            network=NetworkConfig(width=64, depth=4),
+            reference_resolution=81, n_validation=900,
+            validate_every=100, record_every=40)
+    if scale == "smoke":
+        return replace(
+            base, scale="smoke", reynolds=100.0,
+            n_interior_large=2_000, n_interior_small=1_000,
+            n_boundary=300, batch_large=64, batch_small=32,
+            steps=60, tau_e=20, tau_G=45, knn_k=6, lrd_level=4,
+            lr=2e-3, lr_decay_steps=100,
+            network=NetworkConfig(width=16, depth=2),
+            reference_resolution=41, n_validation=200,
+            validate_every=20, record_every=10)
+    raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
+
+
+def annular_ring_config(scale="repro"):
+    """Annular-ring config at the requested scale preset."""
+    base = AnnularRingConfig()
+    if scale == "paper":
+        return base
+    if scale == "repro":
+        return replace(
+            base, scale="repro",
+            n_interior_large=40_000, n_interior_small=20_000,
+            n_boundary=2_400, n_inlet_outlet=600,
+            batch_large=320, batch_small=128,
+            steps=2000, tau_e=300, tau_G=1000, knn_k=7, lrd_level=6,
+            lr=1e-3, lr_decay_steps=1200, boundary_weight=10.0,
+            network=NetworkConfig(width=64, depth=4),
+            reference_nx=151, reference_ny=61, n_validation=800,
+            validate_every=100, record_every=40, param_draws=24)
+    if scale == "smoke":
+        return replace(
+            base, scale="smoke",
+            n_interior_large=2_000, n_interior_small=1_000,
+            n_boundary=300, n_inlet_outlet=100,
+            batch_large=64, batch_small=32,
+            steps=60, tau_e=20, tau_G=45, knn_k=5, lrd_level=4,
+            lr=2e-3, lr_decay_steps=100,
+            network=NetworkConfig(width=16, depth=2),
+            reference_nx=81, reference_ny=33, n_validation=150,
+            validate_every=20, record_every=10, param_draws=6)
+    raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")

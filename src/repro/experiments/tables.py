@@ -1,0 +1,85 @@
+"""Table formatters mirroring the paper's Table 1 and Table 2."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["table1_rows", "table2_rows", "format_table"]
+
+
+def _fmt(value, digits=4):
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not np.isfinite(value):
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def format_table(title, columns, rows):
+    """Render ``rows = [(label, {column: value})]`` as aligned text."""
+    width = max([len(r[0]) for r in rows] + [14])
+    col_width = max([len(c) for c in columns] + [10]) + 2
+    lines = [title]
+    header = " " * width + "".join(c.rjust(col_width) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, values in rows:
+        cells = "".join(_fmt(values.get(c)).rjust(col_width)
+                        for c in columns)
+        lines.append(label.ljust(width) + cells)
+    return "\n".join(lines)
+
+
+def _time_rows(histories, columns, reference_labels, variables):
+    """The T(<method>_<var>) block shared by both tables.
+
+    ``T(M_var)`` per column = wall time that column's method needed to reach
+    the *minimum* error method ``M`` achieved on ``var`` (blank if never).
+    """
+    rows = []
+    for var in variables:
+        for ref_label in reference_labels:
+            if ref_label not in histories:
+                continue
+            threshold = histories[ref_label].min_error(var)
+            row = {}
+            for column in columns:
+                row[column] = histories[column].time_to_reach(var, threshold)
+            rows.append((f"T({ref_label}_{var})", row))
+    return rows
+
+
+def table1_rows(histories):
+    """Rows of Table 1 (LDC): Min(u/v/nu) + time-to-threshold block.
+
+    Parameters
+    ----------
+    histories:
+        ``{label: History}`` — typically U_small, U_large, MIS, SGM.
+    """
+    columns = list(histories)
+    rows = []
+    for var, pretty in (("u", "Min(u)"), ("v", "Min(v)"), ("nu", "Min(nu)")):
+        rows.append((pretty, {c: histories[c].min_error(var)
+                              for c in columns}))
+    large = [c for c in columns if c.startswith("U")][-1:]
+    mis = [c for c in columns if c.startswith("MIS")]
+    sgm = [c for c in columns if c.startswith("SGM")]
+    rows += _time_rows(histories, columns, large + mis + sgm, ("u", "v"))
+    return columns, rows
+
+
+def table2_rows(histories):
+    """Rows of Table 2 (annular ring): Min(u/v), p at Min(v), time block."""
+    columns = list(histories)
+    rows = []
+    for var, pretty in (("u", "Min(u)"), ("v", "Min(v)")):
+        rows.append((pretty, {c: histories[c].min_error(var)
+                              for c in columns}))
+    rows.append(("p at Min(v)", {c: histories[c].value_at_min("v", "p")
+                                 for c in columns}))
+    small_u = [c for c in columns if c.startswith("U")][:1]
+    large = [c for c in columns if c.startswith("U")][-1:]
+    mis = [c for c in columns if c.startswith("MIS")]
+    rows += _time_rows(histories, columns, small_u + large + mis, ("u", "v"))
+    return columns, rows

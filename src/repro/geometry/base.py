@@ -1,0 +1,114 @@
+"""Geometry abstraction: signed distance, containment, and sampling.
+
+Conventions follow Modulus: ``sdf > 0`` inside the geometry, ``< 0`` outside,
+with magnitude equal (or a CSG lower bound) to the distance from the wall.
+The zero-equation turbulence model reuses the interior SDF as wall distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pointcloud import PointCloud
+
+__all__ = ["Geometry"]
+
+
+class Geometry:
+    """Base class for 2-D geometries.
+
+    Subclasses implement :meth:`sdf`, :meth:`sample_boundary`, the
+    :attr:`bounds` property, and :attr:`boundary_length`/:attr:`area`
+    estimates.  Interior sampling is provided here via rejection sampling
+    against the SDF, which works for arbitrary CSG combinations.
+    """
+
+    #: Acceptance batches for rejection sampling are this factor larger than
+    #: the number of points still required.
+    _OVERSAMPLE = 2.0
+    #: Hard cap on rejection rounds; prevents infinite loops on degenerate
+    #: (measure-zero) geometries.
+    _MAX_ROUNDS = 200
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    def sdf(self, points):
+        """Signed distance of ``(n, d)`` points (positive inside)."""
+        raise NotImplementedError
+
+    def sample_boundary(self, n, rng=None):
+        """Sample ``n`` points on the boundary; returns a :class:`PointCloud`
+        with outward ``normals`` and perimeter-based ``weights``."""
+        raise NotImplementedError
+
+    @property
+    def bounds(self):
+        """Axis-aligned bounding box as ``((x0, y0, ...), (x1, y1, ...))``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared behaviour
+    # ------------------------------------------------------------------
+    def contains(self, points):
+        """Boolean containment test via the SDF."""
+        return self.sdf(points) > 0.0
+
+    def sample_interior(self, n, rng=None):
+        """Rejection-sample ``n`` interior points.
+
+        Returns a :class:`PointCloud` with ``sdf`` filled in and uniform
+        quadrature ``weights`` equal to (estimated area) / n.
+        """
+        rng = rng if rng is not None else np.random.default_rng()
+        lo, hi = (np.asarray(b, dtype=np.float64) for b in self.bounds)
+        box_volume = float(np.prod(hi - lo))
+        accepted = []
+        total_drawn = 0
+        total_kept = 0
+        remaining = n
+        for _ in range(self._MAX_ROUNDS):
+            batch = max(int(remaining * self._OVERSAMPLE), 128)
+            candidates = rng.uniform(lo, hi, size=(batch, len(lo)))
+            values = self.sdf(candidates)
+            keep = values > 0.0
+            total_drawn += batch
+            total_kept += int(keep.sum())
+            if keep.any():
+                accepted.append((candidates[keep], values[keep]))
+                remaining = n - sum(len(a) for a, _ in accepted)
+            if remaining <= 0:
+                break
+        if remaining > 0:
+            raise RuntimeError(
+                f"rejection sampling failed: kept {n - remaining}/{n} points; "
+                "geometry may have (near) zero area")
+        coords = np.concatenate([a for a, _ in accepted], axis=0)[:n]
+        sdf_values = np.concatenate([v for _, v in accepted], axis=0)[:n]
+        area = box_volume * total_kept / total_drawn
+        weights = np.full((n, 1), area / n)
+        return PointCloud(coords=coords, sdf=sdf_values.reshape(-1, 1),
+                          weights=weights)
+
+    def approx_area(self, rng=None, samples=20000):
+        """Monte-Carlo estimate of the geometry's area."""
+        rng = rng if rng is not None else np.random.default_rng()
+        lo, hi = (np.asarray(b, dtype=np.float64) for b in self.bounds)
+        pts = rng.uniform(lo, hi, size=(samples, len(lo)))
+        frac = float(np.mean(self.sdf(pts) > 0.0))
+        return float(np.prod(hi - lo)) * frac
+
+    # ------------------------------------------------------------------
+    # CSG sugar
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        from .csg import Union
+        return Union(self, other)
+
+    def __sub__(self, other):
+        from .csg import Difference
+        return Difference(self, other)
+
+    def __and__(self, other):
+        from .csg import Intersection
+        return Intersection(self, other)

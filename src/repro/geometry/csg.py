@@ -1,0 +1,123 @@
+"""Constructive solid geometry on signed distance functions.
+
+SDF combinations use the standard min/max rules (positive-inside convention):
+union = max, intersection = min, difference = min(a, -b).  The combined SDF is
+a lower bound on the true distance, which is the same approximation Modulus
+makes — sufficient for rejection sampling and wall-distance estimates.
+
+Boundary sampling draws candidates from the children's boundaries and keeps
+those that lie on the boundary of the combined solid, rescaling quadrature
+weights by the acceptance ratio so the total measure stays consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Geometry
+from .pointcloud import PointCloud
+
+__all__ = ["Union", "Intersection", "Difference"]
+
+_EPS = 1e-9
+
+
+class _Binary(Geometry):
+    """Shared machinery for binary CSG nodes."""
+
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+
+    @property
+    def bounds(self):
+        a_lo, a_hi = self.a.bounds
+        b_lo, b_hi = self.b.bounds
+        return (tuple(np.minimum(a_lo, b_lo)), tuple(np.maximum(a_hi, b_hi)))
+
+    def _keep_on_boundary(self, which, points):
+        """Mask of candidate points (from child ``which``) that remain on the
+        boundary of the combined geometry."""
+        raise NotImplementedError
+
+    def sample_boundary(self, n, rng=None, max_rounds=200):
+        rng = rng if rng is not None else np.random.default_rng()
+        children = (self.a, self.b)
+        collected = {0: [], 1: []}
+        drawn = {0: 0, 1: 0}
+        kept = {0: 0, 1: 0}
+        lengths = [getattr(c, "boundary_length", 1.0) for c in children]
+        total_length = sum(lengths)
+        targets = [int(round(n * lengths[0] / total_length))]
+        targets.append(n - targets[0])
+        for which in (0, 1):
+            target = targets[which]
+            remaining = target
+            for _ in range(max_rounds):
+                if remaining <= 0:
+                    break
+                batch = max(int(remaining * 2), 64)
+                cloud = children[which].sample_boundary(batch, rng)
+                mask = self._keep_on_boundary(which, cloud.coords)
+                drawn[which] += batch
+                kept[which] += int(mask.sum())
+                if mask.any():
+                    collected[which].append(cloud.subset(mask))
+                    remaining = target - sum(len(c) for c in collected[which])
+            if remaining > 0 and kept[which] == 0 and target > 0:
+                # this child contributes nothing to the combined boundary
+                targets[1 - which] += remaining
+        # trim each child to its own target so over-collection by one child
+        # never crowds out the other's boundary contribution
+        clouds = []
+        for which in (0, 1):
+            if not collected[which]:
+                continue
+            merged = PointCloud.concatenate(collected[which])
+            if len(merged) > targets[which]:
+                merged = merged.subset(slice(0, targets[which]))
+            clouds.append(merged)
+        if not clouds:
+            raise RuntimeError("CSG boundary sampling produced no points")
+        cloud = PointCloud.concatenate(clouds)
+        if len(cloud) > n:
+            cloud = cloud.subset(slice(0, n))
+        # effective perimeter of each child = child length * acceptance rate
+        effective = sum(lengths[w] * (kept[w] / drawn[w])
+                        for w in (0, 1) if drawn[w])
+        cloud.weights = np.full((len(cloud), 1), effective / len(cloud))
+        return cloud
+
+
+class Union(_Binary):
+    """Points inside either geometry."""
+
+    def sdf(self, points):
+        return np.maximum(self.a.sdf(points), self.b.sdf(points))
+
+    def _keep_on_boundary(self, which, points):
+        other = self.b if which == 0 else self.a
+        return other.sdf(points) <= _EPS
+
+
+class Intersection(_Binary):
+    """Points inside both geometries."""
+
+    def sdf(self, points):
+        return np.minimum(self.a.sdf(points), self.b.sdf(points))
+
+    def _keep_on_boundary(self, which, points):
+        other = self.b if which == 0 else self.a
+        return other.sdf(points) >= -_EPS
+
+
+class Difference(_Binary):
+    """Points inside ``a`` but not ``b``."""
+
+    def sdf(self, points):
+        return np.minimum(self.a.sdf(points), -self.b.sdf(points))
+
+    def _keep_on_boundary(self, which, points):
+        if which == 0:
+            return self.b.sdf(points) <= _EPS
+        return self.a.sdf(points) >= -_EPS

@@ -1,0 +1,112 @@
+"""Parameterized geometry support for parameterized PINNs (paper §4.2).
+
+A :class:`ParamSpace` declares named scalar parameters with ranges (e.g.
+the annular ring's inner radius ``r_i ∈ [0.75, 1.1]``); a
+:class:`ParameterizedGeometry` samples parameter values, instantiates the
+underlying geometry per value via a builder callable, and emits point clouds
+whose ``params`` columns become extra network inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pointcloud import PointCloud
+
+__all__ = ["ParamSpace", "ParameterizedGeometry"]
+
+
+class ParamSpace:
+    """Named scalar parameters with uniform ranges.
+
+    Parameters
+    ----------
+    ranges:
+        Mapping ``name -> (low, high)``; iteration order fixes the column
+        order of sampled parameter matrices.
+    """
+
+    def __init__(self, ranges):
+        self.names = tuple(ranges)
+        self.lows = np.array([ranges[k][0] for k in self.names], dtype=np.float64)
+        self.highs = np.array([ranges[k][1] for k in self.names], dtype=np.float64)
+        if np.any(self.highs < self.lows):
+            raise ValueError("parameter range has high < low")
+
+    def __len__(self):
+        return len(self.names)
+
+    def sample(self, n, rng=None):
+        """Draw ``(n, p)`` parameter values uniformly."""
+        rng = rng if rng is not None else np.random.default_rng()
+        return rng.uniform(self.lows, self.highs, size=(n, len(self.names)))
+
+    def as_dict(self, row):
+        """Convert one sampled row to a ``name -> float`` mapping."""
+        return {name: float(value) for name, value in zip(self.names, row)}
+
+    def grid(self, values_per_dim):
+        """Cartesian grid of parameter combinations (for validation sweeps)."""
+        axes = [np.linspace(lo, hi, values_per_dim)
+                for lo, hi in zip(self.lows, self.highs)]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        return np.stack([m.ravel() for m in mesh], axis=1)
+
+
+class ParameterizedGeometry:
+    """A geometry family indexed by a :class:`ParamSpace`.
+
+    Parameters
+    ----------
+    builder:
+        Callable ``dict -> Geometry`` constructing the geometry for one
+        parameter assignment.
+    param_space:
+        The parameter ranges to sample from.
+    draws:
+        Number of distinct parameter assignments used per sampling call;
+        points are split evenly between them (Modulus samples geometry
+        parameters per batch the same way).
+    """
+
+    def __init__(self, builder, param_space, draws=16):
+        self.builder = builder
+        self.param_space = param_space
+        self.draws = int(draws)
+        if self.draws < 1:
+            raise ValueError("draws must be >= 1")
+
+    def geometry_at(self, **values):
+        """Instantiate the concrete geometry for explicit parameter values."""
+        return self.builder(values)
+
+    def _split(self, n):
+        draws = min(self.draws, n)
+        base = n // draws
+        counts = np.full(draws, base)
+        counts[: n - base * draws] += 1
+        return counts
+
+    def sample_interior(self, n, rng=None):
+        """Sample interior points across parameter draws."""
+        rng = rng if rng is not None else np.random.default_rng()
+        return self._sample(n, rng, lambda g, m: g.sample_interior(m, rng))
+
+    def sample_boundary(self, n, rng=None):
+        """Sample boundary points across parameter draws."""
+        rng = rng if rng is not None else np.random.default_rng()
+        return self._sample(n, rng, lambda g, m: g.sample_boundary(m, rng))
+
+    def _sample(self, n, rng, sampler):
+        counts = self._split(n)
+        values = self.param_space.sample(len(counts), rng)
+        clouds = []
+        for row, count in zip(values, counts):
+            if count == 0:
+                continue
+            geometry = self.builder(self.param_space.as_dict(row))
+            cloud = sampler(geometry, int(count))
+            cloud.params = np.tile(row, (len(cloud), 1))
+            cloud.param_names = self.param_space.names
+            clouds.append(cloud)
+        return PointCloud.concatenate(clouds)

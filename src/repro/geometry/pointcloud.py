@@ -1,0 +1,110 @@
+"""Point-cloud container shared by geometry sampling, training, and graphs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PointCloud"]
+
+
+@dataclass
+class PointCloud:
+    """A batch of sampled points with optional per-point attributes.
+
+    Attributes
+    ----------
+    coords:
+        ``(n, d)`` spatial coordinates.
+    params:
+        ``(n, p)`` geometry-parameter values for parameterized problems
+        (empty ``(n, 0)`` array when the problem has no parameters).
+    normals:
+        ``(n, d)`` outward unit normals (boundary clouds only, else ``None``).
+    sdf:
+        ``(n, 1)`` signed distance to the wall, positive inside (interior
+        clouds only; the zero-equation turbulence model consumes this).
+    weights:
+        ``(n, 1)`` quadrature weights (geometry measure / n) so that loss
+        terms approximate the integrals in eq. 4.
+    param_names:
+        Names of the parameter columns, in order.
+    """
+
+    coords: np.ndarray
+    params: np.ndarray | None = None
+    normals: np.ndarray | None = None
+    sdf: np.ndarray | None = None
+    weights: np.ndarray | None = None
+    param_names: tuple = field(default_factory=tuple)
+
+    def __post_init__(self):
+        self.coords = np.atleast_2d(np.asarray(self.coords, dtype=np.float64))
+        if self.params is None:
+            self.params = np.zeros((len(self.coords), 0))
+        self.params = np.asarray(self.params, dtype=np.float64)
+        if self.params.ndim == 1:
+            self.params = self.params.reshape(-1, 1)
+        for name in ("normals", "sdf", "weights"):
+            value = getattr(self, name)
+            if value is not None:
+                value = np.asarray(value, dtype=np.float64)
+                if value.ndim == 1:
+                    value = value.reshape(-1, 1)
+                setattr(self, name, value)
+        self.param_names = tuple(self.param_names)
+
+    def __len__(self):
+        return len(self.coords)
+
+    @property
+    def dim(self):
+        """Spatial dimensionality."""
+        return self.coords.shape[1]
+
+    def features(self):
+        """``(n, d + p)`` network-input features: coordinates then parameters."""
+        if self.params.shape[1]:
+            return np.concatenate([self.coords, self.params], axis=1)
+        return self.coords
+
+    def subset(self, index):
+        """Return a new cloud containing rows selected by ``index``."""
+        def take(value):
+            return None if value is None else value[index]
+
+        return PointCloud(coords=self.coords[index], params=take(self.params),
+                          normals=take(self.normals), sdf=take(self.sdf),
+                          weights=take(self.weights), param_names=self.param_names)
+
+    def filter(self, predicate):
+        """Keep rows where ``predicate(coords) -> bool array`` holds."""
+        mask = np.asarray(predicate(self.coords), dtype=bool)
+        return self.subset(mask)
+
+    @staticmethod
+    def concatenate(clouds):
+        """Stack clouds; optional fields must be consistently present."""
+        clouds = list(clouds)
+        if not clouds:
+            raise ValueError("cannot concatenate zero clouds")
+        names = clouds[0].param_names
+        if any(c.param_names != names for c in clouds):
+            raise ValueError("parameter columns differ between clouds")
+
+        def cat(getter):
+            values = [getter(c) for c in clouds]
+            if all(v is None for v in values):
+                return None
+            if any(v is None for v in values):
+                raise ValueError("optional field present in only some clouds")
+            return np.concatenate(values, axis=0)
+
+        return PointCloud(
+            coords=np.concatenate([c.coords for c in clouds], axis=0),
+            params=cat(lambda c: c.params),
+            normals=cat(lambda c: c.normals),
+            sdf=cat(lambda c: c.sdf),
+            weights=cat(lambda c: c.weights),
+            param_names=names)

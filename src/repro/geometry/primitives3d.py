@@ -1,0 +1,107 @@
+"""3-D geometric primitives.
+
+The paper's S1 builds kNN graphs over "the low-dimensional spatial
+coordinates (x, y, z)"; these primitives provide the 3-D point clouds for
+that path (the SGM sampler itself is dimension-agnostic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Geometry
+from .pointcloud import PointCloud
+
+__all__ = ["Box", "Sphere"]
+
+
+class Box(Geometry):
+    """Axis-aligned box with all six faces as boundary."""
+
+    def __init__(self, corner_min, corner_max):
+        self.lo = np.asarray(corner_min, dtype=np.float64)
+        self.hi = np.asarray(corner_max, dtype=np.float64)
+        if self.lo.shape != (3,) or self.hi.shape != (3,):
+            raise ValueError("Box corners must be 3-D points")
+        if np.any(self.hi <= self.lo):
+            raise ValueError("corner_max must exceed corner_min componentwise")
+
+    @property
+    def bounds(self):
+        return tuple(self.lo), tuple(self.hi)
+
+    @property
+    def volume(self):
+        """Exact volume."""
+        return float(np.prod(self.hi - self.lo))
+
+    @property
+    def surface_area(self):
+        """Exact surface area."""
+        w, h, d = self.hi - self.lo
+        return 2.0 * float(w * h + h * d + w * d)
+
+    def sdf(self, points):
+        points = np.atleast_2d(points)
+        center = 0.5 * (self.lo + self.hi)
+        half = 0.5 * (self.hi - self.lo)
+        q = np.abs(points - center) - half
+        outside = np.linalg.norm(np.maximum(q, 0.0), axis=1)
+        inside = np.minimum(np.max(q, axis=1), 0.0)
+        return -(outside + inside)
+
+    def sample_boundary(self, n, rng=None):
+        rng = rng if rng is not None else np.random.default_rng()
+        extents = self.hi - self.lo
+        # pick faces proportionally to their area
+        areas = np.array([extents[1] * extents[2], extents[1] * extents[2],
+                          extents[0] * extents[2], extents[0] * extents[2],
+                          extents[0] * extents[1], extents[0] * extents[1]])
+        faces = rng.choice(6, size=n, p=areas / areas.sum())
+        coords = rng.uniform(self.lo, self.hi, size=(n, 3))
+        normals = np.zeros((n, 3))
+        for face in range(6):
+            axis, side = divmod(face, 2)
+            mask = faces == face
+            coords[mask, axis] = self.hi[axis] if side else self.lo[axis]
+            normals[mask, axis] = 1.0 if side else -1.0
+        weights = np.full((n, 1), self.surface_area / n)
+        return PointCloud(coords=coords, normals=normals, weights=weights)
+
+
+class Sphere(Geometry):
+    """Solid ball with the sphere surface as boundary."""
+
+    def __init__(self, center, radius):
+        self.center = np.asarray(center, dtype=np.float64)
+        if self.center.shape != (3,):
+            raise ValueError("Sphere center must be a 3-D point")
+        self.radius = float(radius)
+        if self.radius <= 0:
+            raise ValueError("radius must be positive")
+
+    @property
+    def bounds(self):
+        return tuple(self.center - self.radius), tuple(self.center + self.radius)
+
+    @property
+    def volume(self):
+        """Exact volume."""
+        return float(4.0 / 3.0 * np.pi * self.radius ** 3)
+
+    @property
+    def surface_area(self):
+        """Exact surface area."""
+        return float(4.0 * np.pi * self.radius ** 2)
+
+    def sdf(self, points):
+        points = np.atleast_2d(points)
+        return self.radius - np.linalg.norm(points - self.center, axis=1)
+
+    def sample_boundary(self, n, rng=None):
+        rng = rng if rng is not None else np.random.default_rng()
+        directions = rng.normal(size=(n, 3))
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        coords = self.center + self.radius * directions
+        weights = np.full((n, 1), self.surface_area / n)
+        return PointCloud(coords=coords, normals=directions, weights=weights)

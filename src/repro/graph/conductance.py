@@ -1,0 +1,66 @@
+"""Graph conductance diagnostics (paper §3.3).
+
+Alev et al.'s LRD theorem guarantees the decomposition removes only a
+constant fraction of edges "without significantly impacting the graph
+conductance (keeping the global structure of the graph intact)".  These
+helpers measure exactly that: per-cluster conductance and the fraction of
+edge weight cut by a partition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["cut_fraction", "cluster_conductance", "partition_summary"]
+
+
+def cut_fraction(adjacency, labels):
+    """Fraction of total edge weight crossing cluster boundaries."""
+    coo = sp.triu(adjacency, k=1).tocoo()
+    labels = np.asarray(labels)
+    total = coo.data.sum()
+    if total == 0:
+        return 0.0
+    crossing = coo.data[labels[coo.row] != labels[coo.col]].sum()
+    return float(crossing / total)
+
+
+def cluster_conductance(adjacency, labels):
+    """Conductance ``phi(S) = cut(S) / min(vol(S), vol(V\\S))`` per cluster.
+
+    Returns an array indexed by cluster id; singleton universe partitions
+    (one cluster) yield an empty array.
+    """
+    labels = np.asarray(labels)
+    n_clusters = labels.max() + 1 if len(labels) else 0
+    if n_clusters <= 1:
+        return np.zeros(0)
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    total_volume = degrees.sum()
+    coo = sp.triu(adjacency, k=1).tocoo()
+    crossing = labels[coo.row] != labels[coo.col]
+
+    cut = np.zeros(n_clusters)
+    np.add.at(cut, labels[coo.row[crossing]], coo.data[crossing])
+    np.add.at(cut, labels[coo.col[crossing]], coo.data[crossing])
+    volume = np.zeros(n_clusters)
+    np.add.at(volume, labels, degrees)
+    denom = np.minimum(volume, total_volume - volume)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        phi = np.where(denom > 0, cut / denom, 0.0)
+    return phi
+
+
+def partition_summary(adjacency, labels):
+    """Dict of the partition-quality statistics the paper's S2 cares about."""
+    phi = cluster_conductance(adjacency, labels)
+    sizes = np.bincount(np.asarray(labels))
+    return {
+        "n_clusters": int(sizes.size),
+        "cut_fraction": cut_fraction(adjacency, labels),
+        "mean_conductance": float(phi.mean()) if phi.size else 0.0,
+        "max_conductance": float(phi.max()) if phi.size else 0.0,
+        "min_size": int(sizes.min()),
+        "max_size": int(sizes.max()),
+    }

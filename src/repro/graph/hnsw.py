@@ -1,0 +1,176 @@
+"""Hierarchical Navigable Small World (HNSW) approximate nearest neighbours.
+
+A pure-python implementation of Malkov & Yashunin (2018), the algorithm the
+paper uses for kNN graph construction (S1).  It follows the published
+algorithm: exponentially distributed layer assignment, greedy descent through
+the upper layers, and beam search (``ef``) at each level, with the simple
+closest-first neighbour selection heuristic.
+
+It is intended for algorithmic fidelity and moderate sizes; the exact KD-tree
+backend remains the default for large point clouds.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+__all__ = ["HNSWIndex"]
+
+
+class HNSWIndex:
+    """An HNSW index over euclidean points.
+
+    Parameters
+    ----------
+    dim:
+        Point dimensionality.
+    m:
+        Maximum connections per node per layer (layer 0 allows ``2 m``).
+    ef_construction:
+        Beam width during insertion.
+    ef_search:
+        Default beam width during queries.
+    rng:
+        Generator for random level assignment.
+    """
+
+    def __init__(self, dim, m=12, ef_construction=64, ef_search=48, rng=None):
+        self.dim = int(dim)
+        self.m = int(m)
+        self.ef_construction = int(ef_construction)
+        self.ef_search = int(ef_search)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._level_mult = 1.0 / np.log(self.m)
+        self.points = np.empty((0, dim))
+        self.levels = []
+        # neighbours[node][level] -> list of node ids
+        self.neighbours = []
+        self.entry_point = None
+        self.max_level = -1
+
+    # ------------------------------------------------------------------
+    def __len__(self):
+        return len(self.points)
+
+    def _distance(self, query, ids):
+        return np.linalg.norm(self.points[ids] - query, axis=1)
+
+    def _search_layer(self, query, entry_points, ef, level):
+        """Beam search returning up to ``ef`` closest (dist, id) pairs."""
+        visited = set(entry_points)
+        dists = self._distance(query, np.fromiter(entry_points, dtype=int))
+        candidates = [(d, p) for d, p in zip(dists, entry_points)]
+        heapq.heapify(candidates)                      # min-heap by distance
+        best = [(-d, p) for d, p in zip(dists, entry_points)]
+        heapq.heapify(best)                            # max-heap of the beam
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            if dist > -best[0][0]:
+                break
+            for neighbour in self.neighbours[node][level]:
+                if neighbour in visited:
+                    continue
+                visited.add(neighbour)
+                d = float(np.linalg.norm(self.points[neighbour] - query))
+                if len(best) < ef or d < -best[0][0]:
+                    heapq.heappush(candidates, (d, neighbour))
+                    heapq.heappush(best, (-d, neighbour))
+                    if len(best) > ef:
+                        heapq.heappop(best)
+        return sorted((-d, p) for d, p in best)
+
+    def _select_neighbours(self, candidates, m):
+        """Closest-first selection (the paper's 'simple' heuristic)."""
+        return [p for _, p in candidates[:m]]
+
+    # ------------------------------------------------------------------
+    def add(self, point):
+        """Insert a single point."""
+        point = np.asarray(point, dtype=np.float64)
+        node = len(self.points)
+        self.points = np.vstack([self.points, point[None]])
+        level = int(-np.log(self.rng.uniform(1e-12, 1.0)) * self._level_mult)
+        self.levels.append(level)
+        self.neighbours.append({l: [] for l in range(level + 1)})
+
+        if self.entry_point is None:
+            self.entry_point = node
+            self.max_level = level
+            return
+
+        entry = self.entry_point
+        # greedy descent through layers above the new node's level
+        for l in range(self.max_level, level, -1):
+            improved = True
+            while improved:
+                improved = False
+                for neighbour in self.neighbours[entry].get(l, []):
+                    if (np.linalg.norm(self.points[neighbour] - point) <
+                            np.linalg.norm(self.points[entry] - point)):
+                        entry = neighbour
+                        improved = True
+        # beam search + connect on each layer at or below the node's level
+        entry_points = [entry]
+        for l in range(min(level, self.max_level), -1, -1):
+            found = self._search_layer(point, entry_points, self.ef_construction, l)
+            limit = self.m * 2 if l == 0 else self.m
+            chosen = self._select_neighbours(found, limit)
+            self.neighbours[node][l] = list(chosen)
+            for other in chosen:
+                links = self.neighbours[other][l]
+                links.append(node)
+                if len(links) > limit:
+                    dists = self._distance(self.points[other], np.array(links))
+                    order = np.argsort(dists)[:limit]
+                    self.neighbours[other][l] = [links[i] for i in order]
+            entry_points = [p for _, p in found] or entry_points
+        if level > self.max_level:
+            self.max_level = level
+            self.entry_point = node
+
+    def build(self, points):
+        """Insert ``points`` one by one."""
+        for point in np.asarray(points, dtype=np.float64):
+            self.add(point)
+        return self
+
+    # ------------------------------------------------------------------
+    def query(self, point, k, ef=None):
+        """Return ``(ids, distances)`` of the ``k`` approximate neighbours."""
+        if self.entry_point is None:
+            raise RuntimeError("index is empty")
+        point = np.asarray(point, dtype=np.float64)
+        ef = max(ef or self.ef_search, k)
+        entry = self.entry_point
+        for l in range(self.max_level, 0, -1):
+            improved = True
+            while improved:
+                improved = False
+                for neighbour in self.neighbours[entry].get(l, []):
+                    if (np.linalg.norm(self.points[neighbour] - point) <
+                            np.linalg.norm(self.points[entry] - point)):
+                        entry = neighbour
+                        improved = True
+        found = self._search_layer(point, [entry], ef, 0)[:k]
+        ids = np.array([p for _, p in found], dtype=int)
+        dists = np.array([d for d, _ in found])
+        return ids, dists
+
+    def knn(self, queries, k, exclude_self=False):
+        """Batch query; optionally drop each query's own id from its result."""
+        take = k + 1 if exclude_self else k
+        all_ids = np.empty((len(queries), k), dtype=int)
+        all_dists = np.empty((len(queries), k))
+        for i, q in enumerate(np.asarray(queries, dtype=np.float64)):
+            ids, dists = self.query(q, take)
+            if exclude_self:
+                keep = ids != i
+                ids, dists = ids[keep][:k], dists[keep][:k]
+            if len(ids) < k:  # top up from a wider beam if needed
+                ids2, dists2 = self.query(q, take * 4, ef=take * 8)
+                keep = ids2 != i if exclude_self else slice(None)
+                ids, dists = ids2[keep][:k], dists2[keep][:k]
+            all_ids[i], all_dists[i] = ids, dists
+        return all_ids, all_dists

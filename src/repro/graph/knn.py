@@ -1,0 +1,79 @@
+"""k-nearest-neighbour graph construction (paper step S1).
+
+The default backend is an exact KD-tree (scipy); a pure-python HNSW backend
+(:mod:`repro.graph.hnsw`) mirrors the approximate O(N log N) algorithm the
+paper cites [Malkov & Yashunin 2018] and is validated against the exact
+result in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+__all__ = ["knn_search", "knn_graph_edges"]
+
+
+def knn_search(points, k, backend="kdtree", rng=None, **hnsw_kwargs):
+    """Find the ``k`` nearest neighbours of every point.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array.
+    k:
+        Number of neighbours (excluding the point itself).
+    backend:
+        ``"kdtree"`` (exact, default), ``"hnsw"`` (approximate, pure python),
+        or ``"brute"`` (exact, O(n^2), for tests).
+    rng:
+        Generator for the HNSW level draws.
+
+    Returns
+    -------
+    (indices, distances):
+        Both ``(n, k)``; row ``i`` lists the neighbours of point ``i``.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    if k < 1 or k >= n:
+        raise ValueError(f"need 1 <= k < n, got k={k}, n={n}")
+    if backend == "kdtree":
+        tree = cKDTree(points)
+        distances, indices = tree.query(points, k=k + 1)
+        return indices[:, 1:], distances[:, 1:]
+    if backend == "brute":
+        deltas = points[:, None, :] - points[None, :, :]
+        dist = np.linalg.norm(deltas, axis=2)
+        np.fill_diagonal(dist, np.inf)
+        indices = np.argsort(dist, axis=1)[:, :k]
+        return indices, np.take_along_axis(dist, indices, axis=1)
+    if backend == "hnsw":
+        from .hnsw import HNSWIndex
+        index = HNSWIndex(dim=points.shape[1], rng=rng, **hnsw_kwargs)
+        index.build(points)
+        return index.knn(points, k, exclude_self=True)
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+def knn_graph_edges(indices, distances):
+    """Convert kNN query results to a unique undirected edge list.
+
+    Returns
+    -------
+    (edges, lengths):
+        ``edges`` is ``(m, 2)`` with ``edges[:, 0] < edges[:, 1]``;
+        ``lengths`` the corresponding euclidean distances.
+    """
+    n, k = indices.shape
+    src = np.repeat(np.arange(n), k)
+    dst = indices.ravel()
+    length = distances.ravel()
+    lo = np.minimum(src, dst)
+    hi = np.maximum(src, dst)
+    keyed = lo.astype(np.int64) * n + hi
+    order = np.argsort(keyed, kind="stable")
+    keyed, lo, hi, length = keyed[order], lo[order], hi[order], length[order]
+    keep = np.ones(len(keyed), dtype=bool)
+    keep[1:] = keyed[1:] != keyed[:-1]
+    return np.stack([lo[keep], hi[keep]], axis=1), length[keep]

@@ -1,0 +1,18 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "he_normal"]
+
+
+def xavier_uniform(rng, fan_in, fan_out, gain=1.0):
+    """Glorot/Xavier uniform init: U(-a, a), a = gain * sqrt(6/(fan_in+fan_out))."""
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def he_normal(rng, fan_in, fan_out):
+    """He/Kaiming normal init: N(0, sqrt(2/fan_in))."""
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_in, fan_out))

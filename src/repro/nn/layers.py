@@ -1,0 +1,100 @@
+"""Layers: linear maps, activations, and input encodings.
+
+The paper's networks are fully connected, width 512 × depth 6, with SiLU
+activations and an optional input encoding layer ``phi_E`` (eq. 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..autodiff import Tensor, concat
+from .init import xavier_uniform
+from .module import Module, Parameter
+
+__all__ = ["Linear", "Activation", "FourierEncoding", "Identity", "ACTIVATIONS"]
+
+ACTIVATIONS = {
+    "silu": ad.silu,
+    "tanh": ad.tanh,
+    "sigmoid": ad.sigmoid,
+    "relu": ad.relu,
+    "sin": ad.sin,
+    "softplus": ad.softplus,
+    "identity": lambda x: x,
+}
+
+
+class Linear(Module):
+    """Affine layer ``x @ W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output dimensionality.
+    rng:
+        ``numpy.random.Generator`` used for weight initialisation.
+    dtype:
+        Parameter dtype (default float64 for stable high-order derivatives).
+    """
+
+    def __init__(self, in_features, out_features, rng=None, dtype=np.float64):
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = Parameter(
+            xavier_uniform(rng, self.in_features, self.out_features).astype(dtype),
+            name="weight")
+        self.bias = Parameter(np.zeros((1, self.out_features), dtype=dtype),
+                              name="bias")
+
+    def forward(self, x):
+        return x @ self.weight + self.bias
+
+
+class Activation(Module):
+    """Wrap a named activation function as a module."""
+
+    def __init__(self, name):
+        if name not in ACTIVATIONS:
+            raise ValueError(f"unknown activation {name!r}; "
+                             f"choose from {sorted(ACTIVATIONS)}")
+        self.name = name
+        self._fn = ACTIVATIONS[name]
+
+    def forward(self, x):
+        return self._fn(x)
+
+
+class Identity(Module):
+    """No-op module (used as the default input encoding)."""
+
+    def forward(self, x):
+        return x
+
+
+class FourierEncoding(Module):
+    """Random Fourier feature encoding ``[sin(2π x B), cos(2π x B)]``.
+
+    The frequency matrix ``B`` is fixed (not trained), matching Modulus'
+    ``fourier`` input encoding.  Output width is ``2 * num_frequencies``.
+    """
+
+    def __init__(self, in_features, num_frequencies=32, scale=1.0, rng=None,
+                 dtype=np.float64):
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = int(in_features)
+        self.num_frequencies = int(num_frequencies)
+        self.frequencies = Tensor(
+            (rng.normal(0.0, scale, (in_features, num_frequencies)) * 2.0 * np.pi)
+            .astype(dtype))
+
+    @property
+    def out_features(self):
+        """Width of the encoded feature vector."""
+        return 2 * self.num_frequencies
+
+    def forward(self, x):
+        projected = x @ self.frequencies
+        return concat([ad.sin(projected), ad.cos(projected)], axis=1)

@@ -1,0 +1,59 @@
+"""Fully connected networks in the paper's architecture (eq. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import ACTIVATIONS, Identity, Linear
+from .module import Module
+
+__all__ = ["FullyConnected"]
+
+
+class FullyConnected(Module):
+    """Feed-forward network ``W_n(phi_{n-1} ∘ ... ∘ phi_1 ∘ phi_E)(x) + b_n``.
+
+    Parameters
+    ----------
+    in_features:
+        Number of input features (spatial coordinates plus any geometry
+        parameters for parameterized PINNs).
+    out_features:
+        Number of outputs (e.g. ``u, v, p`` for 2-D incompressible flow).
+    width:
+        Hidden layer width (paper: 512).
+    depth:
+        Number of hidden layers (paper: 6).
+    activation:
+        Name of the hidden activation (paper: ``"silu"``).
+    encoding:
+        Optional input-encoding module (``phi_E`` in eq. 2); identity when
+        ``None``.
+    rng:
+        Generator for reproducible initialisation.
+    dtype:
+        Parameter dtype.
+    """
+
+    def __init__(self, in_features, out_features, width=512, depth=6,
+                 activation="silu", encoding=None, rng=None, dtype=np.float64):
+        rng = rng if rng is not None else np.random.default_rng()
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.activation = activation
+        self._act = ACTIVATIONS[activation]
+        self.encoding = encoding if encoding is not None else Identity()
+        first_in = getattr(self.encoding, "out_features", in_features)
+        self.layers = []
+        sizes = [first_in] + [width] * depth
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            self.layers.append(Linear(fan_in, fan_out, rng=rng, dtype=dtype))
+        self.head = Linear(width, out_features, rng=rng, dtype=dtype)
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x):
+        h = self.encoding(x)
+        for layer in self.layers:
+            h = self._act(layer(h))
+        return self.head(h)

@@ -1,0 +1,21 @@
+"""PDE residual definitions built on the autodiff engine."""
+
+from .fields import Fields
+from .base import PDE
+from .navier_stokes import NavierStokes2D
+from .zero_eq import ZeroEquationTurbulence
+from .poisson import Poisson2D
+from .poisson3d import Poisson3D
+from .burgers import Burgers1D, burgers_travelling_wave
+from .inverse import TrainableCoefficient
+from .advection_diffusion import AdvectionDiffusion2D
+from .operators import (divergence, vorticity_2d, strain_rate_invariant,
+                        gradient_magnitude)
+
+__all__ = [
+    "Fields", "PDE", "NavierStokes2D", "ZeroEquationTurbulence",
+    "Poisson2D", "Poisson3D", "Burgers1D", "burgers_travelling_wave",
+    "TrainableCoefficient", "AdvectionDiffusion2D",
+    "divergence", "vorticity_2d", "strain_rate_invariant",
+    "gradient_magnitude",
+]

@@ -1,0 +1,31 @@
+"""Steady advection-diffusion of a scalar in a prescribed/learned flow."""
+
+from __future__ import annotations
+
+from .base import PDE
+
+__all__ = ["AdvectionDiffusion2D"]
+
+
+class AdvectionDiffusion2D(PDE):
+    """``u T_x + v T_y - alpha * laplace(T) = 0``.
+
+    The advecting velocity ``(u, v)`` may be network outputs (conjugate
+    heat-transfer style) or constant fields registered on the batch.
+    """
+
+    output_names = ("T",)
+
+    def __init__(self, alpha):
+        self.alpha = float(alpha)
+
+    def residual_names(self):
+        return ("advection_diffusion",)
+
+    def residuals(self, fields):
+        t_x = fields.d("T", "x")
+        t_y = fields.d("T", "y")
+        lap = fields.laplacian("T")
+        u = fields.get("u")
+        v = fields.get("v")
+        return {"advection_diffusion": u * t_x + v * t_y - self.alpha * lap}

@@ -1,0 +1,25 @@
+"""PDE interface: map a field bundle to named residual tensors (eq. 3)."""
+
+from __future__ import annotations
+
+__all__ = ["PDE"]
+
+
+class PDE:
+    """Base class for PDE residual definitions.
+
+    Subclasses implement :meth:`residuals`, returning a ``dict`` mapping
+    residual names to ``(n, 1)`` tensors that should be driven to zero.
+    The trainer squares, weights, and averages them into the loss (eq. 4).
+    """
+
+    #: Names of the network output fields this PDE consumes.
+    output_names = ()
+
+    def residuals(self, fields):
+        """Compute named residual tensors from a :class:`Fields` bundle."""
+        raise NotImplementedError
+
+    def residual_names(self):
+        """Names of the residuals produced (defaults to one evaluation)."""
+        raise NotImplementedError

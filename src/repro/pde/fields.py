@@ -1,0 +1,119 @@
+"""Field bundle: named tensors plus memoized derivatives.
+
+PINN residuals need many partial derivatives of the same network outputs with
+respect to the same coordinates (eq. 3).  :class:`Fields` computes the
+gradient of a field with respect to *all* registered coordinates in a single
+reverse pass and caches every component, so e.g. requesting ``d("u", "x")``
+and then ``d("u", "y")`` costs one backward sweep, not two.
+"""
+
+from __future__ import annotations
+
+from ..autodiff import Tensor, concat, gradients
+
+__all__ = ["Fields"]
+
+
+class Fields:
+    """Named tensor registry with cached first/second derivatives.
+
+    Typical use::
+
+        fields = Fields.from_features(features, spatial_names=("x", "y"))
+        out = net(fields.input_tensor())
+        fields.register("u", out[:, 0:1])
+        du_dx = fields.d("u", "x")
+        d2u_dx2 = fields.d2("u", "x", "x")
+    """
+
+    def __init__(self):
+        self._coords = {}
+        self._values = {}
+        self._grad_cache = {}
+        self._input = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_features(cls, features, spatial_names=("x", "y"), param_names=()):
+        """Build coordinate leaf tensors from an ``(n, d+p)`` feature matrix.
+
+        Spatial columns become differentiable leaves; parameter columns are
+        also differentiable (parameterized PINNs may need ∂/∂param terms).
+        """
+        fields = cls()
+        names = tuple(spatial_names) + tuple(param_names)
+        if features.shape[1] != len(names):
+            raise ValueError(f"feature matrix has {features.shape[1]} columns "
+                             f"but {len(names)} names were given")
+        for i, name in enumerate(names):
+            column = Tensor(features[:, i:i + 1].copy(), requires_grad=True,
+                            name=name)
+            fields._coords[name] = column
+            fields._values[name] = column
+        return fields
+
+    def input_tensor(self):
+        """Concatenate coordinate columns into the network input tensor."""
+        if self._input is None:
+            self._input = concat(list(self._coords.values()), axis=1)
+        return self._input
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    @property
+    def coord_names(self):
+        """Registered coordinate names in column order."""
+        return tuple(self._coords)
+
+    def register(self, name, tensor):
+        """Register a named field (e.g. a network output column)."""
+        self._values[name] = tensor
+
+    def __contains__(self, name):
+        return name in self._values
+
+    def get(self, name):
+        """Look up a field tensor by name."""
+        if name not in self._values:
+            raise KeyError(f"unknown field {name!r}; "
+                           f"have {sorted(self._values)}")
+        return self._values[name]
+
+    # ------------------------------------------------------------------
+    # Derivatives
+    # ------------------------------------------------------------------
+    def d(self, field_name, coord_name):
+        """First derivative ``∂ field / ∂ coord`` (cached)."""
+        key = (field_name, coord_name)
+        if key not in self._grad_cache:
+            field = self.get(field_name)
+            coords = list(self._coords.values())
+            grads = gradients(field.sum(), coords)
+            for cname, grad in zip(self._coords, grads):
+                self._grad_cache[(field_name, cname)] = grad
+        return self._grad_cache[key]
+
+    def d2(self, field_name, coord_a, coord_b):
+        """Second derivative ``∂² field / ∂ coord_a ∂ coord_b`` (cached).
+
+        Implemented as the derivative of the cached first derivative, so the
+        backward-of-backward graph is shared across calls.
+        """
+        first = self.d(field_name, coord_a)
+        derived_name = f"d({field_name})/d({coord_a})"
+        if derived_name not in self._values:
+            self._values[derived_name] = first
+        return self.d(derived_name, coord_b)
+
+    def laplacian(self, field_name):
+        """Sum of unmixed second derivatives over all spatial coordinates
+        registered as ``x``/``y``/``z``."""
+        spatial = [n for n in self._coords if n in ("x", "y", "z")]
+        total = None
+        for name in spatial:
+            term = self.d2(field_name, name, name)
+            total = term if total is None else total + term
+        return total

@@ -1,0 +1,69 @@
+"""Inverse-problem support: trainable PDE coefficients.
+
+The paper's introduction motivates PINNs partly through "inverse or data
+assimilation problems" — recovering unknown physical coefficients from
+measurements.  :class:`TrainableCoefficient` is a scalar PDE parameter that
+participates in the autodiff graph; pass it wherever a PDE accepts a
+coefficient (e.g. ``NavierStokes2D(nu=coeff)``) and hand
+``coeff.parameters()`` to the trainer alongside the network weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..nn import Module, Parameter
+
+__all__ = ["TrainableCoefficient"]
+
+
+class TrainableCoefficient(Module):
+    """A scalar coefficient learned jointly with the network.
+
+    Parameters
+    ----------
+    initial:
+        Starting value.
+    positive:
+        Constrain the coefficient to stay positive through a softplus
+        reparameterization (viscosities, diffusivities, densities).
+    name:
+        Label for diagnostics.
+    """
+
+    def __init__(self, initial, positive=True, name="coefficient"):
+        initial = float(initial)
+        self.positive = bool(positive)
+        self.coeff_name = name
+        if self.positive:
+            if initial <= 0:
+                raise ValueError("positive coefficient needs initial > 0")
+            # softplus^{-1}(x) = log(expm1(x))
+            raw = np.log(np.expm1(initial))
+        else:
+            raw = initial
+        self.raw = Parameter(np.array([[raw]]), name=name)
+
+    def tensor(self):
+        """The coefficient as a (1, 1) tensor in the autodiff graph."""
+        if self.positive:
+            return ad.softplus(self.raw)
+        return self.raw * 1.0
+
+    def value(self):
+        """Current float value."""
+        return float(self.tensor().item())
+
+    # PDE code multiplies/divides by the coefficient directly:
+    def __mul__(self, other):
+        return self.tensor() * other
+
+    def __rmul__(self, other):
+        return other * self.tensor()
+
+    def __truediv__(self, other):
+        return self.tensor() / other
+
+    def __rtruediv__(self, other):
+        return other / self.tensor()

@@ -1,0 +1,85 @@
+"""Steady incompressible Navier-Stokes residuals in two dimensions.
+
+Velocity-pressure form with optional spatially varying effective viscosity
+(molecular + turbulent from a closure such as
+:class:`repro.pde.zero_eq.ZeroEquationTurbulence`):
+
+    continuity:  u_x + v_y = 0
+    momentum_x:  u u_x + v u_y + p_x / rho - div(nu_eff grad u) = 0
+    momentum_y:  u v_x + v v_y + p_y / rho - div(nu_eff grad v) = 0
+
+With ``full_diffusion=True`` the divergence of the viscous flux is formed by
+differentiating ``nu_eff * grad`` through the autodiff graph (third-order
+terms when the closure depends on velocity gradients — faithful to Modulus).
+``full_diffusion=False`` freezes ``nu_eff`` inside the diffusion operator
+(``nu_eff * laplace``), a common PINN simplification that is ~2x faster; the
+reproduction presets use the faithful form for correctness tests and the
+frozen form inside the large training sweeps.
+"""
+
+from __future__ import annotations
+
+from ..autodiff import gradients
+from .base import PDE
+
+__all__ = ["NavierStokes2D"]
+
+
+class NavierStokes2D(PDE):
+    """Steady incompressible 2-D Navier-Stokes (optionally turbulent)."""
+
+    output_names = ("u", "v", "p")
+
+    def __init__(self, nu, rho=1.0, turbulence=None, full_diffusion=True):
+        # nu may be a float or a trainable coefficient (inverse problems)
+        self.nu = nu if hasattr(nu, "tensor") else float(nu)
+        self.rho = float(rho)
+        self.turbulence = turbulence
+        self.full_diffusion = bool(full_diffusion)
+
+    def residual_names(self):
+        return ("continuity", "momentum_x", "momentum_y")
+
+    def _molecular_nu(self):
+        """Viscosity as a scalar or (for inverse problems) a graph tensor."""
+        return self.nu.tensor() if hasattr(self.nu, "tensor") else self.nu
+
+    def effective_viscosity(self, fields):
+        """Molecular viscosity plus the closure's turbulent viscosity."""
+        if self.turbulence is None:
+            return None  # constant nu — handled scalar-wise
+        return self.turbulence.nu_t(fields) + self._molecular_nu()
+
+    def _diffusion(self, fields, velocity_name, nu_eff):
+        """- div(nu_eff grad w) for w in {u, v}."""
+        w_x = fields.d(velocity_name, "x")
+        w_y = fields.d(velocity_name, "y")
+        if nu_eff is None:
+            # constant (possibly trainable) molecular viscosity
+            lap = (fields.d2(velocity_name, "x", "x") +
+                   fields.d2(velocity_name, "y", "y"))
+            return -(self._molecular_nu() * lap)
+        if not self.full_diffusion:
+            lap = (fields.d2(velocity_name, "x", "x") +
+                   fields.d2(velocity_name, "y", "y"))
+            return -(nu_eff.detach() * lap)
+        flux_x = nu_eff * w_x
+        flux_y = nu_eff * w_y
+        coords = [fields.get("x"), fields.get("y")]
+        dfx = gradients(flux_x.sum(), coords)[0]
+        dfy = gradients(flux_y.sum(), coords)[1]
+        return -(dfx + dfy)
+
+    def residuals(self, fields):
+        u, v = fields.get("u"), fields.get("v")
+        u_x, u_y = fields.d("u", "x"), fields.d("u", "y")
+        v_x, v_y = fields.d("v", "x"), fields.d("v", "y")
+        p_x, p_y = fields.d("p", "x"), fields.d("p", "y")
+        nu_eff = self.effective_viscosity(fields)
+        return {
+            "continuity": u_x + v_y,
+            "momentum_x": (u * u_x + v * u_y + p_x / self.rho +
+                           self._diffusion(fields, "u", nu_eff)),
+            "momentum_y": (u * v_x + v * v_y + p_y / self.rho +
+                           self._diffusion(fields, "v", nu_eff)),
+        }

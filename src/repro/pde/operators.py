@@ -1,0 +1,48 @@
+"""Differential-operator conveniences over :class:`Fields` bundles.
+
+Thin wrappers for the vector-calculus quantities the CFD problems keep
+recomputing: divergence, vorticity, strain-rate invariant, and gradient
+magnitude.  Each returns an ``(n, 1)`` tensor and reuses the bundle's
+derivative cache.
+"""
+
+from __future__ import annotations
+
+from .. import autodiff as ad
+
+__all__ = ["divergence", "vorticity_2d", "strain_rate_invariant",
+           "gradient_magnitude"]
+
+
+def divergence(fields, components=("u", "v"), coords=("x", "y")):
+    """``sum_i d(components[i]) / d(coords[i])``."""
+    if len(components) != len(coords):
+        raise ValueError("components and coords must pair up")
+    total = None
+    for comp, coord in zip(components, coords):
+        term = fields.d(comp, coord)
+        total = term if total is None else total + term
+    return total
+
+
+def vorticity_2d(fields, u="u", v="v"):
+    """Scalar vorticity ``dv/dx - du/dy``."""
+    return fields.d(v, "x") - fields.d(u, "y")
+
+
+def strain_rate_invariant(fields, u="u", v="v"):
+    """``G = 2 u_x^2 + 2 v_y^2 + (u_y + v_x)^2`` (zero-equation closure)."""
+    u_x = fields.d(u, "x")
+    v_y = fields.d(v, "y")
+    shear = fields.d(u, "y") + fields.d(v, "x")
+    return 2.0 * u_x * u_x + 2.0 * v_y * v_y + shear * shear
+
+
+def gradient_magnitude(fields, name, coords=("x", "y"), eps=1e-12):
+    """``||grad name||_2`` — the measure Modulus' MIS importance uses."""
+    total = None
+    for coord in coords:
+        term = fields.d(name, coord)
+        sq = term * term
+        total = sq if total is None else total + sq
+    return ad.sqrt(total + eps)

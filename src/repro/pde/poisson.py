@@ -1,0 +1,38 @@
+"""Poisson equation residual — the quickstart and unit-test workhorse."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+from .base import PDE
+
+__all__ = ["Poisson2D"]
+
+
+class Poisson2D(PDE):
+    """``laplace(u) = f(x, y)`` on a 2-D domain.
+
+    Parameters
+    ----------
+    source:
+        Callable ``(x_array, y_array) -> array`` giving the right-hand side
+        ``f``; defaults to zero (Laplace equation).
+    """
+
+    output_names = ("u",)
+
+    def __init__(self, source=None):
+        self.source = source
+
+    def residual_names(self):
+        return ("poisson",)
+
+    def residuals(self, fields):
+        lap = fields.laplacian("u")
+        if self.source is None:
+            return {"poisson": lap}
+        x = fields.get("x").numpy()
+        y = fields.get("y").numpy()
+        f = Tensor(np.asarray(self.source(x, y)).reshape(-1, 1))
+        return {"poisson": lap - f}

@@ -1,0 +1,32 @@
+"""Poisson equation in three dimensions (coordinates named x, y, z)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+from .base import PDE
+
+__all__ = ["Poisson3D"]
+
+
+class Poisson3D(PDE):
+    """``laplace(u) = f(x, y, z)`` on a 3-D domain."""
+
+    output_names = ("u",)
+
+    def __init__(self, source=None):
+        self.source = source
+
+    def residual_names(self):
+        return ("poisson",)
+
+    def residuals(self, fields):
+        lap = fields.laplacian("u")
+        if self.source is None:
+            return {"poisson": lap}
+        x = fields.get("x").numpy()
+        y = fields.get("y").numpy()
+        z = fields.get("z").numpy()
+        f = Tensor(np.asarray(self.source(x, y, z)).reshape(-1, 1))
+        return {"poisson": lap - f}

@@ -1,0 +1,10 @@
+"""Mini-batch samplers: SGM-PINN (the contribution) and its baselines."""
+
+from .base import Sampler
+from .uniform import UniformSampler
+from .mis import MISSampler
+from .sgm import SGMSampler
+from .rar import RARSampler
+
+__all__ = ["Sampler", "UniformSampler", "MISSampler", "SGMSampler",
+           "RARSampler"]

@@ -1,0 +1,60 @@
+"""Sampler interface shared by SGM-PINN and the baselines.
+
+The trainer owns the dataset and the network; samplers own *which indices go
+into each mini-batch*.  Probing (extra forward passes used to refresh
+importance scores) happens through callbacks the trainer registers, so every
+sampler's overhead is charged to the same wall clock the paper measures:
+
+* ``probe_loss(indices) -> (n,)``   per-sample total loss (Algorithm 1 line 6)
+* ``probe_outputs(indices) -> (n, q)`` network outputs (for ISR / S3)
+* ``probe_grad_norm(indices) -> (n,)`` 2-norm of velocity derivatives (the
+  quantity Modulus' built-in importance sampling uses)
+
+Samplers count every probed point in :attr:`probe_points` so experiments can
+report overhead in "extra forward passes", matching §3.6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Sampler"]
+
+
+class Sampler:
+    """Base class: uniform-iid batches, no probing, no overhead."""
+
+    name = "base"
+
+    def __init__(self, n_points, seed=0):
+        self.n_points = int(n_points)
+        if self.n_points < 1:
+            raise ValueError("sampler needs at least one point")
+        self.rng = np.random.default_rng(seed)
+        self.probe_loss = None
+        self.probe_outputs = None
+        self.probe_grad_norm = None
+        #: total number of points probed so far (overhead accounting)
+        self.probe_points = 0
+        #: wall seconds spent in graph/cluster (re)builds, for the
+        #: background-thread accounting mode
+        self.rebuild_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def bind_probes(self, probe_loss=None, probe_outputs=None,
+                    probe_grad_norm=None):
+        """Attach the trainer's probe callbacks."""
+        self.probe_loss = probe_loss
+        self.probe_outputs = probe_outputs
+        self.probe_grad_norm = probe_grad_norm
+
+    def batch_indices(self, step, batch_size):
+        """Indices of the mini-batch for iteration ``step`` (0-based)."""
+        raise NotImplementedError
+
+    def batch_weights(self, indices):
+        """Optional per-sample loss weights for the batch (None = uniform)."""
+        return None
+
+    def start(self):
+        """One-time initialisation before training (build graphs etc.)."""

@@ -1,0 +1,68 @@
+"""Residual-based adaptive refinement (RAR, Lu et al. 2021 / DeepXDE).
+
+Included as the third family of adaptive strategies the paper discusses
+(§1): instead of re-weighting a fixed cloud, RAR *grows* the active set by
+adding the highest-residual candidates every refresh.  Useful as an ablation
+against SGM-PINN's fixed-budget cluster sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Sampler
+
+__all__ = ["RARSampler"]
+
+
+class RARSampler(Sampler):
+    """Uniform batches over an active set that grows toward high residuals."""
+
+    name = "rar"
+
+    def __init__(self, n_points, initial_fraction=0.25, add_per_refresh=512,
+                 candidate_pool=4096, tau_e=7000, seed=0):
+        """
+        Parameters
+        ----------
+        n_points:
+            Size of the dense candidate cloud.
+        initial_fraction:
+            Fraction of points active at the start.
+        add_per_refresh:
+            How many of the worst candidates join the active set per refresh.
+        candidate_pool:
+            Number of inactive candidates whose residuals are probed each
+            refresh (probing all of them would be the expensive variant the
+            paper criticises).
+        tau_e:
+            Refresh cadence.
+        """
+        super().__init__(n_points, seed=seed)
+        self.tau_e = int(tau_e)
+        self.add_per_refresh = int(add_per_refresh)
+        self.candidate_pool = int(candidate_pool)
+        initial = max(1, int(initial_fraction * n_points))
+        self.active = self.rng.choice(n_points, size=initial, replace=False)
+        self._active_set = set(self.active.tolist())
+
+    def _refresh(self):
+        if self.probe_loss is None:
+            raise RuntimeError("RAR sampler needs probe callbacks bound")
+        inactive = np.setdiff1d(np.arange(self.n_points), self.active,
+                                assume_unique=False)
+        if len(inactive) == 0:
+            return
+        pool = inactive if len(inactive) <= self.candidate_pool else \
+            self.rng.choice(inactive, size=self.candidate_pool, replace=False)
+        losses = np.asarray(self.probe_loss(pool), dtype=np.float64).ravel()
+        self.probe_points += len(pool)
+        worst = pool[np.argsort(losses)[::-1][:self.add_per_refresh]]
+        self.active = np.concatenate([self.active, worst])
+        self._active_set.update(worst.tolist())
+
+    def batch_indices(self, step, batch_size):
+        if step > 0 and step % self.tau_e == 0:
+            self._refresh()
+        replace = batch_size > len(self.active)
+        return self.rng.choice(self.active, size=batch_size, replace=replace)

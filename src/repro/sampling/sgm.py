@@ -1,0 +1,278 @@
+"""The SGM-PINN sampler (paper §3, Algorithm 1).
+
+Pipeline per the paper:
+
+* **S1** build a kNN PGM over the point cloud (``repro.graph.knn``);
+* **S2** LRD-decompose it into clusters of bounded effective-resistance
+  diameter (``repro.graph.lrd``) — members of a cluster are strongly
+  conditionally dependent, so a few loss probes represent the whole cluster;
+* **S3** (parameterized problems) fuse SPADE/ISR stability scores so that
+  clusters whose loss estimates are unreliable receive extra samples;
+* **S4** every ``tau_e`` iterations, probe the loss on a fraction ``r`` of
+  each cluster, rank clusters, map scores to per-cluster sampling ratios
+  ``P``, and emit an epoch with ``P_i * S_i`` samples per cluster (with a
+  floor of one sample per cluster so no region is forgotten).  Every
+  ``tau_G`` iterations rebuild the graph and clusters.
+
+Overhead accounting matches §3.6: each refresh probes ``r * N`` points, and
+each rebuild's wall time is recorded so the experiment runner can either
+charge it (synchronous) or hide it (the paper's background thread).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..graph import knn_adjacency, lrd_decompose, parallel_lrd
+from ..stability import spade_scores
+from .base import Sampler
+
+__all__ = ["SGMSampler"]
+
+
+def _minmax(values):
+    """Normalise to [0, 1]; constant vectors map to 0.5."""
+    values = np.asarray(values, dtype=np.float64)
+    lo, hi = values.min(), values.max()
+    if hi - lo < 1e-300:
+        return np.full_like(values, 0.5)
+    return (values - lo) / (hi - lo)
+
+
+class SGMSampler(Sampler):
+    """Cluster-level importance sampling via sampling graphical models."""
+
+    name = "sgm"
+
+    def __init__(self, features, k=30, level=10, tau_e=7000, tau_G=25000,
+                 probe_ratio=0.15, use_isr=False, isr_weight=1.0, isr_k=10,
+                 isr_rank=6, ratio_range=(0.05, 0.9), num_vectors=16,
+                 cells_per_dim=1, knn_backend="kdtree",
+                 append_output_features=False, output_feature_weight=1.0,
+                 seed=0):
+        """
+        Parameters
+        ----------
+        features:
+            ``(n, d+p)`` sample matrix ``X`` — spatial coordinates plus any
+            geometry parameters (the PGM is built over these features).
+        k:
+            kNN size for the PGM (paper: 30 for LDC, 7 for the annular ring).
+        level:
+            LRD coarsening level ``L`` (paper: 10 for LDC, 6 for AR).
+        tau_e:
+            Score-refresh cadence in iterations (paper: 7k).
+        tau_G:
+            Graph/cluster rebuild cadence (paper: 25k LDC, 60k AR).
+        probe_ratio:
+            Fraction ``r`` of each cluster probed per refresh (paper: 15%).
+        use_isr:
+            Enable the S3 stability term (the paper's SGM-S variant).
+        isr_weight:
+            Relative weight of the normalised ISR term in the cluster score.
+        ratio_range:
+            ``(p_min, p_max)`` sampling-ratio range the cluster scores are
+            mapped onto (Algorithm 1, line 9).
+        num_vectors:
+            Sketch depth for the effective-resistance estimator.
+        cells_per_dim:
+            Grid partitioning for the (re)build, §3.3 (1 = no partitioning).
+        append_output_features:
+            §3.2: at every ``tau_G`` rebuild after the first, append the
+            network's current outputs (e.g. flow velocities) to the graph
+            features, so later PGMs encode output-space similarity too.
+            Costs one forward pass per dataset point per rebuild, counted in
+            :attr:`probe_points`.
+        output_feature_weight:
+            Scale of the appended (standardised) output columns relative to
+            the standardised input features.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        super().__init__(len(features), seed=seed)
+        self.features = features
+        self.k = int(k)
+        self.level = int(level)
+        self.tau_e = int(tau_e)
+        self.tau_g = int(tau_G)
+        self.probe_ratio = float(probe_ratio)
+        if not 0.0 < self.probe_ratio <= 1.0:
+            raise ValueError("probe_ratio must lie in (0, 1]")
+        self.use_isr = bool(use_isr)
+        self.isr_weight = float(isr_weight)
+        self.isr_k = int(isr_k)
+        self.isr_rank = int(isr_rank)
+        self.ratio_min, self.ratio_max = map(float, ratio_range)
+        if not 0.0 < self.ratio_min <= self.ratio_max <= 1.0:
+            raise ValueError("need 0 < p_min <= p_max <= 1")
+        self.num_vectors = int(num_vectors)
+        self.cells_per_dim = int(cells_per_dim)
+        self.knn_backend = knn_backend
+        self.append_output_features = bool(append_output_features)
+        self.output_feature_weight = float(output_feature_weight)
+
+        self.labels = None
+        self.clusters = []
+        self.cluster_scores = None
+        self.sampling_ratios = None
+        self._epoch = None
+        self._cursor = 0
+        self.refresh_count = 0
+        self.rebuild_count = 0
+
+    # ------------------------------------------------------------------
+    # S1 + S2: graph construction and LRD clustering
+    # ------------------------------------------------------------------
+    def _standardise(self, matrix):
+        std = matrix.std(axis=0)
+        std[std < 1e-12] = 1.0
+        return (matrix - matrix.mean(axis=0)) / std
+
+    def _graph_features(self):
+        """Features the PGM is built over; §3.2 optionally appends the
+        network's current outputs after the first rebuild."""
+        if (not self.append_output_features or self.rebuild_count == 0
+                or self.probe_outputs is None):
+            return self.features
+        outputs = np.asarray(self.probe_outputs(np.arange(self.n_points)),
+                             dtype=np.float64)
+        self.probe_points += self.n_points
+        return np.concatenate(
+            [self._standardise(self.features),
+             self.output_feature_weight * self._standardise(outputs)],
+            axis=1)
+
+    def build_clusters(self):
+        """(Re)build the PGM and its LRD decomposition."""
+        started = time.perf_counter()
+        graph_features = self._graph_features()
+        if self.cells_per_dim > 1:
+            labels, _ = parallel_lrd(graph_features, k=self.k,
+                                     level=self.level,
+                                     cells_per_dim=self.cells_per_dim,
+                                     num_vectors=self.num_vectors,
+                                     seed=int(self.rng.integers(2 ** 31)))
+        else:
+            adjacency = knn_adjacency(graph_features, self.k,
+                                      backend=self.knn_backend)
+            result = lrd_decompose(adjacency, level=self.level,
+                                   num_vectors=self.num_vectors,
+                                   seed=int(self.rng.integers(2 ** 31)))
+            labels = result.labels
+        self.labels = labels
+        order = np.argsort(labels, kind="stable")
+        boundaries = np.flatnonzero(np.diff(labels[order])) + 1
+        self.clusters = np.split(order, boundaries)
+        self.rebuild_seconds += time.perf_counter() - started
+        self.rebuild_count += 1
+
+    # ------------------------------------------------------------------
+    # S3 + S4: scoring and epoch assembly
+    # ------------------------------------------------------------------
+    def _probe_subset(self):
+        """Pick ``ceil(r * |C_i|)`` members of every cluster."""
+        chosen = []
+        for members in self.clusters:
+            count = max(1, int(np.ceil(self.probe_ratio * len(members))))
+            if count >= len(members):
+                chosen.append(members)
+            else:
+                chosen.append(self.rng.choice(members, size=count,
+                                              replace=False))
+        return chosen
+
+    def refresh_scores(self):
+        """Probe cluster losses (and ISR) and assemble a new epoch."""
+        if self.probe_loss is None:
+            raise RuntimeError("SGM sampler needs probe callbacks bound "
+                               "before training starts")
+        subsets = self._probe_subset()
+        flat = np.concatenate(subsets)
+        losses = np.asarray(self.probe_loss(flat), dtype=np.float64).ravel()
+        self.probe_points += len(flat)
+
+        sizes = np.array([len(s) for s in subsets])
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        cluster_loss = np.array([
+            losses[offsets[i]:offsets[i + 1]].mean()
+            for i in range(len(subsets))])
+        score = _minmax(cluster_loss)
+
+        if self.use_isr:
+            score = score + self.isr_weight * self._isr_scores(flat, offsets)
+
+        self.cluster_scores = score
+        self.sampling_ratios = (self.ratio_min +
+                                (self.ratio_max - self.ratio_min) *
+                                _minmax(score))
+        self._build_epoch()
+        self.refresh_count += 1
+
+    def _isr_scores(self, flat, offsets):
+        """Normalised per-cluster ISR from a SPADE pass on the probe subset."""
+        if self.probe_outputs is None:
+            raise RuntimeError("use_isr=True requires a probe_outputs "
+                               "callback")
+        outputs = np.asarray(self.probe_outputs(flat), dtype=np.float64)
+        k_eff = min(self.isr_k, len(flat) - 2)
+        if k_eff < 2:
+            return np.zeros(len(offsets) - 1)
+        result = spade_scores(self.features[flat], outputs, k=k_eff,
+                              rank=min(self.isr_rank, k_eff),
+                              backend="kdtree")
+        per_cluster = np.array([
+            result.node_scores[offsets[i]:offsets[i + 1]].mean()
+            for i in range(len(offsets) - 1)])
+        return _minmax(per_cluster)
+
+    def _build_epoch(self):
+        """Epoch with ``max(1, round(P_i * S_i))`` samples per cluster."""
+        parts = []
+        for ratio, members in zip(self.sampling_ratios, self.clusters):
+            count = max(1, int(round(ratio * len(members))))
+            if count >= len(members):
+                parts.append(members)
+            else:
+                parts.append(self.rng.choice(members, size=count,
+                                             replace=False))
+        epoch = np.concatenate(parts)
+        self.rng.shuffle(epoch)
+        self._epoch = epoch
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    # Sampler interface
+    # ------------------------------------------------------------------
+    def start(self):
+        self.build_clusters()
+
+    def batch_indices(self, step, batch_size):
+        if self.labels is None:
+            self.start()
+        if step > 0 and self.tau_g > 0 and step % self.tau_g == 0:
+            self.build_clusters()
+            self.refresh_scores()
+        elif self._epoch is None or (step > 0 and step % self.tau_e == 0):
+            self.refresh_scores()
+
+        batch = np.empty(batch_size, dtype=int)
+        filled = 0
+        while filled < batch_size:
+            take = min(batch_size - filled, len(self._epoch) - self._cursor)
+            batch[filled:filled + take] = \
+                self._epoch[self._cursor:self._cursor + take]
+            filled += take
+            self._cursor += take
+            if self._cursor >= len(self._epoch):
+                self.rng.shuffle(self._epoch)   # Algorithm 1, line 12
+                self._cursor = 0
+        return batch
+
+    # ------------------------------------------------------------------
+    def epoch_composition(self):
+        """Current per-cluster sample counts (diagnostics / tests)."""
+        if self._epoch is None:
+            raise RuntimeError("no epoch built yet")
+        return np.bincount(self.labels[self._epoch],
+                           minlength=len(self.clusters))

@@ -1,0 +1,22 @@
+"""Uniform random sampling — the paper's baseline (U500/U4000 etc.)."""
+
+from __future__ import annotations
+
+from .base import Sampler
+
+__all__ = ["UniformSampler"]
+
+
+class UniformSampler(Sampler):
+    """IID uniform mini-batches over the full point cloud.
+
+    Matches Modulus' default behaviour: every batch is drawn independently
+    with replacement across batches (without replacement within a batch).
+    """
+
+    name = "uniform"
+
+    def batch_indices(self, step, batch_size):
+        replace = batch_size > self.n_points
+        return self.rng.choice(self.n_points, size=batch_size,
+                               replace=replace)

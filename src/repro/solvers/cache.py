@@ -1,0 +1,42 @@
+"""Disk cache for expensive reference solutions.
+
+The LDC/annulus reference fields take tens of seconds to converge; the
+experiment harness computes them once per (problem, parameters) key and
+reuses the ``.npz`` on subsequent runs.  Set ``REPRO_CACHE_DIR`` to relocate
+the cache (defaults to ``.repro_cache`` in the working directory).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["cache_dir", "get_or_compute"]
+
+
+def cache_dir():
+    """Directory holding cached arrays (created on demand)."""
+    root = Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def get_or_compute(key, builder):
+    """Load the dict of arrays cached under ``key`` or build and store it.
+
+    Parameters
+    ----------
+    key:
+        Filesystem-safe cache key.
+    builder:
+        Zero-argument callable returning a ``dict[str, np.ndarray]``.
+    """
+    path = cache_dir() / f"{key}.npz"
+    if path.exists():
+        with np.load(path) as data:
+            return {name: data[name] for name in data.files}
+    arrays = builder()
+    np.savez_compressed(path, **arrays)
+    return arrays

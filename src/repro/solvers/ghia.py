@@ -1,0 +1,67 @@
+"""Ghia, Ghia & Shin (1982) lid-driven-cavity benchmark tables.
+
+Centerline velocities for the square cavity with a unit lid, the canonical
+validation data for LDC solvers.  Values transcribed from Table I/II of the
+paper (u along the vertical centerline x=0.5; v along the horizontal
+centerline y=0.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GHIA_Y", "GHIA_X", "ghia_u_centerline", "ghia_v_centerline"]
+
+#: y-locations of the u-velocity table (bottom wall to lid)
+GHIA_Y = np.array([
+    0.0000, 0.0547, 0.0625, 0.0703, 0.1016, 0.1719, 0.2813, 0.4531,
+    0.5000, 0.6172, 0.7344, 0.8516, 0.9531, 0.9609, 0.9688, 0.9766, 1.0000,
+])
+
+#: x-locations of the v-velocity table
+GHIA_X = np.array([
+    0.0000, 0.0625, 0.0703, 0.0781, 0.0938, 0.1563, 0.2266, 0.2344,
+    0.5000, 0.8047, 0.8594, 0.9063, 0.9453, 0.9531, 0.9609, 0.9688, 1.0000,
+])
+
+_U_TABLES = {
+    100: np.array([
+        0.00000, -0.03717, -0.04192, -0.04775, -0.06434, -0.10150,
+        -0.15662, -0.21090, -0.20581, -0.13641, 0.00332, 0.23151,
+        0.68717, 0.73722, 0.78871, 0.84123, 1.00000,
+    ]),
+    1000: np.array([
+        0.00000, -0.18109, -0.20196, -0.22220, -0.29730, -0.38289,
+        -0.27805, -0.10648, -0.06080, 0.05702, 0.18719, 0.33304,
+        0.46604, 0.51117, 0.57492, 0.65928, 1.00000,
+    ]),
+}
+
+_V_TABLES = {
+    100: np.array([
+        0.00000, 0.09233, 0.10091, 0.10890, 0.12317, 0.16077,
+        0.17507, 0.17527, 0.05454, -0.24533, -0.22445, -0.16914,
+        -0.10313, -0.08864, -0.07391, -0.05906, 0.00000,
+    ]),
+    1000: np.array([
+        0.00000, 0.27485, 0.29012, 0.30353, 0.32627, 0.37095,
+        0.33075, 0.32235, 0.02526, -0.31966, -0.42665, -0.51550,
+        -0.39188, -0.33714, -0.27669, -0.21388, 0.00000,
+    ]),
+}
+
+
+def ghia_u_centerline(reynolds):
+    """``(y, u)`` arrays along the vertical centerline for the given Re."""
+    if reynolds not in _U_TABLES:
+        raise KeyError(f"no Ghia table for Re={reynolds}; "
+                       f"have {sorted(_U_TABLES)}")
+    return GHIA_Y.copy(), _U_TABLES[reynolds].copy()
+
+
+def ghia_v_centerline(reynolds):
+    """``(x, v)`` arrays along the horizontal centerline for the given Re."""
+    if reynolds not in _V_TABLES:
+        raise KeyError(f"no Ghia table for Re={reynolds}; "
+                       f"have {sorted(_V_TABLES)}")
+    return GHIA_X.copy(), _V_TABLES[reynolds].copy()

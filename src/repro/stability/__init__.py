@@ -1,0 +1,5 @@
+"""Spectral stability scoring (SPADE / ISR, paper step S3)."""
+
+from .spade import SpadeResult, spade_scores
+
+__all__ = ["SpadeResult", "spade_scores"]

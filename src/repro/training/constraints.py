@@ -1,0 +1,170 @@
+"""Training constraints: interior PDE residuals and boundary conditions.
+
+A constraint owns a point cloud, knows how to evaluate its residuals on a
+batch of indices, and carries the loss weight used in the aggregate (eq. 4).
+Interior constraints support Modulus-style SDF weighting (residuals near
+walls are down-weighted by the wall distance, as in the LDC example the
+paper benchmarks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..pde import Fields
+
+__all__ = ["Constraint", "InteriorConstraint", "BoundaryConstraint",
+           "DataConstraint"]
+
+
+class Constraint:
+    """Base: point cloud + batch size + residual evaluation."""
+
+    def __init__(self, name, cloud, output_names, batch_size, weight=1.0,
+                 spatial_names=("x", "y"), dtype=np.float64):
+        self.name = name
+        self.cloud = cloud
+        self.output_names = tuple(output_names)
+        self.batch_size = int(batch_size)
+        self.weight = float(weight)
+        self.spatial_names = tuple(spatial_names)
+        self.dtype = np.dtype(dtype)
+        self._features = cloud.features().astype(self.dtype)
+
+    def set_dtype(self, dtype):
+        """Switch the working precision of this constraint's features."""
+        self.dtype = np.dtype(dtype)
+        self._features = self.cloud.features().astype(self.dtype)
+
+    @property
+    def n_points(self):
+        """Dataset size this constraint samples from."""
+        return len(self.cloud)
+
+    def build_fields(self, net, indices):
+        """Forward the network on a batch and register outputs as fields."""
+        fields = Fields.from_features(self._features[indices],
+                                      spatial_names=self.spatial_names,
+                                      param_names=self.cloud.param_names)
+        outputs = net(fields.input_tensor())
+        for i, name in enumerate(self.output_names):
+            fields.register(name, outputs[:, i:i + 1])
+        if self.cloud.sdf is not None:
+            fields.register("sdf",
+                            Tensor(self.cloud.sdf[indices].astype(self.dtype)))
+        return fields
+
+    def residuals(self, net, indices):
+        """Return ``(dict name -> (n,1) residual tensor, per-sample weight)``."""
+        raise NotImplementedError
+
+
+class InteriorConstraint(Constraint):
+    """PDE residuals on interior collocation points.
+
+    Parameters
+    ----------
+    pde:
+        A :class:`repro.pde.PDE` instance.
+    sdf_weighting:
+        Weight each sample's residual by its wall distance (Modulus default
+        for the paper's examples).
+    residual_weights:
+        Optional per-residual-name scale factors.
+    """
+
+    def __init__(self, name, cloud, pde, batch_size, weight=1.0,
+                 sdf_weighting=True, residual_weights=None,
+                 spatial_names=("x", "y")):
+        super().__init__(name, cloud, pde.output_names, batch_size,
+                         weight=weight, spatial_names=spatial_names)
+        self.pde = pde
+        self.sdf_weighting = bool(sdf_weighting) and cloud.sdf is not None
+        self.residual_weights = dict(residual_weights or {})
+
+    def residuals(self, net, indices):
+        fields = self.build_fields(net, indices)
+        raw = self.pde.residuals(fields)
+        scaled = {}
+        for name, tensor in raw.items():
+            factor = self.residual_weights.get(name, 1.0)
+            scaled[name] = tensor if factor == 1.0 else tensor * factor
+        sample_weight = None
+        if self.sdf_weighting:
+            sample_weight = np.maximum(self.cloud.sdf[indices], 0.0)
+        return scaled, sample_weight
+
+
+class BoundaryConstraint(Constraint):
+    """Dirichlet-type boundary conditions ``out[var] = target``.
+
+    Parameters
+    ----------
+    targets:
+        Mapping variable name -> constant or callable
+        ``(coords, params) -> (n,) array``.
+    """
+
+    def __init__(self, name, cloud, output_names, targets, batch_size,
+                 weight=1.0, spatial_names=("x", "y")):
+        super().__init__(name, cloud, output_names, batch_size,
+                         weight=weight, spatial_names=spatial_names)
+        unknown = set(targets) - set(self.output_names)
+        if unknown:
+            raise KeyError(f"targets reference unknown outputs: {unknown}")
+        self.targets = dict(targets)
+
+    def residuals(self, net, indices):
+        fields = self.build_fields(net, indices)
+        coords = self.cloud.coords[indices]
+        params = self.cloud.params[indices]
+        out = {}
+        for var, target in self.targets.items():
+            if callable(target):
+                value = np.asarray(target(coords, params),
+                                   dtype=self.dtype).reshape(-1, 1)
+            else:
+                value = np.full((len(coords), 1), float(target),
+                                dtype=self.dtype)
+            out[f"{self.name}_{var}"] = fields.get(var) - Tensor(value)
+        return out, None
+
+
+class DataConstraint(Constraint):
+    """Measurement-data fitting: ``out[var] = measured value`` per point.
+
+    Covers the "measurement data" term of the loss in eq. 4 and the inverse
+    / data-assimilation use case from the paper's introduction: sparse
+    sensor readings pin the solution while the PDE residual fills the rest
+    of the domain.
+
+    Parameters
+    ----------
+    values:
+        Mapping variable name -> ``(n,)`` measured values aligned with the
+        cloud's rows.
+    """
+
+    def __init__(self, name, cloud, output_names, values, batch_size,
+                 weight=1.0, spatial_names=("x", "y")):
+        super().__init__(name, cloud, output_names, batch_size,
+                         weight=weight, spatial_names=spatial_names)
+        self.values = {}
+        for var, array in values.items():
+            if var not in self.output_names:
+                raise KeyError(f"measured variable {var!r} is not a "
+                               f"network output")
+            array = np.asarray(array, dtype=np.float64).reshape(-1, 1)
+            if len(array) != len(cloud):
+                raise ValueError(f"{var}: {len(array)} values for "
+                                 f"{len(cloud)} points")
+            self.values[var] = array
+
+    def residuals(self, net, indices):
+        fields = self.build_fields(net, indices)
+        out = {}
+        for var, array in self.values.items():
+            target = Tensor(array[indices].astype(self.dtype))
+            out[f"{self.name}_{var}"] = fields.get(var) - target
+        return out, None

@@ -1,0 +1,104 @@
+"""Training history records and the paper's summary statistics.
+
+Table 1/2 of the paper report, per method: the minimum validation error per
+variable (``Min(u)`` etc.) and the wall time needed to reach reference
+thresholds (``T(U4000_u)`` = time to reach U4000's best u-error).
+:class:`History` captures the raw series and computes both statistics.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["History"]
+
+
+@dataclass
+class History:
+    """Time series of one training run."""
+
+    label: str = "run"
+    steps: list = field(default_factory=list)
+    wall_times: list = field(default_factory=list)
+    losses: list = field(default_factory=list)
+    errors: dict = field(default_factory=dict)      # var -> list (NaN-padded)
+    probe_points: list = field(default_factory=list)
+
+    def record(self, step, wall_time, loss, errors=None, probe_points=0):
+        """Append one record; ``errors`` maps variable -> relative L2."""
+        self.steps.append(int(step))
+        self.wall_times.append(float(wall_time))
+        self.losses.append(float(loss))
+        self.probe_points.append(int(probe_points))
+        errors = errors or {}
+        known = set(self.errors) | set(errors)
+        for var in known:
+            series = self.errors.setdefault(var, [np.nan] * (len(self.steps) - 1))
+            series.append(float(errors.get(var, np.nan)))
+
+    # ------------------------------------------------------------------
+    # Summary statistics (Table 1 / Table 2 semantics)
+    # ------------------------------------------------------------------
+    def error_series(self, var):
+        """``(wall_times, errors)`` with NaN records dropped."""
+        values = np.asarray(self.errors.get(var, []), dtype=np.float64)
+        times = np.asarray(self.wall_times[: len(values)], dtype=np.float64)
+        keep = np.isfinite(values)
+        return times[keep], values[keep]
+
+    def min_error(self, var):
+        """Best (minimum) validation error achieved for ``var``."""
+        _, values = self.error_series(var)
+        return float(values.min()) if len(values) else float("nan")
+
+    def value_at_min(self, var, other):
+        """Value of ``other``'s error at the record where ``var`` is minimal
+        (Table 2 reports ``p`` at ``Min(v)``)."""
+        times_v, values_v = self.error_series(var)
+        if not len(values_v):
+            return float("nan")
+        t_star = times_v[np.argmin(values_v)]
+        times_o, values_o = self.error_series(other)
+        if not len(values_o):
+            return float("nan")
+        idx = np.argmin(np.abs(times_o - t_star))
+        return float(values_o[idx])
+
+    def time_to_reach(self, var, threshold):
+        """First wall time at which the error drops to ``threshold`` or
+        below; ``None`` when never reached (a blank in the paper's tables)."""
+        times, values = self.error_series(var)
+        hit = np.flatnonzero(values <= threshold)
+        return float(times[hit[0]]) if len(hit) else None
+
+    # ------------------------------------------------------------------
+    def to_csv(self, path):
+        """Write the full series to ``path``."""
+        variables = sorted(self.errors)
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["step", "wall_time", "loss", "probe_points"]
+                            + [f"err_{v}" for v in variables])
+            for i in range(len(self.steps)):
+                row = [self.steps[i], self.wall_times[i], self.losses[i],
+                       self.probe_points[i]]
+                row += [self.errors[v][i] if i < len(self.errors[v])
+                        else np.nan for v in variables]
+                writer.writerow(row)
+
+    @classmethod
+    def from_csv(cls, path, label="run"):
+        """Load a history previously written by :meth:`to_csv`."""
+        history = cls(label=label)
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader)
+            variables = [h[4:] for h in header[4:]]
+            for row in reader:
+                errors = {v: float(e) for v, e in zip(variables, row[4:])}
+                history.record(int(row[0]), float(row[1]), float(row[2]),
+                               errors=errors, probe_points=int(row[3]))
+        return history

@@ -1,0 +1,87 @@
+"""Validation against reference solutions (the role of Modulus validators).
+
+A :class:`PointwiseValidator` holds validation points with reference values
+(interpolated from a :mod:`repro.solvers` field) and reports the relative L2
+error per variable — the metric the paper's tables and figures plot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..pde import Fields
+
+__all__ = ["PointwiseValidator", "relative_l2"]
+
+
+def relative_l2(predicted, reference):
+    """``||pred - ref||_2 / ||ref||_2`` (falls back to absolute when the
+    reference is identically zero)."""
+    predicted = np.asarray(predicted, dtype=np.float64).ravel()
+    reference = np.asarray(reference, dtype=np.float64).ravel()
+    denom = np.linalg.norm(reference)
+    if denom == 0.0:
+        return float(np.linalg.norm(predicted))
+    return float(np.linalg.norm(predicted - reference) / denom)
+
+
+class PointwiseValidator:
+    """Compare network outputs (and derived fields) to reference values.
+
+    Parameters
+    ----------
+    name:
+        Label (e.g. ``"ldc"`` or ``"ar_r1.0"``).
+    features:
+        ``(n, d+p)`` validation inputs.
+    references:
+        Mapping variable -> ``(n,)`` reference values.  Variables matching
+        network outputs are read directly; others must appear in
+        ``derived``.
+    output_names:
+        The network's output variables, in column order.
+    derived:
+        Mapping variable -> callable ``(fields) -> Tensor`` for quantities
+        computed from network outputs (e.g. zero-equation ``nu``).
+    spatial_names, param_names:
+        Column naming for the feature matrix.
+    sdf:
+        Optional ``(n, 1)`` wall distances registered on the field bundle
+        (needed by derived turbulence closures).
+    """
+
+    def __init__(self, name, features, references, output_names,
+                 derived=None, spatial_names=("x", "y"), param_names=(),
+                 sdf=None):
+        self.name = name
+        self.features = np.asarray(features, dtype=np.float64)
+        self.references = {k: np.asarray(v, dtype=np.float64).ravel()
+                           for k, v in references.items()}
+        self.output_names = tuple(output_names)
+        self.derived = dict(derived or {})
+        self.spatial_names = tuple(spatial_names)
+        self.param_names = tuple(param_names)
+        self.sdf = None if sdf is None else np.asarray(sdf, dtype=np.float64)
+        for var in self.references:
+            if var not in self.output_names and var not in self.derived:
+                raise KeyError(f"no way to compute validated variable {var!r}")
+
+    def evaluate(self, net):
+        """Return ``{var: relative_l2}`` for every referenced variable."""
+        fields = Fields.from_features(self.features,
+                                      spatial_names=self.spatial_names,
+                                      param_names=self.param_names)
+        outputs = net(fields.input_tensor())
+        for i, var in enumerate(self.output_names):
+            fields.register(var, outputs[:, i:i + 1])
+        if self.sdf is not None:
+            fields.register("sdf", Tensor(self.sdf.reshape(-1, 1)))
+        results = {}
+        for var, reference in self.references.items():
+            if var in self.derived:
+                predicted = self.derived[var](fields).numpy()
+            else:
+                predicted = fields.get(var).numpy()
+            results[var] = relative_l2(predicted, reference)
+        return results

@@ -1,0 +1,70 @@
+"""Tiny dependency-free ASCII line plots for benchmark 'figures'."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_plot"]
+
+
+def ascii_plot(series, width=72, height=18, logy=False, title=""):
+    """Render one or more ``(xs, ys, label)`` series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Iterable of ``(xs, ys, label)`` tuples.
+    width, height:
+        Canvas size in characters.
+    logy:
+        Plot ``log10(y)``.
+    title:
+        Optional header line.
+
+    Returns
+    -------
+    str — the rendered chart (also usable in bench stdout).
+    """
+    markers = "*+ox#@%&"
+    prepared = []
+    for xs, ys, label in series:
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        keep = np.isfinite(xs) & np.isfinite(ys)
+        if logy:
+            keep &= ys > 0
+        xs, ys = xs[keep], ys[keep]
+        if logy:
+            ys = np.log10(ys)
+        prepared.append((xs, ys, label))
+    if not any(len(xs) for xs, _, _ in prepared):
+        return f"{title}\n(no data)"
+
+    all_x = np.concatenate([xs for xs, _, _ in prepared if len(xs)])
+    all_y = np.concatenate([ys for _, ys, _ in prepared if len(ys)])
+    x_lo, x_hi = all_x.min(), all_x.max()
+    y_lo, y_hi = all_y.min(), all_y.max()
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for (xs, ys, _), marker in zip(prepared, markers):
+        cols = ((xs - x_lo) / x_span * (width - 1)).astype(int)
+        rows = ((ys - y_lo) / y_span * (height - 1)).astype(int)
+        for c, r in zip(cols, rows):
+            canvas[height - 1 - r][c] = marker
+
+    ylab = "log10(err)" if logy else "err"
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(f"{marker}={label}" for (_, _, label), marker
+                       in zip(prepared, markers))
+    lines.append(legend)
+    top = y_hi if not logy else 10 ** y_hi
+    bottom = y_lo if not logy else 10 ** y_lo
+    lines.append(f"{ylab} range: [{bottom:.3g}, {top:.3g}]")
+    lines.extend("|" + "".join(row) for row in canvas)
+    lines.append("+" + "-" * width)
+    lines.append(f" x range: [{x_lo:.3g}, {x_hi:.3g}]")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Bilinear interpolation from regular grids to scattered points."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bilinear_interpolate"]
+
+
+def bilinear_interpolate(xs, ys, field, points, fill_value=np.nan):
+    """Interpolate ``field`` (shape ``(len(ys), len(xs))``) at ``points``.
+
+    Parameters
+    ----------
+    xs, ys:
+        Strictly increasing grid coordinates.
+    field:
+        Grid values indexed ``field[iy, ix]``.
+    points:
+        ``(n, 2)`` query coordinates ``(x, y)``.
+    fill_value:
+        Value assigned to points outside the grid.
+
+    Returns
+    -------
+    ``(n,)`` interpolated values.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    field = np.asarray(field, dtype=np.float64)
+    points = np.atleast_2d(points)
+    x, y = points[:, 0], points[:, 1]
+
+    inside = ((x >= xs[0]) & (x <= xs[-1]) & (y >= ys[0]) & (y <= ys[-1]))
+    out = np.full(len(points), float(fill_value))
+    if not inside.any():
+        return out
+    xq, yq = x[inside], y[inside]
+
+    ix = np.clip(np.searchsorted(xs, xq) - 1, 0, len(xs) - 2)
+    iy = np.clip(np.searchsorted(ys, yq) - 1, 0, len(ys) - 2)
+    x0, x1 = xs[ix], xs[ix + 1]
+    y0, y1 = ys[iy], ys[iy + 1]
+    tx = (xq - x0) / (x1 - x0)
+    ty = (yq - y0) / (y1 - y0)
+    f00 = field[iy, ix]
+    f01 = field[iy, ix + 1]
+    f10 = field[iy + 1, ix]
+    f11 = field[iy + 1, ix + 1]
+    out[inside] = ((1 - tx) * (1 - ty) * f00 + tx * (1 - ty) * f01 +
+                   (1 - tx) * ty * f10 + tx * ty * f11)
+    return out

@@ -1,0 +1,44 @@
+"""Wall-clock helpers with support for 'background-thread' accounting.
+
+The paper runs graph rebuilds on background threads so their cost is hidden
+from the training wall clock.  :class:`TrainingClock` measures real elapsed
+time but lets the caller *credit back* seconds that a background thread would
+have absorbed, so experiments can report both accounting modes.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer", "TrainingClock"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall seconds."""
+
+    def __enter__(self):
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.elapsed = time.perf_counter() - self.start
+        return False
+
+
+class TrainingClock:
+    """Monotonic training clock with credit for hidden background work."""
+
+    def __init__(self):
+        self._start = time.perf_counter()
+        self._credit = 0.0
+
+    def credit(self, seconds):
+        """Subtract ``seconds`` from the visible elapsed time (work the
+        paper's implementation performs on a background thread)."""
+        if seconds < 0:
+            raise ValueError("cannot credit negative time")
+        self._credit += seconds
+
+    def elapsed(self):
+        """Visible elapsed seconds (never negative)."""
+        return max(time.perf_counter() - self._start - self._credit, 0.0)

@@ -1,0 +1,128 @@
+"""Failure injection and edge cases for the autodiff engine."""
+
+import numpy as np
+import pytest
+
+from repro import autodiff as ad
+from repro.autodiff import Tensor, gradients
+
+
+class TestNonFiniteValues:
+    def test_nan_propagates_not_crashes(self):
+        x = Tensor(np.array([1.0, np.nan]), requires_grad=True)
+        g, = gradients((x * 2.0).sum(), [x])
+        assert np.allclose(g.numpy(), 2.0)  # linear op: grad indep of value
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_inf_through_exp(self):
+        x = Tensor(np.array([1000.0]), requires_grad=True)
+        y = ad.exp(x)
+        assert np.isinf(y.numpy()[0])
+        g, = gradients(y.sum(), [x])
+        assert np.isinf(g.numpy()[0])
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_division_by_zero_gives_inf_gradient(self):
+        x = Tensor(np.array([0.0]), requires_grad=True)
+        y = 1.0 / x
+        g, = gradients(y.sum(), [x])
+        assert not np.isfinite(g.numpy()[0])
+
+    def test_sigmoid_saturation_has_zero_not_nan_grad(self):
+        x = Tensor(np.array([-1e4, 1e4]), requires_grad=True)
+        g, = gradients(ad.sigmoid(x).sum(), [x])
+        assert np.all(np.isfinite(g.numpy()))
+        assert np.allclose(g.numpy(), 0.0, atol=1e-12)
+
+
+class TestDtypePreservation:
+    def test_float32_graph_stays_float32(self):
+        x = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        y = (x * 2.0 + 1.0) / 3.0 - 0.5
+        assert y.dtype == np.float32
+        g, = gradients(y.sum(), [x])
+        assert g.dtype == np.float32
+
+    def test_float32_through_activations(self):
+        x = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        assert ad.silu(x).dtype == np.float32
+        assert ad.tanh(x).dtype == np.float32
+
+    def test_mixed_array_operands_promote(self):
+        a = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        b = Tensor(np.ones(3, dtype=np.float64))
+        assert (a + b).dtype == np.float64
+
+
+class TestDegenerateShapes:
+    def test_empty_tensor_ops(self):
+        x = Tensor(np.zeros((0, 3)), requires_grad=True)
+        y = (x * 2.0).sum()
+        g, = gradients(y, [x])
+        assert g.shape == (0, 3)
+
+    def test_scalar_shape_tensor(self):
+        x = Tensor(np.array(2.0), requires_grad=True)
+        g, = gradients(x * x, [x])
+        assert g.shape == ()
+        assert np.isclose(g.item(), 4.0)
+
+    def test_single_element_matmul(self):
+        a = Tensor(np.ones((1, 1)), requires_grad=True)
+        b = Tensor(np.full((1, 1), 3.0), requires_grad=True)
+        g_a, g_b = gradients((a @ b).sum(), [a, b])
+        assert np.isclose(g_a.item(), 3.0)
+        assert np.isclose(g_b.item(), 1.0)
+
+
+class TestGraphReuse:
+    def test_same_graph_differentiated_twice(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x ** 3.0
+        g1, = gradients(y.sum(), [x])
+        g2, = gradients(y.sum(), [x])
+        assert np.allclose(g1.numpy(), g2.numpy())
+
+    def test_gradient_of_mixed_order_sum(self):
+        x = Tensor(np.array([1.5]), requires_grad=True)
+        y = x ** 2.0
+        dy, = gradients(y.sum(), [x])
+        combined = (y + dy).sum()     # x^2 + 2x
+        g, = gradients(combined, [x])
+        assert np.isclose(g.item(), 2.0 * 1.5 + 2.0)
+
+    def test_detached_branch_excluded(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = x * x
+        z = y.detach() * x            # gradient only through the right factor
+        g, = gradients(z.sum(), [x])
+        assert np.isclose(g.item(), 9.0)
+
+
+class TestConcatSplitEdgeCases:
+    def test_concat_single_tensor(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        y = ad.concat([x], axis=0)
+        g, = gradients((y * 3.0).sum(), [x])
+        assert np.allclose(g.numpy(), 3.0)
+
+    def test_concat_negative_axis(self):
+        a = Tensor(np.ones((2, 1)), requires_grad=True)
+        b = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = ad.concat([a, b], axis=-1)
+        assert out.shape == (2, 3)
+        g_a, g_b = gradients(out.sum(), [a, b])
+        assert g_a.shape == (2, 1) and g_b.shape == (2, 2)
+
+    def test_getitem_single_row(self):
+        x = Tensor(np.arange(6.0).reshape(3, 2), requires_grad=True)
+        g, = gradients((x[1] * 2.0).sum(), [x])
+        expected = np.zeros((3, 2))
+        expected[1] = 2.0
+        assert np.allclose(g.numpy(), expected)
+
+    def test_getitem_repeated_integer_rows_accumulate(self):
+        x = Tensor(np.ones((3, 1)), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        g, = gradients(x[idx].sum(), [x])
+        assert np.allclose(g.numpy().ravel(), [2.0, 0.0, 1.0])

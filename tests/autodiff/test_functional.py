@@ -1,0 +1,104 @@
+"""Behavioural tests of the gradients() API surface."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, grad, gradients, tanh
+
+
+def test_gradients_accepts_single_tensor_arguments():
+    x = Tensor(np.array([2.0]), requires_grad=True)
+    g, = gradients((x * x).sum(), x)
+    assert np.allclose(g.numpy(), [4.0])
+
+
+def test_grad_outputs_seed_scales_result():
+    x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+    y = x * 3.0
+    seed = Tensor(np.array([10.0, 100.0]))
+    g, = gradients(y, [x], grad_outputs=seed)
+    assert np.allclose(g.numpy(), [30.0, 300.0])
+
+
+def test_multiple_outputs_accumulate():
+    x = Tensor(np.array([1.5]), requires_grad=True)
+    y1 = x * 2.0
+    y2 = x * x
+    g, = gradients([y1, y2], [x])
+    assert np.allclose(g.numpy(), [2.0 + 2.0 * 1.5])
+
+
+def test_unused_input_returns_zeros_by_default():
+    x = Tensor(np.array([1.0]), requires_grad=True)
+    z = Tensor(np.array([5.0, 6.0]), requires_grad=True)
+    g_x, g_z = gradients((x * x).sum(), [x, z])
+    assert np.allclose(g_z.numpy(), [0.0, 0.0])
+    assert g_z.shape == z.shape
+    assert np.allclose(g_x.numpy(), [2.0])
+
+
+def test_unused_input_raises_when_not_allowed():
+    x = Tensor(np.array([1.0]), requires_grad=True)
+    z = Tensor(np.array([5.0]), requires_grad=True)
+    with pytest.raises(ValueError):
+        gradients((x * x).sum(), [x, z], allow_unused=False)
+
+
+def test_non_grad_input_raises():
+    x = Tensor(np.array([1.0]))
+    with pytest.raises(ValueError):
+        gradients((tanh(x)).sum(), [x])
+
+
+def test_non_tensor_input_raises():
+    x = Tensor(np.array([1.0]), requires_grad=True)
+    with pytest.raises(TypeError):
+        gradients((x * x).sum(), [np.array([1.0])])
+
+
+def test_input_used_twice_accumulates():
+    x = Tensor(np.array([3.0]), requires_grad=True)
+    y = x * x + x * 2.0
+    g, = gradients(y.sum(), [x])
+    assert np.allclose(g.numpy(), [2.0 * 3.0 + 2.0])
+
+
+def test_gradient_wrt_intermediate_node():
+    x = Tensor(np.array([2.0]), requires_grad=True)
+    h = x * x          # intermediate
+    y = h * 3.0
+    g_h, = gradients(y.sum(), [h])
+    assert np.allclose(g_h.numpy(), [3.0])
+
+
+def test_diamond_graph_accumulates_once_per_path():
+    x = Tensor(np.array([1.0]), requires_grad=True)
+    a = x * 2.0
+    b = x * 3.0
+    y = a * b  # y = 6 x^2, dy/dx = 12 x
+    g, = gradients(y.sum(), [x])
+    assert np.allclose(g.numpy(), [12.0])
+
+
+def test_grad_wrapper():
+    f = grad(lambda x: (x ** 3.0).sum())
+    x = Tensor(np.array([2.0]), requires_grad=True)
+    assert np.allclose(f(x).numpy(), [12.0])
+
+
+def test_deep_chain_does_not_recurse():
+    # iterative topo sort must handle graphs deeper than Python's stack limit
+    x = Tensor(np.array([0.5]), requires_grad=True)
+    y = x
+    for _ in range(3000):
+        y = y * 1.0001
+    g, = gradients(y.sum(), [x])
+    assert np.isfinite(g.item())
+
+
+def test_gradients_are_tensors_and_differentiable():
+    x = Tensor(np.array([1.2]), requires_grad=True)
+    g, = gradients((x ** 4.0).sum(), [x])
+    assert isinstance(g, Tensor)
+    g2, = gradients(g.sum(), [x])
+    assert np.allclose(g2.numpy(), [12.0 * 1.2 ** 2])

@@ -1,0 +1,115 @@
+"""Second- and third-order derivative correctness — the PINN-critical path."""
+
+import numpy as np
+
+from repro.autodiff import Tensor, concat, gradients, sigmoid, silu, sin, tanh
+
+
+def test_second_derivative_of_tanh():
+    x = Tensor(np.linspace(-2.0, 2.0, 11), requires_grad=True)
+    y = tanh(x)
+    dy, = gradients(y.sum(), [x])
+    d2y, = gradients(dy.sum(), [x])
+    t = np.tanh(x.numpy())
+    assert np.allclose(d2y.numpy(), -2.0 * t * (1.0 - t ** 2), atol=1e-12)
+
+
+def test_third_derivative_of_tanh():
+    x = Tensor(np.linspace(-1.5, 1.5, 9), requires_grad=True)
+    dy, = gradients(tanh(x).sum(), [x])
+    d2y, = gradients(dy.sum(), [x])
+    d3y, = gradients(d2y.sum(), [x])
+    t = np.tanh(x.numpy())
+    expected = -2.0 * (1.0 - t ** 2) * (1.0 - 3.0 * t ** 2)
+    assert np.allclose(d3y.numpy(), expected, atol=1e-12)
+
+
+def test_second_derivative_of_sin_polynomial():
+    x = Tensor(np.linspace(0.1, 3.0, 13), requires_grad=True)
+    y = sin(x) * x ** 2.0
+    dy, = gradients(y.sum(), [x])
+    d2y, = gradients(dy.sum(), [x])
+    xv = x.numpy()
+    expected = 2.0 * np.sin(xv) + 4.0 * xv * np.cos(xv) - xv ** 2 * np.sin(xv)
+    assert np.allclose(d2y.numpy(), expected, atol=1e-12)
+
+
+def test_second_derivative_of_sigmoid():
+    x = Tensor(np.linspace(-3.0, 3.0, 15), requires_grad=True)
+    dy, = gradients(sigmoid(x).sum(), [x])
+    d2y, = gradients(dy.sum(), [x])
+    s = 1.0 / (1.0 + np.exp(-x.numpy()))
+    expected = s * (1.0 - s) * (1.0 - 2.0 * s)
+    assert np.allclose(d2y.numpy(), expected, atol=1e-12)
+
+
+def test_laplacian_of_mlp_output_matches_finite_differences():
+    rng = np.random.default_rng(3)
+    w1 = Tensor(rng.normal(0.0, 0.5, (2, 16)), requires_grad=True)
+    w2 = Tensor(rng.normal(0.0, 0.5, (16, 1)), requires_grad=True)
+
+    def u_np(pts):
+        return np.tanh(pts @ w1.numpy()) @ w2.numpy()
+
+    pts = rng.uniform(-1.0, 1.0, (6, 2))
+    x = Tensor(pts[:, 0:1].copy(), requires_grad=True)
+    y = Tensor(pts[:, 1:2].copy(), requires_grad=True)
+    u = tanh(concat([x, y], axis=1) @ w1) @ w2
+    du_dx, du_dy = gradients(u.sum(), [x, y])
+    d2u_dx2, = gradients(du_dx.sum(), [x])
+    d2u_dy2, = gradients(du_dy.sum(), [y])
+    laplacian = d2u_dx2.numpy() + d2u_dy2.numpy()
+
+    eps = 1e-5
+    fd = np.zeros_like(laplacian)
+    for axis in range(2):
+        up = pts.copy()
+        down = pts.copy()
+        up[:, axis] += eps
+        down[:, axis] -= eps
+        fd += (u_np(up) - 2.0 * u_np(pts) + u_np(down)) / eps ** 2
+    assert np.allclose(laplacian, fd, rtol=1e-4, atol=1e-6)
+
+
+def test_mixed_partial_symmetry():
+    rng = np.random.default_rng(4)
+    x = Tensor(rng.uniform(-1, 1, (5, 1)), requires_grad=True)
+    y = Tensor(rng.uniform(-1, 1, (5, 1)), requires_grad=True)
+    u = sin(x * y) + (x ** 2.0) * y
+    du_dx, = gradients(u.sum(), [x])
+    d2u_dxdy, = gradients(du_dx.sum(), [y])
+    du_dy, = gradients(u.sum(), [y])
+    d2u_dydx, = gradients(du_dy.sum(), [x])
+    assert np.allclose(d2u_dxdy.numpy(), d2u_dydx.numpy(), atol=1e-12)
+
+
+def test_grad_of_grad_through_silu_network():
+    rng = np.random.default_rng(5)
+    w = Tensor(rng.normal(0.0, 0.7, (1, 8)), requires_grad=True)
+    v = Tensor(rng.normal(0.0, 0.7, (8, 1)), requires_grad=True)
+    x = Tensor(rng.uniform(-1, 1, (7, 1)), requires_grad=True)
+    u = silu(x @ w) @ v
+    du, = gradients(u.sum(), [x])
+    d2u, = gradients(du.sum(), [x])
+
+    def u_np(pts):
+        h = pts @ w.numpy()
+        return (h / (1.0 + np.exp(-h))) @ v.numpy()
+
+    eps = 1e-5
+    pts = x.numpy()
+    fd = (u_np(pts + eps) - 2.0 * u_np(pts) + u_np(pts - eps)) / eps ** 2
+    assert np.allclose(d2u.numpy(), fd, rtol=1e-4, atol=1e-6)
+
+
+def test_gradient_of_gradient_wrt_parameters():
+    # d/dw of (du/dx) — the coupling PINN losses need when optimizing params.
+    w = Tensor(np.array([[0.7]]), requires_grad=True)
+    x = Tensor(np.array([[0.3]]), requires_grad=True)
+    u = tanh(x @ w)
+    du_dx, = gradients(u.sum(), [x])  # w * (1 - tanh(xw)^2)
+    dw, = gradients(du_dx.sum(), [w])
+    xv, wv = 0.3, 0.7
+    t = np.tanh(xv * wv)
+    expected = (1.0 - t ** 2) - wv * 2.0 * t * (1.0 - t ** 2) * xv
+    assert np.allclose(dw.numpy(), expected, atol=1e-12)

@@ -1,0 +1,245 @@
+"""Value and first-order gradient checks for every primitive op."""
+
+import numpy as np
+import pytest
+
+from repro import autodiff as ad
+from repro.autodiff import Tensor, gradcheck, gradients
+
+RNG = np.random.default_rng(0)
+
+
+def rand(*shape, low=-2.0, high=2.0):
+    return RNG.uniform(low, high, size=shape)
+
+
+class TestValues:
+    def test_add_values(self):
+        a, b = rand(3, 2), rand(3, 2)
+        assert np.allclose(ad.add(a, b).numpy(), a + b)
+
+    def test_sub_values(self):
+        a, b = rand(3, 2), rand(3, 2)
+        assert np.allclose(ad.sub(a, b).numpy(), a - b)
+
+    def test_mul_values(self):
+        a, b = rand(4), rand(4)
+        assert np.allclose(ad.mul(a, b).numpy(), a * b)
+
+    def test_div_values(self):
+        a, b = rand(4), rand(4, low=0.5, high=2.0)
+        assert np.allclose(ad.div(a, b).numpy(), a / b)
+
+    def test_matmul_values(self):
+        a, b = rand(3, 4), rand(4, 5)
+        assert np.allclose(ad.matmul(a, b).numpy(), a @ b)
+
+    def test_matmul_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ad.matmul(rand(3), rand(3))
+
+    def test_unary_values(self):
+        x = rand(5, low=0.1, high=2.0)
+        assert np.allclose(ad.exp(x).numpy(), np.exp(x))
+        assert np.allclose(ad.log(x).numpy(), np.log(x))
+        assert np.allclose(ad.sqrt(x).numpy(), np.sqrt(x))
+        assert np.allclose(ad.sin(x).numpy(), np.sin(x))
+        assert np.allclose(ad.cos(x).numpy(), np.cos(x))
+        assert np.allclose(ad.tanh(x).numpy(), np.tanh(x))
+
+    def test_sigmoid_matches_definition(self):
+        x = rand(7, low=-30, high=30)
+        expected = 1.0 / (1.0 + np.exp(-x))
+        assert np.allclose(ad.sigmoid(x).numpy(), expected)
+
+    def test_sigmoid_extreme_inputs_are_stable(self):
+        x = np.array([-1e3, 1e3])
+        out = ad.sigmoid(x).numpy()
+        assert np.all(np.isfinite(out))
+        assert np.allclose(out, [0.0, 1.0])
+
+    def test_silu_definition(self):
+        x = rand(6)
+        assert np.allclose(ad.silu(x).numpy(), x / (1.0 + np.exp(-x)))
+
+    def test_relu_values(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert np.allclose(ad.relu(x).numpy(), [0.0, 0.0, 2.0])
+
+    def test_softplus_values(self):
+        x = rand(5, low=-5, high=5)
+        assert np.allclose(ad.softplus(x).numpy(), np.log1p(np.exp(x)))
+
+    def test_absolute_values(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        assert np.allclose(ad.absolute(x).numpy(), [2.0, 0.0, 3.0])
+
+    def test_maximum_minimum_values(self):
+        a, b = rand(6), rand(6)
+        assert np.allclose(ad.maximum(a, b).numpy(), np.maximum(a, b))
+        assert np.allclose(ad.minimum(a, b).numpy(), np.minimum(a, b))
+
+    def test_where_values(self):
+        a, b = rand(5), rand(5)
+        cond = a > b
+        assert np.allclose(ad.where(cond, a, b).numpy(), np.where(cond, a, b))
+
+    def test_sum_axis_values(self):
+        x = rand(3, 4)
+        assert np.allclose(ad.sum_(x, axis=0).numpy(), x.sum(axis=0))
+        assert np.allclose(ad.sum_(x, axis=1, keepdims=True).numpy(),
+                           x.sum(axis=1, keepdims=True))
+        assert np.allclose(ad.sum_(x).numpy(), x.sum())
+
+    def test_mean_values(self):
+        x = rand(3, 4)
+        assert np.allclose(ad.mean(x).numpy(), x.mean())
+        assert np.allclose(ad.mean(x, axis=1).numpy(), x.mean(axis=1))
+
+    def test_reshape_transpose_values(self):
+        x = rand(3, 4)
+        assert ad.reshape(x, (4, 3)).shape == (4, 3)
+        assert np.allclose(ad.transpose(x).numpy(), x.T)
+
+    def test_concat_values(self):
+        a, b = rand(2, 3), rand(2, 2)
+        out = ad.concat([a, b], axis=1)
+        assert np.allclose(out.numpy(), np.concatenate([a, b], axis=1))
+
+    def test_getitem_values(self):
+        x = rand(4, 5)
+        assert np.allclose(ad.getitem(Tensor(x), (slice(None), slice(1, 3))).numpy(),
+                           x[:, 1:3])
+
+    def test_power_values(self):
+        x = rand(5, low=0.2, high=2.0)
+        assert np.allclose(ad.power(x, 3.0).numpy(), x ** 3.0)
+
+
+class TestGradients:
+    def test_add_grad(self):
+        gradcheck(lambda a, b: (a + b).sum(), [rand(3, 2), rand(3, 2)])
+
+    def test_mul_grad(self):
+        gradcheck(lambda a, b: (a * b).mean(), [rand(3, 2), rand(3, 2)])
+
+    def test_div_grad(self):
+        gradcheck(lambda a, b: (a / b).sum(),
+                  [rand(4), rand(4, low=0.5, high=2.0)])
+
+    def test_matmul_grad(self):
+        gradcheck(lambda a, b: (a @ b).sum(), [rand(3, 4), rand(4, 2)])
+
+    def test_exp_log_grad(self):
+        gradcheck(lambda x: ad.exp(x).sum(), [rand(5)])
+        gradcheck(lambda x: ad.log(x).sum(), [rand(5, low=0.5, high=3.0)])
+
+    def test_trig_grad(self):
+        gradcheck(lambda x: ad.sin(x).sum(), [rand(5)])
+        gradcheck(lambda x: ad.cos(x).sum(), [rand(5)])
+
+    def test_tanh_sigmoid_silu_grad(self):
+        gradcheck(lambda x: ad.tanh(x).sum(), [rand(5)])
+        gradcheck(lambda x: ad.sigmoid(x).sum(), [rand(5)])
+        gradcheck(lambda x: ad.silu(x).sum(), [rand(5)])
+
+    def test_softplus_grad(self):
+        gradcheck(lambda x: ad.softplus(x).sum(), [rand(5)])
+
+    def test_power_grad(self):
+        gradcheck(lambda x: ad.power(x, 2.5).sum(), [rand(5, low=0.3, high=2.0)])
+
+    def test_sqrt_grad(self):
+        gradcheck(lambda x: ad.sqrt(x).sum(), [rand(5, low=0.5, high=3.0)])
+
+    def test_abs_grad_away_from_zero(self):
+        gradcheck(lambda x: ad.absolute(x).sum(), [rand(5, low=0.5, high=2.0)])
+
+    def test_maximum_grad(self):
+        a = np.array([1.0, -2.0, 3.0])
+        b = np.array([0.5, 0.5, 4.0])
+        gradcheck(lambda x, y: ad.maximum(x, y).sum(), [a, b])
+
+    def test_where_grad(self):
+        a, b = rand(5), rand(5)
+        cond = rand(5) > 0
+        gradcheck(lambda x, y: ad.where(cond, x, y).sum(), [a, b])
+
+    def test_sum_axis_grad(self):
+        gradcheck(lambda x: (ad.sum_(x, axis=0) ** 2.0).sum(), [rand(3, 4)])
+        gradcheck(lambda x: (ad.sum_(x, axis=(0, 1)) ** 2.0).sum(), [rand(3, 4)])
+
+    def test_mean_grad(self):
+        gradcheck(lambda x: (ad.mean(x, axis=1) ** 2.0).sum(), [rand(3, 4)])
+
+    def test_reshape_grad(self):
+        gradcheck(lambda x: (ad.reshape(x, (6,)) ** 2.0).sum(), [rand(2, 3)])
+
+    def test_transpose_grad(self):
+        gradcheck(lambda x: (ad.transpose(x) @ x).sum(), [rand(2, 3)])
+
+    def test_broadcast_grads(self):
+        gradcheck(lambda a, b: (a + b).sum(), [rand(3, 1), rand(1, 4)])
+        gradcheck(lambda a, b: (a * b).sum(), [rand(4), rand(2, 4)])
+        gradcheck(lambda a, b: (a / b).sum(),
+                  [rand(2, 1, 3), rand(3, low=0.5, high=2.0)])
+
+    def test_scalar_broadcast_grad(self):
+        gradcheck(lambda x: (x * 3.0 + 1.0).sum(), [rand(3, 2)])
+
+    def test_concat_grad(self):
+        gradcheck(lambda a, b: (ad.concat([a, b], axis=1) ** 2.0).sum(),
+                  [rand(2, 3), rand(2, 2)])
+
+    def test_getitem_slice_grad(self):
+        gradcheck(lambda x: (x[:, 1:3] ** 2.0).sum(), [rand(4, 5)])
+
+    def test_getitem_int_array_grad(self):
+        idx = np.array([0, 2, 2, 3])
+        gradcheck(lambda x: (x[idx] ** 2.0).sum(), [rand(5, 2)])
+
+    def test_broadcast_to_grad(self):
+        gradcheck(lambda x: (ad.broadcast_to(x, (4, 3)) ** 2.0).sum(), [rand(1, 3)])
+
+
+class TestTensorBasics:
+    def test_detach_blocks_gradients(self):
+        x = Tensor(rand(3), requires_grad=True)
+        y = (x.detach() * 2.0).sum()
+        assert not y.requires_grad
+
+    def test_requires_grad_propagates(self):
+        x = Tensor(rand(3), requires_grad=True)
+        c = Tensor(rand(3))
+        assert (x + c).requires_grad
+        assert not (c + c).requires_grad
+
+    def test_constant_graph_is_pruned(self):
+        c = Tensor(rand(3))
+        out = ad.tanh(c * 2.0)
+        assert out.is_leaf
+
+    def test_repr_mentions_shape(self):
+        x = Tensor(rand(2, 2), requires_grad=True, name="w")
+        assert "shape=(2, 2)" in repr(x)
+        assert "w" in repr(x)
+
+    def test_item_and_len(self):
+        assert Tensor(np.array([3.5])).item() == 3.5
+        assert len(Tensor(rand(4, 2))) == 4
+
+    def test_numpy_returns_backing_array(self):
+        x = np.zeros(3)
+        assert ad.as_tensor(x).numpy() is x
+
+    def test_radd_rsub_with_ndarray(self):
+        x = Tensor(rand(3), requires_grad=True)
+        arr = rand(3)
+        left = arr + x
+        right = x + arr
+        assert np.allclose(left.numpy(), right.numpy())
+        assert left.requires_grad
+
+    def test_gradients_through_operator_sugar(self):
+        gradcheck(lambda a, b: ((a - b) ** 2.0 / 2.0 + (-a) * b).sum(),
+                  [rand(3), rand(3)])

@@ -1,0 +1,110 @@
+"""Hypothesis property tests: analytic gradients agree with finite differences
+and algebraic identities hold across randomly generated shapes and values."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro import autodiff as ad
+from repro.autodiff import Tensor, gradcheck, gradients
+
+finite = st.floats(min_value=-3.0, max_value=3.0,
+                   allow_nan=False, allow_infinity=False, width=64)
+small_arrays = arrays(np.float64,
+                      array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4),
+                      elements=finite)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays)
+def test_tanh_gradcheck_any_shape(x):
+    gradcheck(lambda t: ad.tanh(t).sum(), [x])
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays)
+def test_silu_gradcheck_any_shape(x):
+    gradcheck(lambda t: ad.silu(t).sum(), [x])
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays, st.data())
+def test_addition_commutes_with_gradients(a, data):
+    b = data.draw(arrays(np.float64, a.shape, elements=finite))
+    shape = np.broadcast_shapes(a.shape, b.shape)
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    left = (ta + tb).sum()
+    right = (tb + ta).sum()
+    ga_left, = gradients(left, [ta])
+    ga_right, = gradients(right, [ta])
+    assert np.allclose(ga_left.numpy(), ga_right.numpy())
+    assert left.shape == () and (ta + tb).shape == shape
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays)
+def test_sum_then_scale_linearity(x):
+    t = Tensor(x, requires_grad=True)
+    g1, = gradients((t * 2.0).sum(), [t])
+    g2, = gradients(t.sum() * 2.0, [t])
+    assert np.allclose(g1.numpy(), g2.numpy())
+    assert np.allclose(g1.numpy(), 2.0 * np.ones_like(x))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays)
+def test_product_rule(x):
+    t = Tensor(x, requires_grad=True)
+    g, = gradients((ad.sin(t) * ad.cos(t)).sum(), [t])
+    expected = np.cos(x) ** 2 - np.sin(x) ** 2
+    assert np.allclose(g.numpy(), expected, atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays)
+def test_chain_rule_composition(x):
+    t = Tensor(x, requires_grad=True)
+    g, = gradients(ad.tanh(ad.sin(t)).sum(), [t])
+    expected = (1.0 - np.tanh(np.sin(x)) ** 2) * np.cos(x)
+    assert np.allclose(g.numpy(), expected, atol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=5),
+       st.integers(min_value=1, max_value=5),
+       st.integers(min_value=1, max_value=5),
+       st.data())
+def test_matmul_gradcheck_random_dims(n, k, m, data):
+    rng = np.random.default_rng(data.draw(st.integers(0, 2 ** 31)))
+    a = rng.normal(size=(n, k))
+    b = rng.normal(size=(k, m))
+    gradcheck(lambda x, y: (x @ y).sum(), [a, b])
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays)
+def test_gradient_of_constant_wrt_input_is_zero(x):
+    t = Tensor(x, requires_grad=True)
+    const = Tensor(np.ones_like(x))
+    g, = gradients((const * 2.0).sum() + t.sum() * 0.0, [t])
+    assert np.allclose(g.numpy(), 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays)
+def test_double_negation_identity(x):
+    t = Tensor(x, requires_grad=True)
+    g, = gradients((-(-t)).sum(), [t])
+    assert np.allclose(g.numpy(), np.ones_like(x))
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, array_shapes(min_dims=2, max_dims=2, min_side=2, max_side=5),
+              elements=finite))
+def test_sum_axis_consistency(x):
+    t = Tensor(x, requires_grad=True)
+    total = ad.sum_(ad.sum_(t, axis=0), axis=0)
+    g, = gradients(total, [t])
+    assert np.allclose(g.numpy(), np.ones_like(x))

@@ -1,0 +1,122 @@
+"""Config presets and table/figure formatters (no training required)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    annular_ring_config, format_table, ldc_config, table1_rows, table2_rows,
+    error_curves, render_curves, curves_to_csv,
+)
+from repro.training import History
+
+
+class TestConfigs:
+    @pytest.mark.parametrize("factory", (ldc_config, annular_ring_config))
+    @pytest.mark.parametrize("scale", ("paper", "repro", "smoke"))
+    def test_presets_constructible(self, factory, scale):
+        config = factory(scale)
+        assert config.scale == scale
+
+    @pytest.mark.parametrize("factory", (ldc_config, annular_ring_config))
+    def test_unknown_scale_rejected(self, factory):
+        with pytest.raises(ValueError):
+            factory("gigantic")
+
+    @pytest.mark.parametrize("factory", (ldc_config, annular_ring_config))
+    @pytest.mark.parametrize("scale", ("paper", "repro", "smoke"))
+    def test_structural_ratios_preserved(self, factory, scale):
+        config = factory(scale)
+        assert config.batch_small < config.batch_large
+        assert config.n_interior_small < config.n_interior_large
+        assert config.tau_e < config.tau_G <= config.steps
+        assert 0.0 < config.probe_ratio < 1.0
+
+    def test_paper_preset_matches_paper_hyperparameters(self):
+        ldc = ldc_config("paper")
+        assert ldc.batch_small == 500 and ldc.batch_large == 4000
+        assert ldc.tau_e == 7000 and ldc.tau_G == 25_000
+        assert ldc.knn_k == 30 and ldc.lrd_level == 10
+        ar = annular_ring_config("paper")
+        assert ar.batch_small == 1024 and ar.batch_large == 4096
+        assert ar.knn_k == 7 and ar.lrd_level == 6
+        assert ar.r_inner_range == (0.75, 1.1)
+        assert ar.validation_radii == (1.0, 0.875, 0.75)
+
+
+def synthetic_history(label, best, n=10, extra=("nu",)):
+    history = History(label=label)
+    for i in range(n):
+        err = best + (1.0 - best) * (1.0 - i / (n - 1.0))
+        errors = {"u": err, "v": err * 1.1, "p": err * 1.2}
+        for var in extra:
+            errors[var] = err * 0.9
+        history.record(i * 10, float(i), 1.0 / (i + 1.0), errors=errors)
+    return history
+
+
+class TestTables:
+    def make_ldc_histories(self):
+        return {
+            "U128": synthetic_history("U128", 0.30),
+            "U320": synthetic_history("U320", 0.20),
+            "MIS128": synthetic_history("MIS128", 0.18),
+            "SGM128": synthetic_history("SGM128", 0.12),
+        }
+
+    def test_table1_structure(self):
+        columns, rows = table1_rows(self.make_ldc_histories())
+        labels = [r[0] for r in rows]
+        assert labels[:3] == ["Min(u)", "Min(v)", "Min(nu)"]
+        assert any(l.startswith("T(U320_u") for l in labels)
+        assert any(l.startswith("T(SGM128_v") for l in labels)
+        assert columns == ["U128", "U320", "MIS128", "SGM128"]
+
+    def test_table1_min_values(self):
+        columns, rows = table1_rows(self.make_ldc_histories())
+        min_u = dict(rows)["Min(u)"]
+        assert np.isclose(min_u["SGM128"], 0.12)
+        assert np.isclose(min_u["U320"], 0.20)
+
+    def test_table1_time_blanks_for_unreached(self):
+        histories = self.make_ldc_histories()
+        columns, rows = table1_rows(histories)
+        t_sgm_u = dict(rows)["T(SGM128_u)"]
+        # only SGM reaches its own best error
+        assert t_sgm_u["SGM128"] is not None
+        assert t_sgm_u["U128"] is None
+
+    def test_table2_structure(self):
+        histories = {
+            "U128": synthetic_history("U128", 0.30, extra=()),
+            "U320": synthetic_history("U320", 0.20, extra=()),
+            "MIS128": synthetic_history("MIS128", 0.25, extra=()),
+            "SGM-S128": synthetic_history("SGM-S128", 0.15, extra=()),
+        }
+        columns, rows = table2_rows(histories)
+        labels = [r[0] for r in rows]
+        assert "p at Min(v)" in labels
+        value = dict(rows)["p at Min(v)"]["SGM-S128"]
+        assert np.isclose(value, 0.15 * 1.2, atol=1e-9)
+
+    def test_format_table_renders_blanks(self):
+        text = format_table("demo", ["A", "B"],
+                            [("row", {"A": 1.0, "B": None})])
+        assert "demo" in text and "-" in text and "1.0000" in text
+
+
+class TestFigures:
+    def test_error_curves_and_render(self):
+        histories = {"U128": synthetic_history("U128", 0.3)}
+        curves = error_curves(histories, var="v")
+        times, errors = curves["U128"]
+        assert len(times) == 10
+        chart = render_curves(curves, "demo fig")
+        assert "demo fig" in chart
+
+    def test_curves_csv(self, tmp_path):
+        histories = {"A": synthetic_history("A", 0.3, n=5)}
+        path = tmp_path / "fig.csv"
+        curves_to_csv(error_curves(histories, "u"), path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "label,wall_time,error"
+        assert len(lines) == 6

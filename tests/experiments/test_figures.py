@@ -1,0 +1,79 @@
+"""Figure generation paths with lightweight stub networks."""
+
+import types
+
+import numpy as np
+import pytest
+
+from repro import autodiff as ad
+from repro.experiments import annular_ring_config, pressure_error_fields
+from repro.experiments.annular_ring import ar_reference
+
+
+class ZeroNet:
+    """Predicts zero everywhere (u, v, p)."""
+
+    def __call__(self, features):
+        zero = features[:, 0:1] * 0.0
+        return ad.concat([zero, zero, zero], axis=1)
+
+
+class PerfectPressureNet:
+    """Predicts the reference pressure exactly (u, v still zero)."""
+
+    def __init__(self, reference):
+        self.reference = reference
+
+    def __call__(self, features):
+        from repro.utils import bilinear_interpolate
+        pts = features.numpy()[:, :2]
+        p = bilinear_interpolate(self.reference["xs"], self.reference["ys"],
+                                 self.reference["p"], pts)
+        zero = features[:, 0:1] * 0.0
+        from repro.autodiff import Tensor
+        return ad.concat([zero, zero, Tensor(p.reshape(-1, 1))], axis=1)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return annular_ring_config("smoke")
+
+
+@pytest.fixture(scope="module")
+def reference(config):
+    return ar_reference(config, 1.0)
+
+
+def wrap(net):
+    return types.SimpleNamespace(net=net)
+
+
+def test_zero_net_error_equals_reference_magnitude(config, reference):
+    results = {"zero": wrap(ZeroNet())}
+    fig4 = pressure_error_fields(results, config, r_inner=1.0)
+    mask = fig4["mask"]
+    expected = np.abs(reference["p"][mask]).mean()
+    assert np.isclose(fig4["mean_abs_error"]["zero"], expected, rtol=1e-9)
+
+
+def test_perfect_net_error_is_zero(config, reference):
+    results = {"perfect": wrap(PerfectPressureNet(reference))}
+    fig4 = pressure_error_fields(results, config, r_inner=1.0)
+    assert fig4["mean_abs_error"]["perfect"] < 1e-9
+
+
+def test_ranking_between_methods(config, reference):
+    results = {"zero": wrap(ZeroNet()),
+               "perfect": wrap(PerfectPressureNet(reference))}
+    fig4 = pressure_error_fields(results, config, r_inner=1.0)
+    assert (fig4["mean_abs_error"]["perfect"] <
+            fig4["mean_abs_error"]["zero"])
+
+
+def test_fields_shape_and_nan_outside(config):
+    results = {"zero": wrap(ZeroNet())}
+    fig4 = pressure_error_fields(results, config, r_inner=1.0)
+    field = fig4["fields"]["zero"]
+    assert field.shape == fig4["mask"].shape
+    assert np.all(np.isnan(field[~fig4["mask"]]))
+    assert np.all(np.isfinite(field[fig4["mask"]]))

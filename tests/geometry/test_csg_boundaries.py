@@ -1,0 +1,74 @@
+"""Deeper CSG boundary behaviour: intersection surfaces and weights."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Circle, Difference, Intersection, Rectangle, Union
+
+RNG = np.random.default_rng(0)
+
+
+def test_intersection_boundary_on_both_surfaces():
+    lens = Circle((0.0, 0.0), 1.0) & Circle((1.0, 0.0), 1.0)
+    cloud = lens.sample_boundary(400, RNG)
+    r0 = np.linalg.norm(cloud.coords, axis=1)
+    r1 = np.linalg.norm(cloud.coords - np.array([1.0, 0.0]), axis=1)
+    on_first = np.isclose(r0, 1.0)
+    on_second = np.isclose(r1, 1.0)
+    assert np.all(on_first | on_second)
+    assert on_first.any() and on_second.any()
+    # all kept points must lie inside the *other* circle
+    assert np.all(r1[on_first] <= 1.0 + 1e-9)
+    assert np.all(r0[on_second] <= 1.0 + 1e-9)
+
+
+def test_union_weights_approximate_effective_perimeter():
+    # two disjoint circles: union perimeter = sum of circumferences
+    a = Circle((0.0, 0.0), 1.0)
+    b = Circle((5.0, 0.0), 1.0)
+    union = a + b
+    cloud = union.sample_boundary(600, RNG)
+    measured = cloud.weights.sum()
+    expected = a.boundary_length + b.boundary_length
+    assert np.isclose(measured, expected, rtol=0.1)
+
+
+def test_difference_weights_drop_removed_arc():
+    # rectangle minus a disk centered on its right edge: the perimeter loses
+    # the covered edge segment but gains the interior arc
+    rect = Rectangle((0.0, 0.0), (2.0, 2.0))
+    hole = Circle((2.0, 1.0), 0.5)
+    diff = rect - hole
+    cloud = diff.sample_boundary(800, RNG)
+    assert np.all(np.abs(diff.sdf(cloud.coords)) < 1e-7)
+    on_arc = np.isclose(
+        np.linalg.norm(cloud.coords - np.array([2.0, 1.0]), axis=1), 0.5)
+    assert on_arc.any()
+    # arc points must be inside the rectangle
+    assert np.all(rect.sdf(cloud.coords[on_arc]) > -1e-9)
+
+
+def test_empty_intersection_raises():
+    a = Circle((0.0, 0.0), 0.5)
+    b = Circle((5.0, 0.0), 0.5)
+    lens = a & b
+    with pytest.raises(RuntimeError):
+        lens.sample_interior(50, RNG)
+
+
+def test_chained_csg_boundary():
+    shape = (Rectangle((0, 0), (3, 1)) + Circle((3.0, 0.5), 0.5)) - \
+        Circle((1.0, 0.5), 0.25)
+    cloud = shape.sample_boundary(500, RNG)
+    assert np.all(np.abs(shape.sdf(cloud.coords)) < 1e-7)
+    inner = np.isclose(
+        np.linalg.norm(cloud.coords - np.array([1.0, 0.5]), axis=1), 0.25)
+    assert inner.any()
+
+
+def test_union_interior_covers_both_parts():
+    union = Circle((0.0, 0.0), 0.6) + Circle((2.0, 0.0), 0.6)
+    cloud = union.sample_interior(600, RNG)
+    near_a = np.linalg.norm(cloud.coords, axis=1) < 0.6
+    near_b = np.linalg.norm(cloud.coords - np.array([2.0, 0.0]), axis=1) < 0.6
+    assert near_a.sum() > 100 and near_b.sum() > 100

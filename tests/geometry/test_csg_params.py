@@ -1,0 +1,133 @@
+"""CSG combinations and parameterized geometry."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    Channel2D, Circle, Difference, Intersection, ParamSpace,
+    ParameterizedGeometry, Rectangle, Union,
+)
+
+RNG = np.random.default_rng(1)
+
+
+class TestCSG:
+    def setup_method(self):
+        self.left = Rectangle((0.0, 0.0), (2.0, 2.0))
+        self.disk = Circle((2.0, 1.0), 0.8)
+
+    def test_union_contains_both(self):
+        union = self.left + self.disk
+        assert union.contains(np.array([[0.5, 0.5]]))[0]
+        assert union.contains(np.array([[2.6, 1.0]]))[0]
+        assert not union.contains(np.array([[3.5, 1.0]]))[0]
+
+    def test_difference_removes_hole(self):
+        diff = self.left - self.disk
+        assert diff.contains(np.array([[0.5, 0.5]]))[0]
+        assert not diff.contains(np.array([[1.9, 1.0]]))[0]
+
+    def test_intersection_lens(self):
+        inter = self.left & self.disk
+        assert inter.contains(np.array([[1.8, 1.0]]))[0]
+        assert not inter.contains(np.array([[0.5, 0.5]]))[0]
+        assert not inter.contains(np.array([[2.6, 1.0]]))[0]
+
+    def test_union_area(self):
+        union = self.left + self.disk
+        # area = rect + half-ish disk outside; Monte-Carlo vs inclusion-exclusion
+        area = union.approx_area(RNG, samples=60000)
+        overlap_est = (self.left & self.disk).approx_area(RNG, samples=60000)
+        expected = self.left.area + self.disk.area - overlap_est
+        assert np.isclose(area, expected, rtol=0.05)
+
+    def test_interior_sampling_respects_difference(self):
+        diff = self.left - self.disk
+        cloud = diff.sample_interior(1000, RNG)
+        assert np.all(self.left.contains(cloud.coords))
+        assert not np.any(self.disk.contains(cloud.coords))
+
+    def test_boundary_of_difference_includes_arc(self):
+        diff = self.left - self.disk
+        cloud = diff.sample_boundary(800, RNG)
+        on_circle = np.isclose(
+            np.linalg.norm(cloud.coords - np.array([2.0, 1.0]), axis=1), 0.8)
+        assert on_circle.sum() > 0
+        # all boundary points lie on the combined boundary
+        assert np.all(np.abs(diff.sdf(cloud.coords)) < 1e-7)
+
+    def test_union_boundary_excludes_interior_arcs(self):
+        union = self.left + self.disk
+        cloud = union.sample_boundary(800, RNG)
+        # no boundary point may be strictly inside the union
+        assert np.all(union.sdf(cloud.coords) < 1e-7)
+
+    def test_nested_csg(self):
+        channel = Channel2D((-4.0, -1.0), (4.0, 1.0))
+        ring_domain = (channel + Circle((0.0, 0.0), 2.0)) - Circle((0.0, 0.0), 1.0)
+        cloud = ring_domain.sample_interior(500, RNG)
+        radii = np.linalg.norm(cloud.coords, axis=1)
+        assert np.all(radii > 1.0 - 1e-12)
+
+    def test_bounds_cover_children(self):
+        union = self.left + self.disk
+        lo, hi = union.bounds
+        assert lo[0] <= 0.0 and hi[0] >= 2.8
+
+
+class TestParamSpace:
+    def test_sample_ranges(self):
+        space = ParamSpace({"r": (0.75, 1.1), "s": (2.0, 3.0)})
+        values = space.sample(500, RNG)
+        assert values.shape == (500, 2)
+        assert np.all((values[:, 0] >= 0.75) & (values[:, 0] <= 1.1))
+        assert np.all((values[:, 1] >= 2.0) & (values[:, 1] <= 3.0))
+
+    def test_grid(self):
+        space = ParamSpace({"r": (0.0, 1.0)})
+        grid = space.grid(5)
+        assert np.allclose(grid.ravel(), np.linspace(0, 1, 5))
+
+    def test_as_dict_orders_names(self):
+        space = ParamSpace({"a": (0, 1), "b": (2, 3)})
+        d = space.as_dict(np.array([0.5, 2.5]))
+        assert d == {"a": 0.5, "b": 2.5}
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            ParamSpace({"r": (1.0, 0.0)})
+
+
+class TestParameterizedGeometry:
+    def setup_method(self):
+        self.space = ParamSpace({"radius": (0.5, 1.0)})
+        self.family = ParameterizedGeometry(
+            lambda p: Circle((0.0, 0.0), p["radius"]), self.space, draws=8)
+
+    def test_interior_points_respect_their_radius(self):
+        cloud = self.family.sample_interior(400, RNG)
+        assert cloud.params.shape == (400, 1)
+        radii = np.linalg.norm(cloud.coords, axis=1)
+        assert np.all(radii <= cloud.params[:, 0] + 1e-12)
+
+    def test_param_names_propagate(self):
+        cloud = self.family.sample_interior(50, RNG)
+        assert cloud.param_names == ("radius",)
+        assert cloud.features().shape == (50, 3)
+
+    def test_boundary_points_on_their_circle(self):
+        cloud = self.family.sample_boundary(300, RNG)
+        radii = np.linalg.norm(cloud.coords, axis=1)
+        assert np.allclose(radii, cloud.params[:, 0])
+
+    def test_multiple_draws_used(self):
+        cloud = self.family.sample_interior(400, RNG)
+        assert len(np.unique(cloud.params[:, 0])) == 8
+
+    def test_geometry_at_fixed_value(self):
+        geom = self.family.geometry_at(radius=0.75)
+        assert np.isclose(geom.radius, 0.75)
+
+    def test_rejects_bad_draws(self):
+        with pytest.raises(ValueError):
+            ParameterizedGeometry(lambda p: None, self.space, draws=0)

@@ -1,0 +1,96 @@
+"""3-D primitives: box and sphere."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box, Sphere
+
+RNG = np.random.default_rng(0)
+
+
+class TestBox:
+    def setup_method(self):
+        self.box = Box((0.0, 0.0, 0.0), (2.0, 1.0, 3.0))
+
+    def test_sdf_signs_and_values(self):
+        assert np.isclose(self.box.sdf(np.array([[1.0, 0.5, 1.5]]))[0], 0.5)
+        assert self.box.sdf(np.array([[3.0, 0.5, 1.0]]))[0] < 0
+
+    def test_interior_sampling(self):
+        cloud = self.box.sample_interior(400, RNG)
+        assert cloud.coords.shape == (400, 3)
+        assert np.all(self.box.contains(cloud.coords))
+
+    def test_volume_estimate(self):
+        assert np.isclose(self.box.approx_area(RNG), self.box.volume,
+                          rtol=0.05)
+
+    def test_boundary_on_faces(self):
+        cloud = self.box.sample_boundary(600, RNG)
+        assert np.allclose(np.abs(self.box.sdf(cloud.coords)), 0.0,
+                           atol=1e-12)
+        stepped = cloud.coords + 1e-6 * cloud.normals
+        assert np.all(self.box.sdf(stepped) < 0)
+
+    def test_boundary_weights_sum_to_area(self):
+        cloud = self.box.sample_boundary(100, RNG)
+        assert np.isclose(cloud.weights.sum(), self.box.surface_area)
+
+    def test_all_faces_hit(self):
+        cloud = self.box.sample_boundary(3000, RNG)
+        for axis, value in ((0, 0.0), (0, 2.0), (1, 0.0), (1, 1.0),
+                            (2, 0.0), (2, 3.0)):
+            assert np.any(np.isclose(cloud.coords[:, axis], value)), \
+                f"face {axis}={value} never sampled"
+
+    def test_invalid_corners(self):
+        with pytest.raises(ValueError):
+            Box((0, 0, 0), (1, -1, 1))
+        with pytest.raises(ValueError):
+            Box((0, 0), (1, 1))
+
+
+class TestSphere:
+    def setup_method(self):
+        self.ball = Sphere((1.0, -1.0, 0.5), 1.5)
+
+    def test_sdf(self):
+        assert np.isclose(self.ball.sdf(np.array([[1.0, -1.0, 0.5]]))[0], 1.5)
+        assert self.ball.sdf(np.array([[5.0, 0.0, 0.0]]))[0] < 0
+
+    def test_boundary_on_sphere(self):
+        cloud = self.ball.sample_boundary(500, RNG)
+        radii = np.linalg.norm(cloud.coords - np.array([1.0, -1.0, 0.5]),
+                               axis=1)
+        assert np.allclose(radii, 1.5)
+
+    def test_normals_radial_unit(self):
+        cloud = self.ball.sample_boundary(500, RNG)
+        assert np.allclose(np.linalg.norm(cloud.normals, axis=1), 1.0)
+        radial = (cloud.coords - np.array([1.0, -1.0, 0.5])) / 1.5
+        assert np.allclose(cloud.normals, radial, atol=1e-12)
+
+    def test_interior_sampling(self):
+        cloud = self.ball.sample_interior(300, RNG)
+        radii = np.linalg.norm(cloud.coords - np.array([1.0, -1.0, 0.5]),
+                               axis=1)
+        assert np.all(radii < 1.5)
+
+    def test_boundary_roughly_uniform(self):
+        # mean of uniformly distributed surface points is the center
+        cloud = self.ball.sample_boundary(4000, RNG)
+        assert np.allclose(cloud.coords.mean(axis=0),
+                           [1.0, -1.0, 0.5], atol=0.1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Sphere((0, 0, 0), -1.0)
+        with pytest.raises(ValueError):
+            Sphere((0, 0), 1.0)
+
+
+def test_csg_works_in_3d():
+    shell = Box((0, 0, 0), (2, 2, 2)) - Sphere((1, 1, 1), 0.8)
+    cloud = shell.sample_interior(300, RNG)
+    radii = np.linalg.norm(cloud.coords - 1.0, axis=1)
+    assert np.all(radii > 0.8 - 1e-12)

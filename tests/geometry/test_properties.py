@@ -1,0 +1,65 @@
+"""Hypothesis properties of SDFs and sampling."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Circle, Rectangle
+
+coords = st.floats(min_value=-5.0, max_value=5.0,
+                   allow_nan=False, allow_infinity=False)
+positive = st.floats(min_value=0.2, max_value=3.0,
+                     allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=50, deadline=None)
+@given(coords, coords, positive, coords, coords)
+def test_circle_sdf_is_radius_minus_distance(cx, cy, r, px, py):
+    circle = Circle((cx, cy), r)
+    point = np.array([[px, py]])
+    expected = r - np.hypot(px - cx, py - cy)
+    assert np.isclose(circle.sdf(point)[0], expected)
+
+
+@settings(max_examples=50, deadline=None)
+@given(coords, coords, positive, positive, st.integers(0, 2 ** 31))
+def test_rectangle_interior_sample_inside_and_sdf_positive(x0, y0, w, h, seed):
+    rect = Rectangle((x0, y0), (x0 + w, y0 + h))
+    rng = np.random.default_rng(seed)
+    cloud = rect.sample_interior(64, rng)
+    assert np.all(rect.sdf(cloud.coords) > 0)
+    assert np.all(cloud.coords[:, 0] > x0) and np.all(cloud.coords[:, 0] < x0 + w)
+
+
+@settings(max_examples=50, deadline=None)
+@given(coords, coords, positive, st.integers(0, 2 ** 31))
+def test_circle_boundary_sdf_zero(cx, cy, r, seed):
+    circle = Circle((cx, cy), r)
+    rng = np.random.default_rng(seed)
+    cloud = circle.sample_boundary(64, rng)
+    assert np.allclose(circle.sdf(cloud.coords), 0.0, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(coords, coords, positive, positive)
+def test_rectangle_sdf_1lipschitz(x0, y0, w, h):
+    # SDFs are 1-Lipschitz: |sdf(p) - sdf(q)| <= |p - q|
+    rect = Rectangle((x0, y0), (x0 + w, y0 + h))
+    rng = np.random.default_rng(0)
+    p = rng.uniform(-6, 6, (32, 2))
+    q = p + rng.normal(0, 0.5, (32, 2))
+    lhs = np.abs(rect.sdf(p) - rect.sdf(q))
+    rhs = np.linalg.norm(p - q, axis=1)
+    assert np.all(lhs <= rhs + 1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(coords, coords, positive, positive)
+def test_union_sdf_upper_bounds_children(cx, cy, r1, r2):
+    a = Circle((cx, cy), r1)
+    b = Circle((cx + 1.0, cy), r2)
+    union = a + b
+    rng = np.random.default_rng(0)
+    pts = rng.uniform(-6, 6, (64, 2))
+    assert np.all(union.sdf(pts) >= a.sdf(pts) - 1e-12)
+    assert np.all(union.sdf(pts) >= b.sdf(pts) - 1e-12)

@@ -1,0 +1,74 @@
+"""Conductance diagnostics for LRD partitions (paper §3.3)."""
+
+import numpy as np
+
+from repro.graph import (
+    adjacency_from_edges, cluster_conductance, cut_fraction, knn_adjacency,
+    lrd_decompose, partition_summary,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def two_blobs(n=200, separation=5.0, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0.0, 0.3, (n // 2, 2))
+    b = rng.normal(separation, 0.3, (n // 2, 2))
+    return np.vstack([a, b])
+
+
+def test_cut_fraction_zero_for_whole_graph():
+    adj = knn_adjacency(RNG.uniform(size=(50, 2)), 4)
+    assert cut_fraction(adj, np.zeros(50, dtype=int)) == 0.0
+
+
+def test_cut_fraction_one_for_singletons():
+    adj = knn_adjacency(RNG.uniform(size=(50, 2)), 4)
+    assert np.isclose(cut_fraction(adj, np.arange(50)), 1.0)
+
+
+def test_natural_split_has_low_conductance():
+    points = two_blobs()
+    adj = knn_adjacency(points, 6)
+    labels = (np.arange(len(points)) >= len(points) // 2).astype(int)
+    natural = cluster_conductance(adj, labels)
+    rng = np.random.default_rng(1)
+    random_labels = rng.integers(0, 2, len(points))
+    random = cluster_conductance(adj, random_labels)
+    assert natural.max() < 0.2 * random.max()
+
+
+def test_lrd_cuts_bounded_fraction_of_edges():
+    # Alev et al.: LRD removes only a constant fraction of edge weight
+    points = RNG.uniform(size=(400, 2))
+    adj = knn_adjacency(points, 8)
+    result = lrd_decompose(adj, level=4, seed=0)
+    frac = cut_fraction(adj, result.labels)
+    assert frac < 0.8
+
+
+def test_lrd_clusters_beat_random_partition_conductance():
+    points = RNG.uniform(size=(400, 2))
+    adj = knn_adjacency(points, 8)
+    result = lrd_decompose(adj, level=4, seed=0)
+    lrd_phi = cluster_conductance(adj, result.labels)
+    rng = np.random.default_rng(2)
+    random_labels = rng.integers(0, result.n_clusters, 400)
+    rand_phi = cluster_conductance(adj, random_labels)
+    assert lrd_phi.mean() < rand_phi.mean()
+
+
+def test_partition_summary_fields():
+    adj = knn_adjacency(RNG.uniform(size=(120, 2)), 5)
+    result = lrd_decompose(adj, level=3, seed=0)
+    summary = partition_summary(adj, result.labels)
+    assert summary["n_clusters"] == result.n_clusters
+    assert 0.0 <= summary["cut_fraction"] <= 1.0
+    assert summary["min_size"] >= 1
+    assert summary["max_size"] <= 120
+    assert summary["mean_conductance"] <= summary["max_conductance"]
+
+
+def test_single_cluster_conductance_empty():
+    adj = adjacency_from_edges(3, np.array([[0, 1], [1, 2]]), np.ones(2))
+    assert cluster_conductance(adj, np.zeros(3, dtype=int)).size == 0

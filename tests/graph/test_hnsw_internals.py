@@ -1,0 +1,70 @@
+"""HNSW internals: layer distribution, connectivity limits, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.graph import HNSWIndex
+
+RNG = np.random.default_rng(0)
+
+
+def build_index(n=200, m=8, seed=1):
+    index = HNSWIndex(dim=2, m=m, rng=np.random.default_rng(seed))
+    index.build(RNG.uniform(size=(n, 2)))
+    return index
+
+
+def test_level_distribution_is_geometric_ish():
+    index = build_index(n=400)
+    levels = np.array(index.levels)
+    assert levels.min() == 0
+    # most nodes live on the base layer
+    assert (levels == 0).mean() > 0.7
+    assert levels.max() >= 1          # some hierarchy exists
+
+
+def test_entry_point_has_max_level():
+    index = build_index()
+    assert index.levels[index.entry_point] == index.max_level
+
+
+def test_connection_limits_respected():
+    index = build_index(m=6)
+    for node, per_level in enumerate(index.neighbours):
+        for level, links in per_level.items():
+            limit = 12 if level == 0 else 6
+            assert len(links) <= limit, \
+                f"node {node} level {level}: {len(links)} links"
+
+
+def test_links_are_bidirectional_enough_for_search():
+    # every node must be reachable: query each point for itself
+    index = build_index(n=150)
+    found_self = 0
+    for i, point in enumerate(index.points):
+        ids, dists = index.query(point, k=1)
+        if len(ids) and ids[0] == i:
+            found_self += 1
+    assert found_self > 140
+
+
+def test_query_k_larger_than_index():
+    index = HNSWIndex(dim=2, rng=np.random.default_rng(0))
+    index.build(RNG.uniform(size=(5, 2)))
+    ids, dists = index.query(np.array([0.5, 0.5]), k=10)
+    assert len(ids) <= 5
+    assert np.all(np.diff(dists) >= -1e-12)   # sorted ascending
+
+
+def test_duplicate_points_handled():
+    index = HNSWIndex(dim=2, rng=np.random.default_rng(2))
+    pts = np.vstack([np.zeros((5, 2)), RNG.uniform(size=(20, 2))])
+    index.build(pts)
+    ids, dists = index.query(np.zeros(2), k=3)
+    assert np.isclose(dists[0], 0.0)
+
+
+def test_results_sorted_by_distance():
+    index = build_index()
+    _, dists = index.query(np.array([0.5, 0.5]), k=8)
+    assert np.all(np.diff(dists) >= -1e-12)

@@ -1,0 +1,100 @@
+"""kNN search backends and edge-list construction."""
+
+import numpy as np
+import pytest
+
+from repro.graph import HNSWIndex, knn_graph_edges, knn_search
+
+RNG = np.random.default_rng(0)
+
+
+def test_kdtree_matches_brute_force():
+    points = RNG.uniform(size=(200, 2))
+    idx_tree, dist_tree = knn_search(points, 5, backend="kdtree")
+    idx_brute, dist_brute = knn_search(points, 5, backend="brute")
+    assert np.allclose(np.sort(dist_tree, axis=1), np.sort(dist_brute, axis=1))
+    # neighbour sets agree (order may differ on ties)
+    for a, b in zip(idx_tree, idx_brute):
+        assert set(a) == set(b)
+
+
+def test_knn_excludes_self():
+    points = RNG.uniform(size=(50, 2))
+    indices, _ = knn_search(points, 4)
+    for i, row in enumerate(indices):
+        assert i not in row
+
+
+def test_knn_invalid_k():
+    points = RNG.uniform(size=(10, 2))
+    with pytest.raises(ValueError):
+        knn_search(points, 0)
+    with pytest.raises(ValueError):
+        knn_search(points, 10)
+
+
+def test_edge_list_unique_and_ordered():
+    points = RNG.uniform(size=(100, 2))
+    indices, distances = knn_search(points, 6)
+    edges, lengths = knn_graph_edges(indices, distances)
+    assert np.all(edges[:, 0] < edges[:, 1])
+    keys = edges[:, 0] * 100 + edges[:, 1]
+    assert len(np.unique(keys)) == len(keys)
+    assert len(lengths) == len(edges)
+
+
+def test_edge_lengths_match_geometry():
+    points = RNG.uniform(size=(60, 2))
+    indices, distances = knn_search(points, 3)
+    edges, lengths = knn_graph_edges(indices, distances)
+    direct = np.linalg.norm(points[edges[:, 0]] - points[edges[:, 1]], axis=1)
+    assert np.allclose(lengths, direct)
+
+
+def test_edge_count_bounds():
+    points = RNG.uniform(size=(80, 2))
+    indices, distances = knn_search(points, 4)
+    edges, _ = knn_graph_edges(indices, distances)
+    # between n*k/2 (all mutual) and n*k (no mutual)
+    assert 80 * 4 / 2 <= len(edges) <= 80 * 4
+
+
+class TestHNSW:
+    def test_recall_against_exact(self):
+        points = RNG.uniform(size=(300, 2))
+        idx_exact, _ = knn_search(points, 5, backend="kdtree")
+        idx_hnsw, _ = knn_search(points, 5, backend="hnsw",
+                                 rng=np.random.default_rng(1))
+        hits = sum(len(set(a) & set(b)) for a, b in zip(idx_hnsw, idx_exact))
+        recall = hits / idx_exact.size
+        assert recall > 0.9, f"HNSW recall too low: {recall:.3f}"
+
+    def test_query_exact_on_tiny_set(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [5.0, 5.0]])
+        index = HNSWIndex(dim=2, rng=np.random.default_rng(0))
+        index.build(points)
+        ids, dists = index.query(np.array([0.1, 0.1]), k=2)
+        assert ids[0] == 0
+        assert np.isclose(dists[0], np.hypot(0.1, 0.1))
+
+    def test_query_empty_index_raises(self):
+        index = HNSWIndex(dim=2)
+        with pytest.raises(RuntimeError):
+            index.query(np.zeros(2), 1)
+
+    def test_incremental_add(self):
+        index = HNSWIndex(dim=2, rng=np.random.default_rng(2))
+        for p in RNG.uniform(size=(50, 2)):
+            index.add(p)
+        assert len(index) == 50
+        ids, _ = index.query(RNG.uniform(size=2), k=3)
+        assert len(ids) == 3
+
+    def test_knn_batch_shape(self):
+        points = RNG.uniform(size=(100, 3))
+        index = HNSWIndex(dim=3, rng=np.random.default_rng(3))
+        index.build(points)
+        ids, dists = index.knn(points, 4, exclude_self=True)
+        assert ids.shape == (100, 4)
+        for i, row in enumerate(ids):
+            assert i not in row

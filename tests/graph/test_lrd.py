@@ -1,0 +1,144 @@
+"""LRD decomposition invariants (paper S2)."""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph import (
+    adjacency_from_edges, cluster_sizes, exact_effective_resistance,
+    grid_partition, knn_adjacency, lrd_decompose, parallel_lrd,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def cloud_adjacency(n=200, k=6, seed=0):
+    points = np.random.default_rng(seed).uniform(size=(n, 2))
+    return points, knn_adjacency(points, k)
+
+
+class TestDecomposition:
+    def test_labels_form_exact_partition(self):
+        _, adj = cloud_adjacency()
+        result = lrd_decompose(adj, level=4)
+        assert result.labels.shape == (200,)
+        assert result.labels.min() == 0
+        assert result.labels.max() == result.n_clusters - 1
+        assert cluster_sizes(result.labels).sum() == 200
+
+    def test_level_controls_coarseness(self):
+        _, adj = cloud_adjacency()
+        counts = [lrd_decompose(adj, level=l, seed=1).n_clusters
+                  for l in (1, 3, 5, 7)]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+        assert counts[0] > counts[-1]
+
+    def test_target_cluster_count(self):
+        _, adj = cloud_adjacency(n=256)
+        result = lrd_decompose(adj, level=3, budget=np.inf)
+        assert result.n_clusters == 256 // 8
+
+    def test_diameter_bound_tracked(self):
+        _, adj = cloud_adjacency()
+        result = lrd_decompose(adj, level=5)
+        assert np.all(result.diameters <= result.budget + 1e-12)
+
+    def test_true_er_diameter_within_tracked_bound(self):
+        # exact check on a small graph: the real resistance diameter of each
+        # cluster never exceeds the spanning-tree upper bound we maintain
+        points, adj = cloud_adjacency(n=60, k=4, seed=3)
+        result = lrd_decompose(adj, level=3, num_vectors=96, seed=4)
+        for c in range(result.n_clusters):
+            members = np.flatnonzero(result.labels == c)
+            if len(members) < 2:
+                continue
+            pairs = [(a, b) for i, a in enumerate(members)
+                     for b in members[i + 1:]]
+            er = exact_effective_resistance(adj, pairs)
+            assert er.max() <= result.budget * 1.6 + 1e-9
+
+    def test_min_clusters_respected(self):
+        _, adj = cloud_adjacency(n=64)
+        result = lrd_decompose(adj, level=20, budget=np.inf, min_clusters=5)
+        assert result.n_clusters >= 5
+
+    def test_no_edges_graph(self):
+        adj = sp.csr_matrix((5, 5))
+        result = lrd_decompose(adj, level=3)
+        assert result.n_clusters == 5
+        assert np.array_equal(result.labels, np.arange(5))
+
+    def test_precomputed_edge_resistance_used(self):
+        _, adj = cloud_adjacency(n=50, k=4)
+        coo = sp.triu(adj, k=1).tocoo()
+        er = np.ones(coo.nnz)
+        result = lrd_decompose(adj, level=2, edge_resistance=er)
+        assert np.array_equal(result.edge_resistance, er)
+
+    def test_clusters_are_spatially_coherent(self):
+        points, adj = cloud_adjacency(n=300, k=6, seed=5)
+        result = lrd_decompose(adj, level=4, seed=5)
+        intra = []
+        for c in range(result.n_clusters):
+            members = points[result.labels == c]
+            if len(members) >= 2:
+                intra.append(np.linalg.norm(
+                    members - members.mean(axis=0), axis=1).mean())
+        global_spread = np.linalg.norm(points - points.mean(axis=0),
+                                       axis=1).mean()
+        assert np.mean(intra) < 0.5 * global_spread
+
+    def test_deterministic_under_seed(self):
+        _, adj = cloud_adjacency()
+        a = lrd_decompose(adj, level=4, seed=7)
+        b = lrd_decompose(adj, level=4, seed=7)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestGridPartition:
+    def test_partition_covers_all_points(self):
+        points = RNG.uniform(size=(500, 2))
+        cells = grid_partition(points, 3)
+        joined = np.concatenate(cells)
+        assert len(joined) == 500
+        assert len(np.unique(joined)) == 500
+
+    def test_single_cell(self):
+        points = RNG.uniform(size=(50, 2))
+        cells = grid_partition(points, 1)
+        assert len(cells) == 1 and len(cells[0]) == 50
+
+    def test_cells_respect_spatial_bounds(self):
+        points = RNG.uniform(size=(400, 2))
+        cells = grid_partition(points, 2)
+        for idx in cells:
+            cell_points = points[idx]
+            span = cell_points.max(axis=0) - cell_points.min(axis=0)
+            assert np.all(span <= 0.5 + 1e-9)
+
+    def test_invalid_cells_per_dim(self):
+        import pytest
+        with pytest.raises(ValueError):
+            grid_partition(RNG.uniform(size=(10, 2)), 0)
+
+
+class TestParallelLRD:
+    def test_labels_unique_across_cells(self):
+        points = RNG.uniform(size=(400, 2))
+        labels, count = parallel_lrd(points, k=5, level=3, cells_per_dim=2)
+        assert labels.shape == (400,)
+        assert labels.max() == count - 1
+        # each cell's labels are disjoint, so every point got assigned
+        assert len(np.unique(labels)) == count
+
+    def test_single_cell_matches_direct(self):
+        points = np.random.default_rng(9).uniform(size=(150, 2))
+        labels, count = parallel_lrd(points, k=5, level=3, cells_per_dim=1,
+                                     seed=0)
+        adj = knn_adjacency(points, 5)
+        direct = lrd_decompose(adj, level=3, seed=0)
+        assert count == direct.n_clusters
+        # same partition up to relabelling
+        mapping = {}
+        for a, b in zip(labels, direct.labels):
+            mapping.setdefault(a, b)
+            assert mapping[a] == b

@@ -1,0 +1,101 @@
+"""L-BFGS optimizer: convergence and line-search behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, gradients
+from repro.nn import FullyConnected, LBFGS, Parameter
+
+
+def quadratic_closure(p, target, scale):
+    def closure():
+        diff = p - Tensor(target)
+        loss = ((diff * diff) * Tensor(scale)).sum()
+        grads = gradients(loss, [p])
+        return loss.item(), [g.numpy() for g in grads]
+    return closure
+
+
+def test_converges_on_illconditioned_quadratic():
+    target = np.array([1.0, -2.0, 3.0])
+    scale = np.array([100.0, 1.0, 0.01])   # condition number 1e4
+    p = Parameter(np.zeros(3))
+    opt = LBFGS([p], lr=1.0, history=10)
+    closure = quadratic_closure(p, target, scale)
+    for _ in range(60):
+        opt.step_closure(closure)
+    assert np.allclose(p.data, target, atol=1e-3)
+
+
+def test_beats_gradient_descent_on_same_budget():
+    target = np.array([1.0, -2.0])
+    scale = np.array([50.0, 0.5])
+    p_lbfgs = Parameter(np.zeros(2))
+    opt = LBFGS([p_lbfgs], lr=1.0)
+    closure = quadratic_closure(p_lbfgs, target, scale)
+    for _ in range(20):
+        final = opt.step_closure(closure)
+
+    from repro.nn import SGD
+    p_sgd = Parameter(np.zeros(2))
+    sgd = SGD([p_sgd], lr=0.01)
+    for _ in range(20):
+        diff = p_sgd - Tensor(target)
+        loss = ((diff * diff) * Tensor(scale)).sum()
+        sgd.step(gradients(loss, [p_sgd]))
+    err_lbfgs = np.linalg.norm(p_lbfgs.data - target)
+    err_sgd = np.linalg.norm(p_sgd.data - target)
+    assert err_lbfgs < err_sgd
+
+
+def test_line_search_rejects_bad_steps():
+    # a huge lr must not blow up thanks to backtracking
+    p = Parameter(np.array([5.0]))
+    opt = LBFGS([p], lr=1e6, max_line_search=40)
+    closure = quadratic_closure(p, np.zeros(1), np.ones(1))
+    for _ in range(10):
+        loss = opt.step_closure(closure)
+    assert np.isfinite(loss)
+    assert abs(p.data[0]) < 5.0
+
+
+def test_memory_is_bounded():
+    p = Parameter(np.zeros(4))
+    opt = LBFGS([p], history=3)
+    closure = quadratic_closure(p, np.ones(4), np.ones(4))
+    for _ in range(10):
+        opt.step_closure(closure)
+    assert len(opt._s) <= 3
+
+
+def test_plain_step_rejected():
+    p = Parameter(np.zeros(2))
+    opt = LBFGS([p])
+    with pytest.raises(RuntimeError):
+        opt.step([np.zeros(2)])
+
+
+def test_refines_network_after_adam():
+    # the classic PINN recipe: Adam then L-BFGS on a regression task
+    rng = np.random.default_rng(0)
+    net = FullyConnected(1, 1, width=12, depth=2, activation="tanh", rng=rng)
+    xs = np.linspace(-1, 1, 48).reshape(-1, 1)
+    ys = xs ** 2
+    from repro.autodiff import Tensor as T
+    from repro.nn import Adam
+    adam = Adam(net.parameters(), lr=5e-3)
+    for _ in range(200):
+        loss = ((net(T(xs)) - T(ys)) ** 2.0).mean()
+        adam.step(gradients(loss, net.parameters()))
+    adam_loss = loss.item()
+
+    opt = LBFGS(net.parameters(), lr=1.0)
+
+    def closure():
+        loss = ((net(T(xs)) - T(ys)) ** 2.0).mean()
+        grads = gradients(loss, net.parameters())
+        return loss.item(), [g.numpy() for g in grads]
+
+    for _ in range(30):
+        final = opt.step_closure(closure)
+    assert final < adam_loss

@@ -1,0 +1,124 @@
+"""Burgers residual, trainable coefficients, and the 3-D Poisson residual."""
+
+import numpy as np
+import pytest
+
+from repro import autodiff as ad
+from repro.autodiff import gradients
+from repro.pde import (
+    Burgers1D, Fields, NavierStokes2D, Poisson3D, TrainableCoefficient,
+    burgers_travelling_wave,
+)
+
+
+class TestBurgers:
+    def fields_on(self, n=48, seed=0):
+        rng = np.random.default_rng(seed)
+        features = rng.uniform(-1.0, 1.0, (n, 2))
+        return Fields.from_features(features, spatial_names=("x", "t"))
+
+    def test_travelling_wave_is_exact(self):
+        nu = 0.1
+        fields = self.fields_on()
+        x, t = fields.get("x"), fields.get("t")
+        a, c = 0.5, 0.5
+        xi = (x - c * t) * (a / (2.0 * nu))
+        fields.register("u", c - a * ad.tanh(xi))
+        res = Burgers1D(nu=nu).residuals(fields)["burgers"]
+        assert np.allclose(res.numpy(), 0.0, atol=1e-9)
+
+    def test_wave_helper_matches_tensor_form(self):
+        nu, a, c = 0.2, 0.4, 0.3
+        x = np.linspace(-1, 1, 20)
+        t = np.full_like(x, 0.5)
+        values = burgers_travelling_wave(x, t, nu, amplitude=a, speed=c)
+        expected = c - a * np.tanh((x - c * t) * a / (2 * nu))
+        assert np.allclose(values, expected)
+
+    def test_inviscid_limit_detects_nonsolution(self):
+        fields = self.fields_on()
+        x, t = fields.get("x"), fields.get("t")
+        fields.register("u", x * 1.0 + t * 0.0)  # u=x: u_t + u u_x = x != 0
+        res = Burgers1D(nu=0.0).residuals(fields)["burgers"]
+        assert np.allclose(res.numpy(), x.numpy(), atol=1e-12)
+
+
+class TestTrainableCoefficient:
+    def test_positive_transform_roundtrip(self):
+        coeff = TrainableCoefficient(0.37, positive=True)
+        assert np.isclose(coeff.value(), 0.37, rtol=1e-6)
+
+    def test_unconstrained(self):
+        coeff = TrainableCoefficient(-2.0, positive=False)
+        assert np.isclose(coeff.value(), -2.0)
+
+    def test_positive_requires_positive_initial(self):
+        with pytest.raises(ValueError):
+            TrainableCoefficient(-1.0, positive=True)
+
+    def test_gradient_flows_to_coefficient(self):
+        coeff = TrainableCoefficient(0.5)
+        fields = Fields.from_features(
+            np.random.default_rng(0).uniform(-1, 1, (16, 2)),
+            spatial_names=("x", "t"))
+        x, t = fields.get("x"), fields.get("t")
+        fields.register("u", ad.sin(x) * ad.cos(t))
+        res = Burgers1D(nu=coeff).residuals(fields)["burgers"]
+        loss = (res * res).mean()
+        grad, = gradients(loss, [coeff.raw])
+        assert abs(grad.item()) > 0.0
+
+    def test_coefficient_recovery_by_gradient_descent(self):
+        # data generated with nu*=0.3; recover nu from the residual alone
+        true_nu = 0.3
+        rng = np.random.default_rng(1)
+        features = rng.uniform(-1.0, 1.0, (128, 2))
+        coeff = TrainableCoefficient(0.05)
+        from repro.nn import Adam
+        opt = Adam([coeff.raw], lr=0.05)
+        for _ in range(150):
+            fields = Fields.from_features(features, spatial_names=("x", "t"))
+            x, t = fields.get("x"), fields.get("t")
+            a, c = 0.5, 0.5
+            xi = (x - c * t) * (a / (2.0 * true_nu))
+            fields.register("u", c - a * ad.tanh(xi))
+            res = Burgers1D(nu=coeff).residuals(fields)["burgers"]
+            loss = (res * res).mean()
+            opt.step(gradients(loss, [coeff.raw]))
+        assert np.isclose(coeff.value(), true_nu, rtol=0.05)
+
+    def test_navier_stokes_accepts_coefficient(self):
+        coeff = TrainableCoefficient(0.01)
+        pde = NavierStokes2D(nu=coeff)
+        fields = Fields.from_features(
+            np.random.default_rng(2).uniform(-1, 1, (8, 2)))
+        x, y = fields.get("x"), fields.get("y")
+        fields.register("u", ad.sin(x) * y)
+        fields.register("v", ad.cos(y) * x)
+        fields.register("p", x * y)
+        res = pde.residuals(fields)
+        assert all(np.all(np.isfinite(r.numpy())) for r in res.values())
+
+
+class TestPoisson3D:
+    def test_manufactured_3d_solution(self):
+        rng = np.random.default_rng(3)
+        features = rng.uniform(-1, 1, (32, 3))
+        fields = Fields.from_features(features,
+                                      spatial_names=("x", "y", "z"))
+        x, y, z = fields.get("x"), fields.get("y"), fields.get("z")
+        fields.register("u", ad.sin(x) * ad.sin(y) * ad.sin(z))
+        pde = Poisson3D(source=lambda xv, yv, zv:
+                        -3.0 * np.sin(xv) * np.sin(yv) * np.sin(zv))
+        res = pde.residuals(fields)["poisson"]
+        assert np.allclose(res.numpy(), 0.0, atol=1e-9)
+
+    def test_harmonic_3d(self):
+        rng = np.random.default_rng(4)
+        features = rng.uniform(-1, 1, (24, 3))
+        fields = Fields.from_features(features,
+                                      spatial_names=("x", "y", "z"))
+        x, y, z = fields.get("x"), fields.get("y"), fields.get("z")
+        fields.register("u", x * x + y * y - 2.0 * (z * z))
+        res = Poisson3D().residuals(fields)["poisson"]
+        assert np.allclose(res.numpy(), 0.0, atol=1e-10)

@@ -1,0 +1,99 @@
+"""Fields bundle: coordinate splitting, derivative caching, laplacian."""
+
+import numpy as np
+import pytest
+
+from repro import autodiff as ad
+from repro.pde import Fields
+
+
+def make_fields(n=16, seed=0, params=0):
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(-1.0, 1.0, (n, 2 + params))
+    names = tuple(f"p{i}" for i in range(params))
+    return Fields.from_features(features, spatial_names=("x", "y"),
+                                param_names=names)
+
+
+def test_from_features_column_split():
+    fields = make_fields(8)
+    x, y = fields.get("x"), fields.get("y")
+    assert x.shape == (8, 1) and y.shape == (8, 1)
+    stacked = fields.input_tensor()
+    assert stacked.shape == (8, 2)
+    assert np.allclose(stacked.numpy()[:, 0:1], x.numpy())
+
+
+def test_from_features_validates_names():
+    with pytest.raises(ValueError):
+        Fields.from_features(np.zeros((4, 3)), spatial_names=("x", "y"))
+
+
+def test_param_columns_registered():
+    fields = make_fields(8, params=2)
+    assert fields.coord_names == ("x", "y", "p0", "p1")
+    assert fields.input_tensor().shape == (8, 4)
+
+
+def test_first_derivative_of_analytic_field():
+    fields = make_fields(32)
+    x, y = fields.get("x"), fields.get("y")
+    fields.register("u", ad.sin(x) * y)
+    du_dx = fields.d("u", "x")
+    du_dy = fields.d("u", "y")
+    assert np.allclose(du_dx.numpy(), np.cos(x.numpy()) * y.numpy())
+    assert np.allclose(du_dy.numpy(), np.sin(x.numpy()))
+
+
+def test_derivative_caching_returns_identical_objects():
+    fields = make_fields(8)
+    x, y = fields.get("x"), fields.get("y")
+    fields.register("u", x * x * y)
+    first = fields.d("u", "x")
+    again = fields.d("u", "x")
+    assert first is again
+    cross = fields.d("u", "y")  # cached from the same backward sweep
+    assert cross is fields.d("u", "y")
+
+
+def test_second_derivatives_and_symmetry():
+    fields = make_fields(32)
+    x, y = fields.get("x"), fields.get("y")
+    fields.register("u", ad.sin(x * y))
+    uxy = fields.d2("u", "x", "y")
+    uyx = fields.d2("u", "y", "x")
+    assert np.allclose(uxy.numpy(), uyx.numpy(), atol=1e-12)
+    xv, yv = x.numpy(), y.numpy()
+    expected = np.cos(xv * yv) - xv * yv * np.sin(xv * yv)
+    assert np.allclose(uxy.numpy(), expected, atol=1e-12)
+
+
+def test_laplacian_of_harmonic_function_is_zero():
+    fields = make_fields(64)
+    x, y = fields.get("x"), fields.get("y")
+    fields.register("u", x * x - y * y)  # harmonic
+    lap = fields.laplacian("u")
+    assert np.allclose(lap.numpy(), 0.0, atol=1e-12)
+
+
+def test_laplacian_value():
+    fields = make_fields(64)
+    x, y = fields.get("x"), fields.get("y")
+    fields.register("u", x ** 4.0 + y ** 2.0)
+    lap = fields.laplacian("u")
+    expected = 12.0 * x.numpy() ** 2 + 2.0
+    assert np.allclose(lap.numpy(), expected, atol=1e-10)
+
+
+def test_unknown_field_raises():
+    fields = make_fields(4)
+    with pytest.raises(KeyError):
+        fields.get("nope")
+    with pytest.raises(KeyError):
+        fields.d("nope", "x")
+
+
+def test_contains_protocol():
+    fields = make_fields(4)
+    assert "x" in fields
+    assert "u" not in fields

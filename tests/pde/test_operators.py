@@ -1,0 +1,90 @@
+"""Differential-operator helpers."""
+
+import numpy as np
+import pytest
+
+from repro import autodiff as ad
+from repro.pde import (
+    Fields, divergence, gradient_magnitude, strain_rate_invariant,
+    vorticity_2d,
+)
+
+
+def make_fields(n=32, seed=0):
+    rng = np.random.default_rng(seed)
+    return Fields.from_features(rng.uniform(-1, 1, (n, 2)))
+
+
+def register_flow(fields):
+    x, y = fields.get("x"), fields.get("y")
+    fields.register("u", ad.sin(x) * ad.cos(y))
+    fields.register("v", -ad.cos(x) * ad.sin(y))
+    return x.numpy(), y.numpy()
+
+
+def test_divergence_of_solenoidal_field_is_zero():
+    fields = make_fields()
+    register_flow(fields)
+    div = divergence(fields)
+    assert np.allclose(div.numpy(), 0.0, atol=1e-12)
+
+
+def test_divergence_value():
+    fields = make_fields()
+    x, y = fields.get("x"), fields.get("y")
+    fields.register("u", x * 2.0)
+    fields.register("v", y * 3.0)
+    assert np.allclose(divergence(fields).numpy(), 5.0)
+
+
+def test_divergence_shape_mismatch_rejected():
+    fields = make_fields()
+    register_flow(fields)
+    with pytest.raises(ValueError):
+        divergence(fields, components=("u",), coords=("x", "y"))
+
+
+def test_vorticity_of_rigid_rotation():
+    fields = make_fields()
+    x, y = fields.get("x"), fields.get("y")
+    fields.register("u", -y * 1.0)
+    fields.register("v", x * 1.0)
+    assert np.allclose(vorticity_2d(fields).numpy(), 2.0)
+
+
+def test_strain_rate_invariant_pure_shear():
+    fields = make_fields()
+    x, y = fields.get("x"), fields.get("y")
+    fields.register("u", y * 1.0)
+    fields.register("v", ad.zeros_like(x) * x)
+    assert np.allclose(strain_rate_invariant(fields).numpy(), 1.0)
+
+
+def test_strain_matches_zero_eq_closure_term():
+    fields = make_fields()
+    xv, yv = register_flow(fields)
+    g = strain_rate_invariant(fields).numpy()
+    u_x = np.cos(xv) * np.cos(yv)
+    v_y = -np.cos(xv) * np.cos(yv)
+    u_y = -np.sin(xv) * np.sin(yv)
+    v_x = np.sin(xv) * np.sin(yv)
+    expected = 2 * u_x ** 2 + 2 * v_y ** 2 + (u_y + v_x) ** 2
+    assert np.allclose(g, expected, atol=1e-10)
+
+
+def test_gradient_magnitude():
+    fields = make_fields()
+    x, y = fields.get("x"), fields.get("y")
+    fields.register("u", 3.0 * x + 4.0 * y)
+    mag = gradient_magnitude(fields, "u")
+    assert np.allclose(mag.numpy(), 5.0, atol=1e-6)
+
+
+def test_gradient_magnitude_is_differentiable():
+    fields = make_fields()
+    x, y = fields.get("x"), fields.get("y")
+    fields.register("u", ad.sin(x) * y)
+    mag = gradient_magnitude(fields, "u")
+    from repro.autodiff import gradients
+    g, = gradients(mag.sum(), [x])
+    assert np.all(np.isfinite(g.numpy()))

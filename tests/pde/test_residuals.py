@@ -1,0 +1,172 @@
+"""Residual correctness on manufactured/exact solutions."""
+
+import numpy as np
+
+from repro import autodiff as ad
+from repro.autodiff import Tensor
+from repro.pde import (
+    AdvectionDiffusion2D, Fields, NavierStokes2D, Poisson2D,
+    ZeroEquationTurbulence,
+)
+
+
+def make_fields(n=64, seed=0, lo=-1.0, hi=1.0):
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(lo, hi, (n, 2))
+    return Fields.from_features(features)
+
+
+class TestPoisson:
+    def test_manufactured_solution_residual_vanishes(self):
+        # u = sin(pi x) sin(pi y)  =>  laplace u = -2 pi^2 u
+        fields = make_fields()
+        x, y = fields.get("x"), fields.get("y")
+        u = ad.sin(np.pi * x) * ad.sin(np.pi * y)
+        fields.register("u", u)
+        pde = Poisson2D(source=lambda xv, yv:
+                        -2.0 * np.pi ** 2 * np.sin(np.pi * xv) * np.sin(np.pi * yv))
+        res = pde.residuals(fields)["poisson"]
+        assert np.allclose(res.numpy(), 0.0, atol=1e-9)
+
+    def test_laplace_default_source(self):
+        fields = make_fields()
+        x, y = fields.get("x"), fields.get("y")
+        fields.register("u", x * y)  # harmonic
+        res = Poisson2D().residuals(fields)["poisson"]
+        assert np.allclose(res.numpy(), 0.0, atol=1e-12)
+
+    def test_residual_names(self):
+        assert Poisson2D().residual_names() == ("poisson",)
+
+
+class TestNavierStokes:
+    def register_kovasznay(self, fields, re=20.0):
+        """Exact steady NS solution (Kovasznay 1948)."""
+        lam = re / 2.0 - np.sqrt(re ** 2 / 4.0 + 4.0 * np.pi ** 2)
+        x, y = fields.get("x"), fields.get("y")
+        ex = ad.exp(lam * x)
+        u = 1.0 - ex * ad.cos(2.0 * np.pi * y)
+        v = (lam / (2.0 * np.pi)) * ex * ad.sin(2.0 * np.pi * y)
+        p = 0.5 * (1.0 - ad.exp(2.0 * lam * x))
+        fields.register("u", u)
+        fields.register("v", v)
+        fields.register("p", p)
+        return 1.0 / re
+
+    def test_kovasznay_satisfies_ns(self):
+        fields = make_fields(n=48, lo=0.0, hi=1.0)
+        nu = self.register_kovasznay(fields)
+        pde = NavierStokes2D(nu=nu)
+        res = pde.residuals(fields)
+        for name in ("continuity", "momentum_x", "momentum_y"):
+            assert np.allclose(res[name].numpy(), 0.0, atol=1e-7), name
+
+    def test_taylor_green_euler_limit(self):
+        # with nu = 0, steady Taylor-Green satisfies the Euler equations
+        fields = make_fields(n=48)
+        x, y = fields.get("x"), fields.get("y")
+        u = -ad.cos(x) * ad.sin(y)
+        v = ad.sin(x) * ad.cos(y)
+        p = -0.25 * (ad.cos(2.0 * x) + ad.cos(2.0 * y))
+        fields.register("u", u)
+        fields.register("v", v)
+        fields.register("p", p)
+        res = NavierStokes2D(nu=0.0).residuals(fields)
+        for name in ("continuity", "momentum_x", "momentum_y"):
+            assert np.allclose(res[name].numpy(), 0.0, atol=1e-9), name
+
+    def test_continuity_detects_compressible_field(self):
+        fields = make_fields()
+        x, y = fields.get("x"), fields.get("y")
+        fields.register("u", x)
+        fields.register("v", y)
+        fields.register("p", ad.zeros_like(x))
+        res = NavierStokes2D(nu=0.1).residuals(fields)
+        assert np.allclose(res["continuity"].numpy(), 2.0)
+
+    def test_residual_names(self):
+        assert NavierStokes2D(nu=1.0).residual_names() == (
+            "continuity", "momentum_x", "momentum_y")
+
+
+class TestZeroEquation:
+    def register_shear(self, fields):
+        x, y = fields.get("x"), fields.get("y")
+        fields.register("u", y * 1.0)
+        fields.register("v", ad.zeros_like(y) * y)
+        fields.register("p", ad.zeros_like(y) * y)
+
+    def test_nu_t_for_pure_shear(self):
+        # u = y, v = 0: G = 1, so nu_t = rho * l_m^2
+        fields = make_fields(n=32)
+        self.register_shear(fields)
+        sdf = np.full((32, 1), 0.01)
+        fields.register("sdf", Tensor(sdf))
+        model = ZeroEquationTurbulence(max_distance=0.05, rho=2.0)
+        nu_t = model.nu_t(fields)
+        l_m = min(0.419 * 0.01, 0.09 * 0.05)
+        assert np.allclose(nu_t.numpy(), 2.0 * l_m ** 2, rtol=1e-5)
+
+    def test_mixing_length_caps_at_outer_layer(self):
+        model = ZeroEquationTurbulence(max_distance=0.05)
+        far = Tensor(np.array([[10.0]]))
+        assert np.isclose(model.mixing_length(far).item(), 0.09 * 0.05)
+        near = Tensor(np.array([[1e-4]]))
+        assert np.isclose(model.mixing_length(near).item(), 0.419 * 1e-4)
+
+    def test_missing_sdf_raises(self):
+        fields = make_fields(n=8)
+        self.register_shear(fields)
+        model = ZeroEquationTurbulence(max_distance=0.05)
+        try:
+            model.nu_t(fields)
+            raised = False
+        except KeyError:
+            raised = True
+        assert raised
+
+    def test_turbulent_ns_full_diffusion_runs_and_is_finite(self):
+        fields = make_fields(n=16)
+        x, y = fields.get("x"), fields.get("y")
+        fields.register("u", ad.sin(x) * y)
+        fields.register("v", ad.cos(y) * x)
+        fields.register("p", x * y)
+        fields.register("sdf", Tensor(np.full((16, 1), 0.02)))
+        model = ZeroEquationTurbulence(max_distance=0.05)
+        pde = NavierStokes2D(nu=0.01, turbulence=model, full_diffusion=True)
+        res = pde.residuals(fields)
+        for r in res.values():
+            assert np.all(np.isfinite(r.numpy()))
+
+    def test_frozen_diffusion_matches_constant_nu(self):
+        class ConstantClosure:
+            def nu_t(self, fields):
+                return ad.zeros_like(fields.get("u")) + 0.02
+
+        def build():
+            fields = make_fields(n=24, seed=5)
+            x, y = fields.get("x"), fields.get("y")
+            fields.register("u", ad.sin(x) * ad.cos(y))
+            fields.register("v", ad.cos(x) * ad.sin(y) * (-1.0))
+            fields.register("p", x * x + y * y)
+            return fields
+
+        frozen = NavierStokes2D(nu=0.01, turbulence=ConstantClosure(),
+                                full_diffusion=False).residuals(build())
+        constant = NavierStokes2D(nu=0.03).residuals(build())
+        for name in ("momentum_x", "momentum_y"):
+            assert np.allclose(frozen[name].numpy(), constant[name].numpy(),
+                               atol=1e-10)
+
+
+class TestAdvectionDiffusion:
+    def test_manufactured_transport(self):
+        fields = make_fields(n=32)
+        x, y = fields.get("x"), fields.get("y")
+        fields.register("T", x * x + y * y)
+        fields.register("u", ad.ones_like(x))
+        fields.register("v", ad.zeros_like(x))
+        res = AdvectionDiffusion2D(alpha=0.5).residuals(fields)
+        expected = 2.0 * x.numpy() - 0.5 * 4.0
+        assert np.allclose(res["advection_diffusion"].numpy(), expected,
+                           atol=1e-10)

@@ -1,0 +1,59 @@
+"""RAR sampler (extension baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import RARSampler
+
+
+def make(n=400, **kw):
+    sampler = RARSampler(n, initial_fraction=0.25, add_per_refresh=50,
+                         candidate_pool=100, tau_e=10, seed=0, **kw)
+    losses = np.linspace(0.0, 1.0, n)  # worst residuals at high indices
+    sampler.bind_probes(probe_loss=lambda i: losses[i])
+    return sampler
+
+
+def test_initial_active_fraction():
+    sampler = make()
+    assert len(sampler.active) == 100
+
+
+def test_batches_drawn_from_active_set():
+    sampler = make()
+    batch = sampler.batch_indices(0, 32)
+    assert set(batch.tolist()) <= set(sampler.active.tolist())
+
+
+def test_refresh_grows_active_set_toward_high_loss():
+    sampler = make()
+    before = len(sampler.active)
+    for step in range(11):
+        sampler.batch_indices(step, 16)
+    assert len(sampler.active) == before + 50
+    # newly added points should skew to the high-loss end
+    new_points = sampler.active[before:]
+    assert new_points.mean() > 200
+
+
+def test_probe_overhead_counted():
+    sampler = make()
+    for step in range(11):
+        sampler.batch_indices(step, 16)
+    assert sampler.probe_points == 100
+
+
+def test_requires_probe():
+    sampler = RARSampler(100, tau_e=5, seed=0)
+    with pytest.raises(RuntimeError):
+        for step in range(6):
+            sampler.batch_indices(step, 8)
+
+
+def test_saturation_stops_growth():
+    sampler = RARSampler(60, initial_fraction=1.0, add_per_refresh=10,
+                         tau_e=5, seed=0)
+    sampler.bind_probes(probe_loss=lambda i: np.ones(len(i)))
+    for step in range(11):
+        sampler.batch_indices(step, 8)
+    assert len(sampler.active) == 60

@@ -1,0 +1,65 @@
+"""SGM output-feature graph rebuild (paper §3.2, last sentence)."""
+
+import numpy as np
+
+from repro.sampling import SGMSampler
+
+
+def make_sampler(append, n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(size=(n, 2))
+    # outputs split the cloud along x irrespective of spatial proximity
+    outputs = (features[:, 0:1] > 0.5).astype(float) * 10.0
+    sampler = SGMSampler(features, k=6, level=4, tau_e=50, tau_G=100,
+                         append_output_features=append,
+                         output_feature_weight=3.0, seed=seed,
+                         num_vectors=8)
+    sampler.bind_probes(probe_loss=lambda i: np.ones(len(i)),
+                        probe_outputs=lambda i: outputs[i])
+    return sampler, features, outputs
+
+
+def test_first_build_ignores_outputs():
+    sampler, _, _ = make_sampler(append=True)
+    sampler.start()
+    assert sampler.probe_points == 0  # no output probe on the initial build
+
+
+def test_rebuild_probes_outputs_once_per_rebuild():
+    sampler, _, _ = make_sampler(append=True)
+    sampler.start()
+    before = sampler.probe_points
+    sampler.build_clusters()
+    assert sampler.probe_points == before + sampler.n_points
+
+
+def test_output_features_change_clustering():
+    plain, features, outputs = make_sampler(append=False, seed=3)
+    plain.start()
+    plain.build_clusters()
+    labels_plain = plain.labels.copy()
+
+    aug, _, _ = make_sampler(append=True, seed=3)
+    aug.start()
+    aug.build_clusters()
+    labels_aug = aug.labels.copy()
+
+    # with the output column, clusters should rarely straddle the output
+    # discontinuity at x = 0.5
+    def straddle_fraction(labels):
+        left = features[:, 0] <= 0.5
+        straddling = 0
+        for c in np.unique(labels):
+            members = labels == c
+            if left[members].any() and (~left[members]).any():
+                straddling += members.sum()
+        return straddling / len(labels)
+
+    assert straddle_fraction(labels_aug) < straddle_fraction(labels_plain)
+
+
+def test_disabled_by_default():
+    sampler, _, _ = make_sampler(append=False)
+    sampler.start()
+    sampler.build_clusters()
+    assert sampler.probe_points == 0

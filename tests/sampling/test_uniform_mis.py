@@ -1,0 +1,115 @@
+"""Uniform and MIS baseline samplers."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import MISSampler, UniformSampler
+
+
+class TestUniform:
+    def test_batches_within_range_and_unique(self):
+        sampler = UniformSampler(100, seed=0)
+        batch = sampler.batch_indices(0, 32)
+        assert batch.shape == (32,)
+        assert len(np.unique(batch)) == 32
+        assert batch.min() >= 0 and batch.max() < 100
+
+    def test_deterministic_under_seed(self):
+        a = UniformSampler(50, seed=3).batch_indices(0, 10)
+        b = UniformSampler(50, seed=3).batch_indices(0, 10)
+        assert np.array_equal(a, b)
+
+    def test_batch_larger_than_dataset_allows_replacement(self):
+        sampler = UniformSampler(10, seed=0)
+        batch = sampler.batch_indices(0, 25)
+        assert batch.shape == (25,)
+
+    def test_no_probe_overhead(self):
+        sampler = UniformSampler(100)
+        sampler.batch_indices(0, 8)
+        assert sampler.probe_points == 0
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            UniformSampler(0)
+
+    def test_coverage_over_many_batches(self):
+        sampler = UniformSampler(40, seed=1)
+        seen = set()
+        for step in range(50):
+            seen.update(sampler.batch_indices(step, 8).tolist())
+        assert len(seen) == 40
+
+
+class TestMIS:
+    def make_sampler(self, n=200, measure="grad_norm", tau_e=10, **kw):
+        sampler = MISSampler(n, tau_e=tau_e, measure=measure, seed=0, **kw)
+        # importance concentrated on the first half of the indices
+        values = np.zeros(n)
+        values[: n // 2] = 1.0
+
+        def probe(indices):
+            return values[indices]
+
+        sampler.bind_probes(probe_loss=probe, probe_grad_norm=probe)
+        return sampler, values
+
+    def test_requires_probes(self):
+        sampler = MISSampler(10, tau_e=5)
+        with pytest.raises(RuntimeError):
+            sampler.batch_indices(0, 4)
+
+    def test_probabilities_follow_measure(self):
+        sampler, values = self.make_sampler()
+        sampler.batch_indices(0, 16)
+        p = sampler.probabilities
+        assert p[0] > 3.0 * p[-1]
+        assert np.isclose(p.sum(), 1.0)
+
+    def test_floor_keeps_all_points_reachable(self):
+        sampler, _ = self.make_sampler(floor_fraction=0.2)
+        sampler.batch_indices(0, 16)
+        assert sampler.probabilities.min() > 0.0
+
+    def test_empirical_sampling_bias(self):
+        sampler, values = self.make_sampler()
+        counts = np.zeros(200)
+        for step in range(200):
+            batch = sampler.batch_indices(step, 32)
+            np.add.at(counts, batch, 1.0)
+        high = counts[:100].sum()
+        low = counts[100:].sum()
+        assert high > 2.0 * low
+
+    def test_probe_overhead_counted_per_refresh(self):
+        sampler, _ = self.make_sampler(n=100, tau_e=10)
+        for step in range(20):
+            sampler.batch_indices(step, 8)
+        # refresh at step 0 and step 10
+        assert sampler.probe_points == 200
+
+    def test_importance_weights_mean_one(self):
+        sampler, _ = self.make_sampler()
+        batch = sampler.batch_indices(0, 32)
+        w = sampler.batch_weights(batch)
+        assert np.isclose(w.mean(), 1.0)
+        assert np.all(w > 0)
+
+    def test_zero_measure_falls_back_to_uniform(self):
+        sampler = MISSampler(50, tau_e=5, seed=0)
+        sampler.bind_probes(probe_loss=lambda i: np.zeros(len(i)),
+                            probe_grad_norm=lambda i: np.zeros(len(i)))
+        sampler.batch_indices(0, 8)
+        assert np.allclose(sampler.probabilities, 1.0 / 50)
+
+    def test_loss_measure_uses_loss_probe(self):
+        sampler = MISSampler(60, tau_e=5, measure="loss", seed=0)
+        values = np.linspace(0, 1, 60)
+        sampler.bind_probes(probe_loss=lambda i: values[i],
+                            probe_grad_norm=lambda i: np.zeros(len(i)))
+        sampler.batch_indices(0, 8)
+        assert sampler.probabilities[-1] > sampler.probabilities[0]
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(ValueError):
+            MISSampler(10, measure="nope")

@@ -1,0 +1,79 @@
+"""Annular-ring reference solver."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import annulus_mask, solve_annulus
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return solve_annulus(inner_radius=1.0, nx=101, ny=41, max_steps=12000,
+                         tol=2e-4)
+
+
+class TestMask:
+    def test_geometry_regions(self):
+        xs = np.linspace(-5, 5, 101)
+        ys = np.linspace(-2, 2, 41)
+        mask = annulus_mask(xs, ys, inner_radius=1.0)
+        gx, gy = np.meshgrid(xs, ys)
+        # channel interior
+        assert mask[np.argmin(np.abs(ys - 0.0)), np.argmin(np.abs(xs + 4.0))]
+        # inside the hole: solid
+        assert not mask[np.argmin(np.abs(ys)), np.argmin(np.abs(xs))]
+        # chamber bulge above the channel
+        iy = np.argmin(np.abs(ys - 1.5))
+        ix = np.argmin(np.abs(xs - 0.0))
+        assert mask[iy, ix]
+        # far corner outside everything
+        assert not mask[0, 0]
+
+    def test_inner_radius_parameter(self):
+        xs = np.linspace(-5, 5, 101)
+        ys = np.linspace(-2, 2, 41)
+        small = annulus_mask(xs, ys, inner_radius=0.75)
+        large = annulus_mask(xs, ys, inner_radius=1.1)
+        assert small.sum() > large.sum()
+
+
+class TestFlow:
+    def test_converged_and_finite(self, ring):
+        assert np.all(np.isfinite(ring.u))
+        assert ring.final_residual < 5e-3
+
+    def test_inlet_profile(self, ring):
+        iy = np.argmin(np.abs(ring.ys))
+        assert np.isclose(ring.u[iy, 0], 1.5, atol=0.05)
+        top = np.argmin(np.abs(ring.ys - 0.95))
+        assert ring.u[top, 0] < 0.4
+
+    def test_outlet_pressure_zero(self, ring):
+        fluid = ring.mask[:, -1]
+        assert np.allclose(ring.p[fluid, -1], 0.0)
+
+    def test_mass_conservation(self, ring):
+        dy = ring.ys[1] - ring.ys[0]
+        influx = np.sum(ring.u[:, 1] * ring.mask[:, 1]) * dy
+        outflux = np.sum(ring.u[:, -2] * ring.mask[:, -2]) * dy
+        assert influx > 1.5  # sanity: parabolic profile integral ~2
+        assert abs(outflux - influx) / influx < 0.1
+
+    def test_flow_splits_around_cylinder(self, ring):
+        # above and below the inner cylinder the x-velocity is positive
+        ix = np.argmin(np.abs(ring.xs))
+        above = np.argmin(np.abs(ring.ys - 1.5))
+        below = np.argmin(np.abs(ring.ys + 1.5))
+        assert ring.u[above, ix] > 0.05
+        assert ring.u[below, ix] > 0.05
+
+    def test_symmetry_about_centerline(self, ring):
+        u = np.where(ring.mask, ring.u, 0.0)
+        asym = np.abs(u - u[::-1, :]).max()
+        assert asym < 0.15 * np.abs(u).max()
+
+    def test_no_slip_inside_hole(self, ring):
+        gx, gy = np.meshgrid(ring.xs, ring.ys)
+        hole = gx ** 2 + gy ** 2 < 0.8 ** 2
+        assert np.allclose(ring.u[hole], 0.0)
+        assert np.allclose(ring.v[hole], 0.0)

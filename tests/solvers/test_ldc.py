@@ -1,0 +1,91 @@
+"""LDC reference solver vs the Ghia benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import (
+    ghia_u_centerline, ghia_v_centerline, ldc_wall_distance, solve_ldc,
+    zero_eq_viscosity_field,
+)
+from repro.utils import bilinear_interpolate
+
+
+@pytest.fixture(scope="module")
+def ldc100():
+    return solve_ldc(reynolds=100.0, resolution=49, max_steps=15000, tol=2e-5)
+
+
+def test_converged(ldc100):
+    assert ldc100.final_residual < 1e-3
+    assert ldc100.steps < 15000
+
+
+def test_lid_and_wall_bcs(ldc100):
+    # corners belong to the side walls (regularized cavity), so check the
+    # interior of the lid
+    assert np.allclose(ldc100.u[-1, 1:-1], 1.0)
+    assert np.allclose(ldc100.u[0, :], 0.0)
+    assert np.allclose(ldc100.v[:, 0], 0.0)
+    assert np.allclose(ldc100.v[:, -1], 0.0)
+
+
+def test_u_centerline_matches_ghia(ldc100):
+    y, u_ref = ghia_u_centerline(100)
+    pts = np.stack([np.full_like(y, 0.5), y], axis=1)
+    u_sol = bilinear_interpolate(ldc100.xs, ldc100.ys, ldc100.u, pts)
+    assert np.max(np.abs(u_sol - u_ref)) < 0.06
+
+
+def test_v_centerline_matches_ghia(ldc100):
+    x, v_ref = ghia_v_centerline(100)
+    pts = np.stack([x, np.full_like(x, 0.5)], axis=1)
+    v_sol = bilinear_interpolate(ldc100.xs, ldc100.ys, ldc100.v, pts)
+    assert np.max(np.abs(v_sol - v_ref)) < 0.06
+
+
+def test_primary_vortex_rotation(ldc100):
+    # lid drags fluid right along the top, so flow returns left below
+    mid = len(ldc100.ys) // 2
+    assert ldc100.u[-5, mid] > 0.0
+    assert ldc100.u[mid, mid] < 0.0
+
+
+def test_nu_t_field_attached_and_nonnegative(ldc100):
+    assert ldc100.nu_t.shape == ldc100.u.shape
+    assert np.all(ldc100.nu_t >= 0.0)
+
+
+def test_turbulent_variant_runs():
+    res = solve_ldc(reynolds=100.0, resolution=33, turbulent=True,
+                    max_steps=3000, tol=1e-3)
+    assert np.all(np.isfinite(res.u))
+    assert np.abs(res.u).max() <= 1.5
+
+
+def test_wall_distance():
+    xs = np.linspace(0, 1, 11)
+    wall = ldc_wall_distance(xs, xs)
+    assert np.isclose(wall[5, 5], 0.5)
+    assert np.isclose(wall[0, 3], 0.0)
+    assert np.isclose(wall[1, 5], 0.1)
+
+
+def test_zero_eq_viscosity_pure_shear():
+    xs = np.linspace(0, 1, 21)
+    gx, gy = np.meshgrid(xs, xs)
+    u = gy.copy()           # du/dy = 1 -> G = 1
+    v = np.zeros_like(u)
+    wall = np.full_like(u, 0.01)
+    nu_t = zero_eq_viscosity_field(u, v, wall, max_distance=0.5,
+                                   dx=xs[1] - xs[0], dy=xs[1] - xs[0])
+    expected = (0.419 * 0.01) ** 2
+    assert np.allclose(nu_t[5:-5, 5:-5], expected, rtol=1e-6)
+
+
+def test_ghia_tables_sane():
+    y, u100 = ghia_u_centerline(100)
+    assert u100[-1] == 1.0 and u100[0] == 0.0
+    x, v1000 = ghia_v_centerline(1000)
+    assert v1000[0] == 0.0 and v1000[-1] == 0.0
+    with pytest.raises(KeyError):
+        ghia_u_centerline(123)

@@ -1,0 +1,55 @@
+"""Poisson FDM solver and the solution cache."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import get_or_compute, solve_poisson_dirichlet
+
+
+def test_poisson_matches_manufactured_solution():
+    # u = sin(pi x) sin(pi y)  ->  f = -2 pi^2 u, u = 0 on the boundary
+    def source(x, y):
+        return -2.0 * np.pi ** 2 * np.sin(np.pi * x) * np.sin(np.pi * y)
+
+    xs, ys, u = solve_poisson_dirichlet(source, resolution=65)
+    gx, gy = np.meshgrid(xs, ys)
+    exact = np.sin(np.pi * gx) * np.sin(np.pi * gy)
+    assert np.max(np.abs(u - exact)) < 5e-3
+
+
+def test_poisson_boundary_zero():
+    xs, ys, u = solve_poisson_dirichlet(lambda x, y: np.ones_like(x),
+                                        resolution=33)
+    assert np.allclose(u[0, :], 0.0) and np.allclose(u[:, -1], 0.0)
+
+
+def test_poisson_sign_of_solution():
+    # laplace(u) = 1 with zero BCs gives u < 0 inside
+    xs, ys, u = solve_poisson_dirichlet(lambda x, y: np.ones_like(x),
+                                        resolution=33)
+    assert u[16, 16] < 0.0
+
+
+class TestCache:
+    def test_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return {"a": np.arange(5.0), "b": np.eye(2)}
+
+        first = get_or_compute("unit", builder)
+        second = get_or_compute("unit", builder)
+        assert len(calls) == 1
+        assert np.array_equal(first["a"], second["a"])
+        assert np.array_equal(first["b"], np.eye(2))
+        assert (tmp_path / "unit.npz").exists()
+
+    def test_distinct_keys(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        get_or_compute("k1", lambda: {"x": np.zeros(1)})
+        get_or_compute("k2", lambda: {"x": np.ones(1)})
+        assert np.array_equal(
+            get_or_compute("k2", lambda: {"x": np.full(1, 9.0)})["x"],
+            np.ones(1))

@@ -1,0 +1,44 @@
+"""CLI surface: parser wiring and the cheap commands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info_runs(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "repro.sampling" in out
+    assert "SGM" in out
+
+
+def test_parser_commands():
+    parser = build_parser()
+    args = parser.parse_args(["table1", "--scale", "smoke"])
+    assert args.command == "table1" and args.scale == "smoke"
+    args = parser.parse_args(["ldc", "--method", "mis"])
+    assert args.method == "mis"
+    args = parser.parse_args(["solve-ar", "--radius", "0.8"])
+    assert args.radius == 0.8
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_rejects_unknown_scale():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["table1", "--scale", "huge"])
+
+
+def test_train_smoke_ldc(capsys):
+    assert main(["ldc", "--method", "uniform", "--scale", "smoke",
+                 "--steps", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "min err(u)" in out
+
+
+def test_solve_ldc_tiny(capsys):
+    assert main(["solve-ldc", "--reynolds", "50", "--resolution", "17"]) == 0
+    assert "residual" in capsys.readouterr().out

@@ -1,0 +1,140 @@
+"""Constraints and validators."""
+
+import numpy as np
+import pytest
+
+from repro import autodiff as ad
+from repro.geometry import PointCloud, Rectangle
+from repro.nn import FullyConnected
+from repro.pde import Poisson2D
+from repro.training import (
+    BoundaryConstraint, InteriorConstraint, PointwiseValidator, relative_l2,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class StubNet:
+    """Fake network: columns are [2*x, x+y]."""
+
+    def __call__(self, features):
+        x = features[:, 0:1]
+        y = features[:, 1:2]
+        return ad.concat([2.0 * x, x + y], axis=1)
+
+
+class TestInteriorConstraint:
+    def make(self, sdf_weighting=False, **kw):
+        rect = Rectangle((0.0, 0.0), (1.0, 1.0))
+        cloud = rect.sample_interior(64, RNG)
+        net = FullyConnected(2, 1, width=8, depth=1,
+                             rng=np.random.default_rng(1))
+        constraint = InteriorConstraint("interior", cloud, Poisson2D(),
+                                        batch_size=16,
+                                        sdf_weighting=sdf_weighting, **kw)
+        return constraint, net, cloud
+
+    def test_residual_shapes(self):
+        constraint, net, _ = self.make()
+        residuals, weight = constraint.residuals(net, np.arange(16))
+        assert set(residuals) == {"poisson"}
+        assert residuals["poisson"].shape == (16, 1)
+        assert weight is None
+
+    def test_sdf_weighting_returns_wall_distances(self):
+        constraint, net, cloud = self.make(sdf_weighting=True)
+        _, weight = constraint.residuals(net, np.arange(8))
+        assert weight.shape == (8, 1)
+        assert np.allclose(weight, cloud.sdf[:8])
+
+    def test_residual_weights_scale(self):
+        plain, net, _ = self.make()
+        scaled = InteriorConstraint("interior", plain.cloud, Poisson2D(),
+                                    batch_size=16,
+                                    residual_weights={"poisson": 3.0},
+                                    sdf_weighting=False)
+        r_plain, _ = plain.residuals(net, np.arange(8))
+        r_scaled, _ = scaled.residuals(net, np.arange(8))
+        assert np.allclose(r_scaled["poisson"].numpy(),
+                           3.0 * r_plain["poisson"].numpy())
+
+    def test_n_points(self):
+        constraint, _, cloud = self.make()
+        assert constraint.n_points == len(cloud)
+
+
+class TestBoundaryConstraint:
+    def make_cloud(self, n=32):
+        rect = Rectangle((0.0, 0.0), (1.0, 1.0))
+        return rect.sample_boundary(n, RNG)
+
+    def test_constant_target(self):
+        cloud = self.make_cloud()
+        bc = BoundaryConstraint("lid", cloud, ("u", "v"), {"u": 1.0},
+                                batch_size=8)
+        residuals, _ = bc.residuals(StubNet(), np.arange(8))
+        expected = 2.0 * cloud.coords[:8, 0:1] - 1.0
+        assert np.allclose(residuals["lid_u"].numpy(), expected)
+
+    def test_callable_target(self):
+        cloud = self.make_cloud()
+        bc = BoundaryConstraint("wall", cloud, ("u", "v"),
+                                {"v": lambda c, p: c[:, 0] + c[:, 1]},
+                                batch_size=8)
+        residuals, _ = bc.residuals(StubNet(), np.arange(8))
+        assert np.allclose(residuals["wall_v"].numpy(), 0.0, atol=1e-12)
+
+    def test_unknown_target_rejected(self):
+        cloud = self.make_cloud()
+        with pytest.raises(KeyError):
+            BoundaryConstraint("bc", cloud, ("u",), {"w": 0.0}, batch_size=8)
+
+    def test_multiple_targets(self):
+        cloud = self.make_cloud()
+        bc = BoundaryConstraint("noslip", cloud, ("u", "v"),
+                                {"u": 0.0, "v": 0.0}, batch_size=8)
+        residuals, _ = bc.residuals(StubNet(), np.arange(4))
+        assert set(residuals) == {"noslip_u", "noslip_v"}
+
+
+class TestRelativeL2:
+    def test_formula(self):
+        assert np.isclose(relative_l2([1.0, 1.0], [1.0, 0.0]),
+                          1.0 / 1.0)
+
+    def test_zero_error(self):
+        assert relative_l2([2.0, 3.0], [2.0, 3.0]) == 0.0
+
+    def test_zero_reference_fallback(self):
+        assert np.isclose(relative_l2([3.0, 4.0], [0.0, 0.0]), 5.0)
+
+
+class TestPointwiseValidator:
+    def test_exact_prediction_gives_zero_error(self):
+        features = RNG.uniform(size=(50, 2))
+        refs = {"u": 2.0 * features[:, 0], "v": features.sum(axis=1)}
+        validator = PointwiseValidator("test", features, refs, ("u", "v"))
+        errors = validator.evaluate(StubNet())
+        assert np.isclose(errors["u"], 0.0, atol=1e-12)
+        assert np.isclose(errors["v"], 0.0, atol=1e-12)
+
+    def test_derived_variable(self):
+        features = RNG.uniform(size=(40, 2))
+        refs = {"w": 4.0 * features[:, 0]}
+        validator = PointwiseValidator(
+            "test", features, refs, ("u", "v"),
+            derived={"w": lambda fields: fields.get("u") * 2.0})
+        errors = validator.evaluate(StubNet())
+        assert np.isclose(errors["w"], 0.0, atol=1e-12)
+
+    def test_unresolvable_variable_rejected(self):
+        with pytest.raises(KeyError):
+            PointwiseValidator("bad", np.zeros((5, 2)),
+                               {"zeta": np.zeros(5)}, ("u",))
+
+    def test_imperfect_prediction_positive_error(self):
+        features = RNG.uniform(size=(30, 2))
+        refs = {"u": np.zeros(30)}
+        validator = PointwiseValidator("test", features, refs, ("u", "v"))
+        errors = validator.evaluate(StubNet())
+        assert errors["u"] > 0.0

@@ -1,0 +1,69 @@
+"""History records and Table-1/2 summary statistics."""
+
+import numpy as np
+
+from repro.training import History
+
+
+def make_history():
+    history = History(label="demo")
+    errs = [0.5, 0.3, 0.2, 0.25, 0.15]
+    for i, e in enumerate(errs):
+        history.record(step=i * 100, wall_time=float(i), loss=1.0 / (i + 1),
+                       errors={"u": e, "v": e * 2}, probe_points=i * 10)
+    return history
+
+
+def test_min_error():
+    history = make_history()
+    assert np.isclose(history.min_error("u"), 0.15)
+    assert np.isclose(history.min_error("v"), 0.30)
+
+
+def test_time_to_reach():
+    history = make_history()
+    assert history.time_to_reach("u", 0.3) == 1.0
+    assert history.time_to_reach("u", 0.10) is None
+    assert history.time_to_reach("u", 0.5) == 0.0
+
+
+def test_value_at_min():
+    history = make_history()
+    # min of u is at the last record, where v = 0.30
+    assert np.isclose(history.value_at_min("u", "v"), 0.30)
+
+
+def test_error_series_drops_nan():
+    history = History()
+    history.record(0, 0.0, 1.0, errors={"u": 0.5})
+    history.record(1, 1.0, 0.9, errors={})           # no validation this step
+    history.record(2, 2.0, 0.8, errors={"u": 0.4})
+    times, values = history.error_series("u")
+    assert len(values) == 2
+    assert np.allclose(times, [0.0, 2.0])
+
+
+def test_late_variable_gets_nan_padding():
+    history = History()
+    history.record(0, 0.0, 1.0, errors={"u": 0.5})
+    history.record(1, 1.0, 0.9, errors={"u": 0.4, "p": 0.9})
+    assert len(history.errors["p"]) == 2
+    assert np.isnan(history.errors["p"][0])
+
+
+def test_unknown_variable_empty():
+    history = make_history()
+    times, values = history.error_series("nope")
+    assert len(times) == 0
+    assert np.isnan(history.min_error("nope"))
+
+
+def test_csv_roundtrip(tmp_path):
+    history = make_history()
+    path = tmp_path / "hist.csv"
+    history.to_csv(path)
+    loaded = History.from_csv(path, label="demo")
+    assert loaded.steps == history.steps
+    assert np.allclose(loaded.losses, history.losses)
+    assert np.allclose(loaded.errors["u"], history.errors["u"])
+    assert loaded.probe_points == history.probe_points
