@@ -9,9 +9,8 @@ cost, plus a short training run per setting to expose the accuracy impact.
 import numpy as np
 import pytest
 
-from repro.experiments import ldc_config, ldc_methods, run_ldc_method
+import repro
 from repro.graph import knn_adjacency, lrd_decompose
-from repro.sampling import SGMSampler
 
 N = 10_000
 
@@ -49,13 +48,11 @@ def test_ablation_lrd_level(benchmark, fixed_cloud, level):
 @pytest.mark.parametrize("level", (3, 6))
 def test_ablation_training_accuracy(benchmark, level):
     """Short SGM training runs at two coarsening levels (smoke scale)."""
-    config = ldc_config("smoke")
-    method = [m for m in ldc_methods(config) if m.kind == "sgm"][0]
-
     def run():
-        import dataclasses
-        cfg = dataclasses.replace(config, lrd_level=level)
-        return run_ldc_method(cfg, method)
+        return (repro.problem("ldc", scale="smoke")
+                .sampler("sgm")
+                .config(lrd_level=level)
+                .train())
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     err = result.history.min_error("u")

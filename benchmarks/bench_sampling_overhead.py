@@ -9,11 +9,11 @@ same LDC problem and asserts the probe accounting matches the claim.
 import numpy as np
 import pytest
 
+from repro.api import build_problem
 from repro.experiments import ldc_config
 from repro.nn import Adam, FullyConnected
 from repro.sampling import MISSampler, SGMSampler
 from repro.training import Trainer
-from repro.experiments.ldc import build_ldc_problem
 
 N_POINTS = 8_000
 
@@ -21,16 +21,17 @@ N_POINTS = 8_000
 @pytest.fixture(scope="module")
 def ldc_training_setup():
     config = ldc_config("smoke")
-    problem = build_ldc_problem(config, N_POINTS, np.random.default_rng(0))
-    for constraint in problem["constraints"]:
+    problem = build_problem("ldc", config, N_POINTS,
+                            np.random.default_rng(0))
+    for constraint in problem.constraints:
         constraint.batch_size = 64
-    net = FullyConnected(2, 3, width=16, depth=2,
-                         rng=np.random.default_rng(0))
+    net = FullyConnected(problem.in_features, problem.out_features,
+                         width=16, depth=2, rng=np.random.default_rng(0))
     return config, problem, net
 
 
 def _trainer_with(sampler, problem, net):
-    return Trainer(net, problem["constraints"],
+    return Trainer(net, problem.constraints,
                    Adam(net.parameters(), lr=1e-3),
                    samplers={"interior": sampler}, seed=0)
 
@@ -47,7 +48,7 @@ def test_mis_refresh_probes_full_dataset(benchmark, ldc_training_setup):
 
 def test_sgm_refresh_probes_r_fraction(benchmark, ldc_training_setup):
     config, problem, net = ldc_training_setup
-    sampler = SGMSampler(problem["interior_cloud"].features(), k=8, level=5,
+    sampler = SGMSampler(problem.interior_cloud.features(), k=8, level=5,
                          tau_e=10_000, tau_G=100_000, probe_ratio=0.15,
                          seed=0, num_vectors=8)
     _trainer_with(sampler, problem, net)
@@ -64,7 +65,7 @@ def test_sgm_refresh_probes_r_fraction(benchmark, ldc_training_setup):
 
 def test_sgm_rebuild_cost(benchmark, ldc_training_setup):
     config, problem, net = ldc_training_setup
-    sampler = SGMSampler(problem["interior_cloud"].features(), k=8, level=5,
+    sampler = SGMSampler(problem.interior_cloud.features(), k=8, level=5,
                          seed=0, num_vectors=8)
 
     benchmark.pedantic(sampler.build_clusters, rounds=1, iterations=1)

@@ -2,79 +2,27 @@
 
 The travelling-wave solution concentrates all residual mass in a thin
 front, which is exactly the regime cluster-level importance sampling is
-built for.  This example trains the same network twice — uniform sampling
-vs the SGM sampler — for the same number of iterations and compares errors
-against the exact solution.
+built for.  The ``burgers`` registry entry assembles the space-time
+problem (interior residuals + exact-solution Dirichlet data on the t=0
+and x=±1 faces); this example trains it once per sampler at the full
+repro scale and compares errors against the exact solution.
 """
 
-import numpy as np
-
-from repro.geometry import PointCloud, Rectangle
-from repro.nn import Adam, FullyConnected
-from repro.pde import Burgers1D, burgers_travelling_wave
-from repro.sampling import SGMSampler
-from repro.training import (
-    BoundaryConstraint, InteriorConstraint, PointwiseValidator, Trainer,
-)
-
-NU = 0.01 / np.pi          # sharp front
-AMPLITUDE, SPEED = 0.6, 0.4
-STEPS = 900
-
-
-def exact(x, t):
-    return burgers_travelling_wave(x, t, NU, amplitude=AMPLITUDE,
-                                   speed=SPEED)
-
-
-def build_problem(rng):
-    domain = Rectangle((-1.0, 0.0), (1.0, 1.0))   # (x, t)
-    interior = domain.sample_interior(6000, rng)
-    boundary = domain.sample_boundary(1200, rng)
-    # space-time "boundary": initial slice t=0 plus x = +-1 walls, with the
-    # exact solution as Dirichlet data (t=1 face is left unconstrained)
-    keep = (boundary.coords[:, 1] < 1.0 - 1e-9)
-    boundary = boundary.subset(keep)
-
-    constraints = [
-        InteriorConstraint("interior", interior, Burgers1D(nu=NU),
-                           batch_size=128, sdf_weighting=False,
-                           spatial_names=("x", "t")),
-        BoundaryConstraint("data", boundary, ("u",),
-                           {"u": lambda c, p: exact(c[:, 0], c[:, 1])},
-                           batch_size=64, weight=20.0,
-                           spatial_names=("x", "t")),
-    ]
-    return interior, constraints
-
-
-def run(method, rng_seed=0):
-    rng = np.random.default_rng(rng_seed)
-    interior, constraints = build_problem(rng)
-    net = FullyConnected(2, 1, width=32, depth=3, activation="tanh",
-                         rng=np.random.default_rng(7))
-    pts = np.random.default_rng(5).uniform((-1, 0), (1, 1), (800, 2))
-    validator = PointwiseValidator("burgers", pts,
-                                   {"u": exact(pts[:, 0], pts[:, 1])},
-                                   ("u",), spatial_names=("x", "t"))
-    samplers = {}
-    if method == "sgm":
-        samplers["interior"] = SGMSampler(interior.features(), k=8, level=5,
-                                          tau_e=150, tau_G=600,
-                                          probe_ratio=0.15, seed=0)
-    trainer = Trainer(net, constraints, Adam(net.parameters(), lr=4e-3),
-                      samplers=samplers, validators=[validator], seed=0)
-    history = trainer.train(STEPS, validate_every=100, record_every=100,
-                            label=method)
-    return history
+import repro
 
 
 def main():
-    print(f"Burgers front (nu={NU:.4f}), {STEPS} steps per method")
-    for method in ("uniform", "sgm"):
-        history = run(method)
-        print(f"  {method:>8}: min rel-L2 err(u) = "
-              f"{history.min_error('u'):.4f}   wall {history.wall_times[-1]:.0f}s")
+    config = repro.experiments.burgers_config("repro")
+    print(f"Burgers front (nu={config.nu:.4f}), {config.steps} steps "
+          f"per method")
+    for kind in ("uniform", "sgm"):
+        history = (repro.problem("burgers", scale="repro")
+                   .sampler(kind)
+                   .train(label=kind)
+                   .history)
+        print(f"  {kind:>8}: min rel-L2 err(u) = "
+              f"{history.min_error('u'):.4f}   "
+              f"wall {history.wall_times[-1]:.0f}s")
 
 
 if __name__ == "__main__":

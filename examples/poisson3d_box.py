@@ -1,55 +1,21 @@
 """3-D Poisson in a box: the (x, y, z) path the paper's S1 mentions.
 
-Trains a PINN for ``laplace(u) = f`` in the unit cube with the SGM sampler
-clustering a 3-D point cloud, and validates against the manufactured
-solution ``u = sin(pi x) sin(pi y) sin(pi z)``.
+The ``poisson3d`` registry entry trains a PINN for ``laplace(u) = f`` in
+the unit cube with the SGM sampler clustering a 3-D point cloud, and
+validates against the manufactured solution
+``u = sin(pi x) sin(pi y) sin(pi z)``.  The registry-backed Session wires
+the 3-input network and 3-D gradient probes automatically.
 """
 
-import numpy as np
-
-from repro.geometry import Box
-from repro.nn import Adam, FullyConnected
-from repro.pde import Poisson3D
-from repro.sampling import SGMSampler
-from repro.training import (
-    BoundaryConstraint, InteriorConstraint, PointwiseValidator, Trainer,
-)
+import repro
 
 
 def main():
-    rng = np.random.default_rng(0)
-    cube = Box((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
-    interior = cube.sample_interior(5000, rng)
-    boundary = cube.sample_boundary(1500, rng)
-
-    def source(x, y, z):
-        return (-3.0 * np.pi ** 2 * np.sin(np.pi * x) * np.sin(np.pi * y)
-                * np.sin(np.pi * z))
-
-    constraints = [
-        InteriorConstraint("interior", interior, Poisson3D(source=source),
-                           batch_size=128, sdf_weighting=False,
-                           spatial_names=("x", "y", "z")),
-        BoundaryConstraint("walls", boundary, ("u",), {"u": 0.0},
-                           batch_size=64, weight=10.0,
-                           spatial_names=("x", "y", "z")),
-    ]
-    sampler = SGMSampler(interior.features(), k=10, level=5, tau_e=200,
-                         tau_G=1500, probe_ratio=0.15, seed=0)
-
-    net = FullyConnected(3, 1, width=32, depth=3, activation="tanh",
-                         rng=rng)
-    pts = rng.uniform(0, 1, (600, 3))
-    exact = (np.sin(np.pi * pts[:, 0]) * np.sin(np.pi * pts[:, 1])
-             * np.sin(np.pi * pts[:, 2]))
-    validator = PointwiseValidator("poisson3d", pts, {"u": exact}, ("u",),
-                                   spatial_names=("x", "y", "z"))
-    trainer = Trainer(net, constraints, Adam(net.parameters(), lr=3e-3),
-                      samplers={"interior": sampler},
-                      validators=[validator], seed=0)
-    history = trainer.train(700, validate_every=100, record_every=100)
-
-    print(f"3-D clusters: {len(sampler.clusters)}")
+    result = (repro.problem("poisson3d", scale="repro")
+              .sampler("sgm")
+              .train())
+    history = result.history
+    print(f"3-D clusters: {len(result.sampler.clusters)}")
     print(f"final loss: {history.losses[-1]:.3e}")
     print(f"min relative L2 error: {history.min_error('u'):.4f}")
 

@@ -1,67 +1,36 @@
-"""Quickstart: train a PINN on the 2-D Poisson equation with SGM sampling.
+"""Quickstart: the registry-backed Session API in a dozen lines.
 
-This is the smallest end-to-end tour of the library:
+Every workload in the library is a registered *problem* and every batching
+rule a registered *sampler*; ``repro.problem(...)`` opens a fluent session
+that wires geometry, constraints, network, optimizer, and validators for
+you:
 
-1. sample a geometry into a collocation point cloud;
-2. define the PDE residual and boundary conditions as constraints;
-3. attach the SGM-PINN sampler (kNN graph -> LRD clusters -> loss-probed
-   cluster importance) to the interior constraint;
-4. train and compare against the analytic solution.
+1. pick a problem from the registry (``repro.list_problems()``);
+2. pick a sampler (``uniform`` baseline vs the paper's ``sgm``);
+3. ``train(...)`` and read errors off the returned history.
 
 Runs in well under a minute on a laptop CPU.
 """
 
-import numpy as np
-
-from repro.geometry import Rectangle
-from repro.nn import Adam, FullyConnected
-from repro.pde import Poisson2D
-from repro.sampling import SGMSampler
-from repro.training import (
-    BoundaryConstraint, InteriorConstraint, PointwiseValidator, Trainer,
-)
+import repro
 
 
 def main():
-    rng = np.random.default_rng(0)
+    print("registered problems:", ", ".join(repro.list_problems()))
+    print("registered samplers:", ", ".join(repro.list_samplers()))
 
-    # 1. geometry and point clouds
-    square = Rectangle((0.0, 0.0), (1.0, 1.0))
-    interior = square.sample_interior(4000, rng)
-    boundary = square.sample_boundary(800, rng)
-
-    # 2. PDE: laplace(u) = f with u = sin(pi x) sin(pi y) as exact solution
-    def source(x, y):
-        return -2.0 * np.pi ** 2 * np.sin(np.pi * x) * np.sin(np.pi * y)
-
-    constraints = [
-        InteriorConstraint("interior", interior, Poisson2D(source=source),
-                           batch_size=128, sdf_weighting=False),
-        BoundaryConstraint("walls", boundary, ("u",), {"u": 0.0},
-                           batch_size=64, weight=10.0),
-    ]
-
-    # 3. the SGM-PINN sampler on the interior cloud
-    sampler = SGMSampler(interior.features(), k=8, level=5,
-                         tau_e=200, tau_G=1000, probe_ratio=0.15, seed=0)
-
-    # 4. network, validator, training
-    net = FullyConnected(2, 1, width=32, depth=3, activation="tanh",
-                         rng=rng)
-    points = rng.uniform(0.0, 1.0, (500, 2))
-    exact = np.sin(np.pi * points[:, 0]) * np.sin(np.pi * points[:, 1])
-    validator = PointwiseValidator("poisson", points, {"u": exact}, ("u",))
-
-    trainer = Trainer(net, constraints, Adam(net.parameters(), lr=3e-3),
-                      samplers={"interior": sampler},
-                      validators=[validator], seed=0)
-    history = trainer.train(800, validate_every=100, record_every=100)
-
-    print(f"\nclusters: {len(sampler.clusters)}  "
-          f"probe overhead: {sampler.probe_points} points")
-    print(f"final loss: {history.losses[-1]:.2e}")
-    print(f"relative L2 error vs exact solution: "
-          f"{history.min_error('u'):.4f}")
+    # the same Burgers front trained twice: uniform vs SGM-PINN sampling
+    for kind in ("uniform", "sgm"):
+        result = (repro.problem("burgers", scale="smoke")
+                  .sampler(kind)
+                  .n_interior(4000)
+                  .train(steps=800, label=kind))
+        history = result.history
+        print(f"\n{kind:>8}: final loss {history.losses[-1]:.2e}   "
+              f"min rel-L2 err(u) {history.min_error('u'):.4f}")
+        if kind != "uniform":
+            print(f"          probe overhead: "
+                  f"{result.sampler.probe_points} points")
 
 
 if __name__ == "__main__":

@@ -1,8 +1,10 @@
 """Setuptools entry point.
 
-Kept alongside ``pyproject.toml`` so that editable installs work in offline
+All metadata (including the ``sgm-pinn`` console script) lives in
+``pyproject.toml``; this file exists so editable installs work in offline
 environments whose setuptools/pip lack the ``wheel`` package required by
-PEP 660 editable wheels (pip then falls back to ``setup.py develop``).
+PEP 660 editable wheels — there, run ``python setup.py develop`` directly
+(pip's PEP 517 paths all need ``wheel`` until setuptools >= 70).
 """
 
 from setuptools import setup

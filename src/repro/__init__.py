@@ -8,9 +8,14 @@ effective-resistance LRD clustering, SPADE/ISR stability scoring, the SGM
 importance sampler with uniform/MIS baselines, reference CFD solvers for
 validation data, and the full experiment harness for the paper's tables and
 figures.
+
+The public entry point is the registry-backed :mod:`repro.api` layer::
+
+    import repro
+    result = repro.problem("ldc").sampler("sgm").train(steps=500)
 """
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 from . import autodiff
 from . import nn
@@ -23,8 +28,16 @@ from . import solvers
 from . import training
 from . import experiments
 from . import utils
+from . import api
+from .api import (
+    Problem, RunResult, Session, list_problems, list_samplers, problem,
+    register_problem, register_sampler,
+)
 
 __all__ = [
     "autodiff", "nn", "geometry", "pde", "graph", "stability", "sampling",
-    "solvers", "training", "experiments", "utils", "__version__",
+    "solvers", "training", "experiments", "utils", "api",
+    "Problem", "RunResult", "Session", "problem",
+    "register_problem", "register_sampler", "list_problems", "list_samplers",
+    "__version__",
 ]

@@ -1,0 +1,78 @@
+"""Built-in problem registrations: ldc, annular_ring, burgers, poisson3d.
+
+Each builder wraps the corresponding :mod:`repro.experiments` problem
+module into a :class:`Problem`, closing the config over the validator
+factory so a :class:`~repro.api.Session` (or any caller) can materialise
+validators without re-plumbing configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..experiments.annular_ring import ar_validators, build_ar_problem
+from ..experiments.burgers import build_burgers_problem, burgers_validator
+from ..experiments.configs import (
+    annular_ring_config, burgers_config, ldc_config, poisson3d_config,
+)
+from ..experiments.ldc import build_ldc_problem, ldc_validator
+from ..experiments.poisson3d import build_poisson3d_problem, poisson3d_validator
+from ._problem import Problem
+from .registry import problem_registry, register_problem
+
+__all__ = ["build_problem"]
+
+
+def build_problem(name, config=None, n_interior=None, rng=None):
+    """Build the registered problem ``name`` ready for training.
+
+    ``config`` defaults to the problem's ``repro``-scale preset,
+    ``n_interior`` to ``config.n_interior_small``, and ``rng`` to a
+    generator seeded with ``config.seed``.
+    """
+    entry = problem_registry.get(name)
+    config = config if config is not None else entry.config_factory()
+    n_interior = (n_interior if n_interior is not None
+                  else config.n_interior_small)
+    rng = rng if rng is not None else np.random.default_rng(config.seed)
+    return entry.builder(config, n_interior, rng)
+
+
+@register_problem("ldc", config_factory=ldc_config,
+                  description="lid-driven cavity, zero-equation turbulence "
+                  "(paper §4.1, Table 1)")
+def _ldc(config, n_interior, rng):
+    data = build_ldc_problem(config, n_interior, rng)
+    return Problem.from_legacy(
+        "ldc", data, spatial_names=("x", "y"),
+        validator_factory=lambda vrng: [ldc_validator(config, vrng)])
+
+
+@register_problem("annular_ring", config_factory=annular_ring_config,
+                  description="parameterized annular ring, r_inner in "
+                  "[0.75, 1.1] (paper §4.2, Table 2)")
+def _annular_ring(config, n_interior, rng):
+    data = build_ar_problem(config, n_interior, rng)
+    return Problem.from_legacy(
+        "annular_ring", data, spatial_names=("x", "y"),
+        validator_factory=lambda vrng: ar_validators(config, vrng))
+
+
+@register_problem("burgers", config_factory=burgers_config,
+                  description="viscous Burgers travelling front over "
+                  "(x, t), validated against the exact solution")
+def _burgers(config, n_interior, rng):
+    data = build_burgers_problem(config, n_interior, rng)
+    return Problem.from_legacy(
+        "burgers", data,
+        validator_factory=lambda vrng: [burgers_validator(config, vrng)])
+
+
+@register_problem("poisson3d", config_factory=poisson3d_config,
+                  description="3-D Poisson in the unit cube, manufactured "
+                  "sin·sin·sin solution")
+def _poisson3d(config, n_interior, rng):
+    data = build_poisson3d_problem(config, n_interior, rng)
+    return Problem.from_legacy(
+        "poisson3d", data,
+        validator_factory=lambda vrng: [poisson3d_validator(config, vrng)])

@@ -1,0 +1,137 @@
+"""Problem and sampler registries: the library's extension seam.
+
+SGM-PINN's claim is sampler-agnostic speedup across workloads; the natural
+way to hold that claim open is to make both axes — *which problem* and
+*which sampler* — pluggable by name.  Everything above this layer (the
+fluent :class:`~repro.api.Session`, the CLI ``run`` command, the table
+harness) resolves names through these registries, so registering a new
+problem or sampler makes it reachable everywhere at once.
+
+Usage::
+
+    from repro.api import register_problem, register_sampler
+
+    @register_problem("my_pde", config_factory=my_config,
+                      description="my workload")
+    def build_my_pde(config, n_interior, rng) -> Problem: ...
+
+    @register_sampler("my_sampler", description="my batching rule")
+    def make_my_sampler(config, interior_cloud, seed) -> Sampler: ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Registry", "ProblemEntry", "SamplerEntry",
+    "problem_registry", "sampler_registry",
+    "register_problem", "register_sampler",
+    "list_problems", "list_samplers",
+]
+
+
+class Registry:
+    """A named string -> entry mapping with helpful lookup errors."""
+
+    def __init__(self, kind):
+        self.kind = kind
+        self._entries = {}
+
+    def register(self, name, entry, overwrite=False):
+        """Add ``entry`` under ``name``; re-registration must be explicit."""
+        if not overwrite and name in self._entries:
+            raise ValueError(f"{self.kind} {name!r} is already registered; "
+                             f"pass overwrite=True to replace it")
+        self._entries[name] = entry
+        return entry
+
+    def get(self, name):
+        """Look up an entry, raising ``KeyError`` naming the alternatives."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(f"unknown {self.kind} {name!r}; "
+                           f"registered: {self.names()}") from None
+
+    def names(self):
+        """Registered keys, sorted."""
+        return sorted(self._entries)
+
+    def items(self):
+        return [(name, self._entries[name]) for name in self.names()]
+
+    def __contains__(self, name):
+        return name in self._entries
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self.names())
+
+
+@dataclass
+class ProblemEntry:
+    """Registry record for one problem family.
+
+    ``builder(config, n_interior, rng)`` returns a fully assembled
+    :class:`~repro.api.Problem`; ``config_factory(scale)`` returns the
+    problem's configuration dataclass at a named scale preset.
+    """
+
+    name: str
+    builder: object
+    config_factory: object
+    description: str = ""
+
+
+@dataclass
+class SamplerEntry:
+    """Registry record for one mini-batch sampler.
+
+    ``factory(config, interior_cloud, seed)`` returns a
+    :class:`repro.sampling.Sampler` over the interior cloud.
+    """
+
+    name: str
+    factory: object
+    description: str = ""
+
+
+problem_registry = Registry("problem")
+sampler_registry = Registry("sampler")
+
+
+def register_problem(name, *, config_factory, description="",
+                     overwrite=False):
+    """Class-of-problem decorator: register ``builder`` under ``name``."""
+    def decorate(builder):
+        problem_registry.register(
+            name, ProblemEntry(name=name, builder=builder,
+                               config_factory=config_factory,
+                               description=description),
+            overwrite=overwrite)
+        return builder
+    return decorate
+
+
+def register_sampler(name, *, description="", overwrite=False):
+    """Register a sampler factory ``(config, interior_cloud, seed)``."""
+    def decorate(factory):
+        sampler_registry.register(
+            name, SamplerEntry(name=name, factory=factory,
+                               description=description),
+            overwrite=overwrite)
+        return factory
+    return decorate
+
+
+def list_problems():
+    """Names of all registered problems."""
+    return problem_registry.names()
+
+
+def list_samplers():
+    """Names of all registered samplers."""
+    return sampler_registry.names()

@@ -1,0 +1,198 @@
+"""The problem-agnostic training engine and the fluent :class:`Session`.
+
+``run_problem`` is the single place networks, optimizers, samplers, and the
+trainer are wired together; everything is derived from the
+:class:`~repro.api.Problem` (input/output widths, probe coordinates) and
+the config (architecture, schedules, SGM hyper-parameters) rather than
+hardcoded per workload.
+
+:class:`Session` is the fluent front door::
+
+    import repro
+    result = repro.problem("burgers").sampler("sgm").train(steps=500)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..nn import Adam, ExponentialDecayLR, FullyConnected
+from ..training import Trainer
+from .problems import build_problem
+from .registry import problem_registry, sampler_registry
+from .samplers import make_sampler
+from .types import RunResult
+
+__all__ = ["Session", "problem", "run_problem"]
+
+
+def run_problem(prob, config, sampler="uniform", batch_size=None,
+                seed=None, steps=None, label=None, validators=None):
+    """Train one :class:`Problem` with a registered sampler.
+
+    Parameters
+    ----------
+    prob:
+        A built :class:`~repro.api.Problem`.
+    config:
+        The problem's config dataclass (network/optimizer/sampler block).
+    sampler:
+        Sampler-registry key (``uniform``/``mis``/``sgm``/``sgm_s``/...).
+    batch_size:
+        Interior batch size; boundary constraints get a quarter each
+        (Modulus assigns smaller batches to BC constraints).  Defaults to
+        ``config.batch_small``.
+    validators:
+        Override the problem's validator factory (pass ``[]`` to skip
+        validation entirely).
+
+    Returns
+    -------
+    :class:`~repro.api.RunResult`
+    """
+    seed = config.seed if seed is None else seed
+    batch_size = config.batch_small if batch_size is None else batch_size
+    for constraint in prob.constraints:
+        if constraint.name == "interior":
+            constraint.batch_size = batch_size
+        else:
+            constraint.batch_size = max(16, batch_size // 4)
+
+    dtype = np.dtype(config.network.dtype)
+    for constraint in prob.constraints:
+        constraint.set_dtype(dtype)
+
+    net = FullyConnected(prob.in_features, prob.out_features,
+                         width=config.network.width,
+                         depth=config.network.depth,
+                         activation=config.network.activation,
+                         rng=np.random.default_rng(config.seed),
+                         dtype=dtype)
+    optimizer = Adam(net.parameters(), lr=config.lr)
+    scheduler = ExponentialDecayLR(optimizer,
+                                   decay_rate=config.lr_decay_rate,
+                                   decay_steps=config.lr_decay_steps)
+    sampler_obj = make_sampler(sampler, config, prob.interior_cloud, seed)
+    if validators is None:
+        validators = prob.make_validators(np.random.default_rng(config.seed))
+    trainer = Trainer(net, prob.constraints, optimizer, scheduler=scheduler,
+                      samplers={"interior": sampler_obj},
+                      validators=validators, seed=seed)
+    label = label if label is not None else f"{prob.name}:{sampler}"
+    history = trainer.train(steps if steps is not None else config.steps,
+                            validate_every=config.validate_every,
+                            record_every=config.record_every,
+                            label=label)
+    return RunResult(label=label, history=history, net=net,
+                     sampler=sampler_obj, config=config)
+
+
+class Session:
+    """Fluent builder for one training run on a registered problem.
+
+    Every setter returns ``self`` so calls chain; :meth:`train` builds the
+    problem, wires the engine, and returns a
+    :class:`~repro.api.RunResult`::
+
+        repro.problem("ldc", scale="smoke").sampler("sgm").train(steps=50)
+    """
+
+    def __init__(self, name, scale="repro", config=None):
+        self._entry = problem_registry.get(name)
+        self._scale = scale
+        self._config = (config if config is not None
+                        else self._entry.config_factory(scale))
+        self._sampler = "uniform"
+        self._seed = None
+        self._n_interior = None
+        self._batch_size = None
+        self._steps = None
+        self._validators = None
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self):
+        """The registered problem name."""
+        return self._entry.name
+
+    def sampler(self, kind):
+        """Choose the mini-batch sampler by registry key."""
+        sampler_registry.get(kind)   # fail fast on unknown keys
+        self._sampler = kind
+        return self
+
+    def scale(self, scale):
+        """Switch to another config scale preset (rebuilds the config)."""
+        self._config = self._entry.config_factory(scale)
+        self._scale = scale
+        return self
+
+    def config(self, config=None, **overrides):
+        """Replace the config, or override individual dataclass fields."""
+        if config is not None:
+            self._config = config
+        if overrides:
+            self._config = dataclasses.replace(self._config, **overrides)
+        return self
+
+    def seed(self, seed):
+        """Set the run seed (defaults to ``config.seed``)."""
+        self._seed = int(seed)
+        return self
+
+    def n_interior(self, n):
+        """Interior dataset size (defaults to ``config.n_interior_small``)."""
+        self._n_interior = int(n)
+        return self
+
+    def batch_size(self, n):
+        """Interior batch size (defaults to ``config.batch_small``)."""
+        self._batch_size = int(n)
+        return self
+
+    def steps(self, n):
+        """Default number of optimizer steps for :meth:`train`."""
+        self._steps = int(n)
+        return self
+
+    def validators(self, validators):
+        """Override validators (pass ``[]`` to skip validation)."""
+        self._validators = list(validators)
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self, rng=None):
+        """Build and return the :class:`~repro.api.Problem` (no training)."""
+        seed = self._seed if self._seed is not None else self._config.seed
+        rng = rng if rng is not None else np.random.default_rng(seed)
+        return build_problem(self.name, self._config, self._n_interior, rng)
+
+    def train(self, steps=None, label=None):
+        """Build the problem and train it; returns a ``RunResult``."""
+        prob = self.build()
+        return run_problem(
+            prob, self._config, sampler=self._sampler,
+            batch_size=self._batch_size, seed=self._seed,
+            steps=steps if steps is not None else self._steps,
+            label=label, validators=self._validators)
+
+    def __repr__(self):
+        return (f"Session(problem={self.name!r}, scale={self._scale!r}, "
+                f"sampler={self._sampler!r})")
+
+
+def problem(name, scale="repro", config=None):
+    """Open a fluent :class:`Session` on a registered problem.
+
+    This is the library's single entry point for training::
+
+        import repro
+        repro.problem("poisson3d").sampler("sgm").train(steps=50)
+
+    ``scale`` defaults to ``"repro"`` — the same preset the config
+    factories and :func:`~repro.api.build_problem` default to; pass
+    ``scale="smoke"`` for CI-sized runs.
+    """
+    return Session(name, scale=scale, config=config)

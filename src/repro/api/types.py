@@ -1,0 +1,32 @@
+"""Shared result/spec dataclasses for the public API.
+
+This module is dependency-free so both :mod:`repro.api` and the legacy
+:mod:`repro.experiments.runner` shims can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MethodSpec", "RunResult"]
+
+
+@dataclass
+class MethodSpec:
+    """One column of a results table."""
+
+    label: str
+    kind: str              # a sampler-registry key: uniform | mis | sgm | sgm_s
+    n_interior: int
+    batch_size: int
+
+
+@dataclass
+class RunResult:
+    """Trained artefacts for one method."""
+
+    label: str
+    history: object
+    net: object
+    sampler: object
+    config: object = field(repr=False, default=None)

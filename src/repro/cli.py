@@ -4,11 +4,18 @@ Commands
 --------
 ``info``
     Print the library version and subsystem inventory.
+``run``
+    Train any registered problem with any registered sampler via the
+    :class:`repro.api.Session` API (problems/samplers are discovered from
+    the registries, so plugins appear here automatically).
+``problems``
+    List the problem and sampler registries.
 ``table1`` / ``table2``
     Regenerate the paper's tables (wraps the ``examples/reproduce_*``
     pipelines) at a chosen scale.
 ``ldc`` / ``ar``
-    Train a single method on one of the two benchmark problems.
+    Train a single method on one of the two benchmark problems
+    (legacy spellings of ``run ldc`` / ``run annular_ring``).
 ``solve-ldc`` / ``solve-ar``
     Run only the classical reference solver and report convergence.
 """
@@ -25,6 +32,7 @@ def _cmd_info(args):
     import repro
     print(f"repro {repro.__version__} — SGM-PINN reproduction (DAC 2024)")
     subsystems = [
+        ("api", "Problem/Session API + problem & sampler registries"),
         ("autodiff", "higher-order reverse-mode AD"),
         ("nn", "MLPs, optimizers (Adam/L-BFGS), schedules"),
         ("geometry", "2-D/3-D CSG with SDF sampling"),
@@ -61,29 +69,65 @@ def _cmd_table(args, which):
     return 0
 
 
+def _print_run_summary(result):
+    history = result.history
+    if not history.losses:
+        print(f"{result.label}: no steps recorded (ran with --steps 0?)")
+        return
+    print(f"{result.label}: wall {history.wall_times[-1]:.0f}s, "
+          f"final loss {history.losses[-1]:.4g}")
+    for var in sorted(history.errors):
+        print(f"  min err({var}) = {history.min_error(var):.4f}")
+
+
+def _cmd_run(args):
+    import repro
+    try:
+        session = repro.problem(args.problem, scale=args.scale)
+        session.sampler(args.sampler)
+    except KeyError as exc:
+        # registry lookup failures already name the alternatives
+        print(f"error: {exc.args[0]}")
+        return 2
+    if args.seed is not None:
+        session.seed(args.seed)
+    if args.n_interior is not None:
+        session.n_interior(args.n_interior)
+    if args.batch_size is not None:
+        session.batch_size(args.batch_size)
+    result = session.train(steps=args.steps)
+    _print_run_summary(result)
+    return 0
+
+
+def _cmd_problems(args):
+    from repro.api import problem_registry, sampler_registry
+    for registry in (problem_registry, sampler_registry):
+        print(f"{registry.kind}s:")
+        for name, entry in registry.items():
+            print(f"  {name:<14} {entry.description}")
+    return 0
+
+
 def _cmd_train(args, problem):
+    from repro.experiments.runner import _run_method
     if problem == "ldc":
-        from repro.experiments import ldc_config, ldc_methods, run_ldc_method
+        from repro.experiments import ldc_config, ldc_methods
         config = ldc_config(args.scale)
         methods = {m.kind: m for m in ldc_methods(config)}
-        run = run_ldc_method
+        name = "ldc"
     else:
-        from repro.experiments import (
-            annular_ring_config, ar_methods, run_ar_method)
+        from repro.experiments import annular_ring_config, ar_methods
         config = annular_ring_config(args.scale)
         methods = {m.kind: m for m in
                    ar_methods(config, include_plain_sgm=True)}
-        run = run_ar_method
+        name = "annular_ring"
     method = methods.get(args.method)
     if method is None:
         print(f"unknown method {args.method!r}; have {sorted(methods)}")
         return 2
-    result = run(config, method, steps=args.steps)
-    history = result.history
-    print(f"{method.label}: wall {history.wall_times[-1]:.0f}s, "
-          f"final loss {history.losses[-1]:.4g}")
-    for var in sorted(history.errors):
-        print(f"  min err({var}) = {history.min_error(var):.4f}")
+    result = _run_method(name, config, method, steps=args.steps)
+    _print_run_summary(result)
     return 0
 
 
@@ -109,6 +153,23 @@ def build_parser():
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="library inventory")
+    sub.add_parser("problems", help="list registered problems and samplers")
+
+    # problem/sampler names are validated against the registries at run
+    # time (see _cmd_run), keeping parser construction import-light and
+    # letting plugin registrations appear without argparse changes
+    p = sub.add_parser("run", help="train any registered problem with any "
+                       "registered sampler (see `repro problems`)")
+    p.add_argument("problem", metavar="problem",
+                   help="a registered problem, e.g. ldc, annular_ring, "
+                        "burgers, poisson3d")
+    p.add_argument("--sampler", default="sgm",
+                   help="a registered sampler (default: sgm)")
+    p.add_argument("--scale", default="smoke", choices=("smoke", "repro"))
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--n-interior", type=int, default=None)
+    p.add_argument("--batch-size", type=int, default=None)
 
     for n in (1, 2):
         p = sub.add_parser(f"table{n}", help=f"regenerate Table {n}")
@@ -136,6 +197,10 @@ def main(argv=None):
     args = build_parser().parse_args(argv)
     if args.command == "info":
         return _cmd_info(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "problems":
+        return _cmd_problems(args)
     if args.command in ("table1", "table2"):
         return _cmd_table(args, int(args.command[-1]))
     if args.command in ("ldc", "ar"):

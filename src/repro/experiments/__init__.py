@@ -1,12 +1,16 @@
 """Experiment harness: configs, problems, runner, tables, figures."""
 
 from .configs import (
-    LDCConfig, AnnularRingConfig, ldc_config, annular_ring_config, SCALES,
+    LDCConfig, AnnularRingConfig, BurgersConfig, Poisson3DConfig,
+    ldc_config, annular_ring_config, burgers_config, poisson3d_config,
+    SCALES,
 )
 from .ldc import build_ldc_problem, ldc_reference, ldc_validator
 from .annular_ring import (
     annular_ring_geometry, build_ar_problem, ar_validators, ar_reference,
 )
+from .burgers import build_burgers_problem, burgers_validator
+from .poisson3d import build_poisson3d_problem, poisson3d_validator
 from .runner import (
     MethodSpec, RunResult, run_ldc_method, run_ar_method,
     run_ldc_suite, run_ar_suite, ldc_methods, ar_methods,
@@ -17,11 +21,14 @@ from .figures import (
 )
 
 __all__ = [
-    "LDCConfig", "AnnularRingConfig", "ldc_config", "annular_ring_config",
+    "LDCConfig", "AnnularRingConfig", "BurgersConfig", "Poisson3DConfig",
+    "ldc_config", "annular_ring_config", "burgers_config", "poisson3d_config",
     "SCALES",
     "build_ldc_problem", "ldc_reference", "ldc_validator",
     "annular_ring_geometry", "build_ar_problem", "ar_validators",
     "ar_reference",
+    "build_burgers_problem", "burgers_validator",
+    "build_poisson3d_problem", "poisson3d_validator",
     "MethodSpec", "RunResult", "run_ldc_method", "run_ar_method",
     "run_ldc_suite", "run_ar_suite", "ldc_methods", "ar_methods",
     "table1_rows", "table2_rows", "format_table",

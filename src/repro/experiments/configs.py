@@ -12,8 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-__all__ = ["LDCConfig", "AnnularRingConfig", "ldc_config", "annular_ring_config",
-           "SCALES"]
+__all__ = ["LDCConfig", "AnnularRingConfig", "BurgersConfig",
+           "Poisson3DConfig", "ldc_config", "annular_ring_config",
+           "burgers_config", "poisson3d_config", "SCALES"]
 
 SCALES = ("paper", "repro", "smoke")
 
@@ -108,6 +109,78 @@ class AnnularRingConfig:
     seed: int = 0
 
 
+@dataclass
+class BurgersConfig:
+    """Viscous Burgers with a sharp travelling front (coordinates x, t).
+
+    The exact solution ``u = c - a tanh(a (x - c t) / (2 nu))`` concentrates
+    all residual mass in a thin moving front — the regime cluster-level
+    importance sampling targets.  There is no ``paper`` preset; the base
+    values are the repro scale.
+    """
+
+    scale: str = "repro"
+    nu: float = 0.01 / 3.141592653589793
+    amplitude: float = 0.6
+    speed: float = 0.4
+    n_interior_large: int = 12_000
+    n_interior_small: int = 6_000
+    n_boundary: int = 1_200
+    batch_large: int = 256
+    batch_small: int = 128
+    steps: int = 900
+    tau_e: int = 150
+    tau_G: int = 600
+    knn_k: int = 8
+    lrd_level: int = 5
+    probe_ratio: float = 0.15
+    lr: float = 4e-3
+    lr_decay_rate: float = 0.95
+    lr_decay_steps: int = 1200
+    boundary_weight: float = 20.0
+    network: NetworkConfig = field(
+        default_factory=lambda: NetworkConfig(width=32, depth=3,
+                                              activation="tanh"))
+    n_validation: int = 800
+    validate_every: int = 100
+    record_every: int = 50
+    seed: int = 0
+
+
+@dataclass
+class Poisson3DConfig:
+    """3-D Poisson in the unit cube (coordinates x, y, z).
+
+    Validated against the manufactured solution
+    ``u = sin(pi x) sin(pi y) sin(pi z)``; the base values are the repro
+    scale (there is no ``paper`` preset).
+    """
+
+    scale: str = "repro"
+    n_interior_large: int = 10_000
+    n_interior_small: int = 5_000
+    n_boundary: int = 1_500
+    batch_large: int = 256
+    batch_small: int = 128
+    steps: int = 700
+    tau_e: int = 200
+    tau_G: int = 1_500
+    knn_k: int = 10
+    lrd_level: int = 5
+    probe_ratio: float = 0.15
+    lr: float = 3e-3
+    lr_decay_rate: float = 0.95
+    lr_decay_steps: int = 1200
+    boundary_weight: float = 10.0
+    network: NetworkConfig = field(
+        default_factory=lambda: NetworkConfig(width=32, depth=3,
+                                              activation="tanh"))
+    n_validation: int = 600
+    validate_every: int = 100
+    record_every: int = 50
+    seed: int = 0
+
+
 def ldc_config(scale="repro"):
     """LDC config at the requested scale preset."""
     base = LDCConfig()
@@ -133,6 +206,40 @@ def ldc_config(scale="repro"):
             network=NetworkConfig(width=16, depth=2),
             reference_resolution=41, n_validation=200,
             validate_every=20, record_every=10)
+    raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
+
+
+def burgers_config(scale="repro"):
+    """Burgers-front config at the requested scale preset."""
+    base = BurgersConfig()
+    if scale in ("paper", "repro"):
+        return base
+    if scale == "smoke":
+        return replace(
+            base, scale="smoke",
+            n_interior_large=2_000, n_interior_small=1_000,
+            n_boundary=300, batch_large=64, batch_small=32,
+            steps=60, tau_e=20, tau_G=45, knn_k=6, lrd_level=4,
+            lr_decay_steps=100,
+            network=NetworkConfig(width=16, depth=2, activation="tanh"),
+            n_validation=200, validate_every=20, record_every=10)
+    raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
+
+
+def poisson3d_config(scale="repro"):
+    """3-D Poisson config at the requested scale preset."""
+    base = Poisson3DConfig()
+    if scale in ("paper", "repro"):
+        return base
+    if scale == "smoke":
+        return replace(
+            base, scale="smoke",
+            n_interior_large=2_000, n_interior_small=1_000,
+            n_boundary=300, batch_large=64, batch_small=32,
+            steps=60, tau_e=20, tau_G=45, knn_k=6, lrd_level=4,
+            lr_decay_steps=100,
+            network=NetworkConfig(width=16, depth=2, activation="tanh"),
+            n_validation=150, validate_every=20, record_every=10)
     raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
 
 

@@ -8,43 +8,23 @@ only the sampler (and, per the paper, dataset/batch size) differs:
 * ``MIS``      — Modulus-style pointwise importance sampling, reduced sizes
 * ``SGM``      — SGM-PINN without the stability term (S1+S2+S4)
 * ``SGM-S``    — SGM-PINN with the ISR stability term (S1-S4)
+
+The training wiring itself lives in :func:`repro.api.run_problem`; this
+module keeps the table-suite conveniences plus thin deprecation shims
+(:func:`run_ldc_method` / :func:`run_ar_method`) for callers predating the
+registry-backed :class:`repro.api.Session` API.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
 import numpy as np
 
-from ..nn import Adam, ExponentialDecayLR, FullyConnected
-from ..sampling import MISSampler, SGMSampler, UniformSampler
-from ..training import Trainer
-from .annular_ring import ar_validators, build_ar_problem
-from .ldc import build_ldc_problem, ldc_validator
+from ..api.types import MethodSpec, RunResult
 
 __all__ = ["MethodSpec", "RunResult", "run_ldc_method", "run_ar_method",
            "run_ldc_suite", "run_ar_suite", "ldc_methods", "ar_methods"]
-
-
-@dataclass
-class MethodSpec:
-    """One column of a results table."""
-
-    label: str
-    kind: str              # uniform | mis | sgm | sgm_s
-    n_interior: int
-    batch_size: int
-
-
-@dataclass
-class RunResult:
-    """Trained artefacts for one method."""
-
-    label: str
-    history: object
-    net: object
-    sampler: object
-    config: object = field(repr=False, default=None)
 
 
 def ldc_methods(config):
@@ -81,83 +61,55 @@ def ar_methods(config, include_plain_sgm=False):
 
 
 def _make_sampler(method, config, interior_cloud, seed):
-    n = len(interior_cloud)
-    if method.kind == "uniform":
-        return UniformSampler(n, seed=seed)
-    if method.kind == "mis":
-        return MISSampler(n, tau_e=config.tau_e, measure="grad_norm",
-                          seed=seed)
-    if method.kind in ("sgm", "sgm_s"):
-        return SGMSampler(
-            interior_cloud.features(), k=config.knn_k,
-            level=config.lrd_level, tau_e=config.tau_e, tau_G=config.tau_G,
-            probe_ratio=config.probe_ratio,
-            use_isr=(method.kind == "sgm_s"),
-            isr_weight=getattr(config, "isr_weight", 1.0),
-            isr_k=getattr(config, "isr_k", 10),
-            isr_rank=getattr(config, "isr_rank", 6),
-            seed=seed)
-    raise ValueError(f"unknown method kind {method.kind!r}")
+    """Deprecated: use :func:`repro.api.make_sampler` (registry-backed)."""
+    from ..api import make_sampler
+    try:
+        return make_sampler(method.kind, config, interior_cloud, seed)
+    except KeyError:
+        raise ValueError(f"unknown method kind {method.kind!r}") from None
 
 
-def _train(problem, method, config, validators, seed, steps=None):
-    constraints = problem["constraints"]
-    interior = problem["interior_cloud"]
-    # batch sizes: interior gets the method's batch; boundary constraints a
-    # quarter each (Modulus assigns smaller batches to BC constraints)
-    for constraint in constraints:
-        if constraint.name == "interior":
-            constraint.batch_size = method.batch_size
-        else:
-            constraint.batch_size = max(16, method.batch_size // 4)
+def _run_method(name, config, method, validators=None, seed=None,
+                steps=None):
+    """Build the registered problem ``name`` and train one method on it."""
+    from ..api import build_problem, run_problem
+    seed = config.seed if seed is None else seed
+    prob = build_problem(name, config, method.n_interior,
+                         np.random.default_rng(seed))
+    return run_problem(prob, config, sampler=method.kind,
+                       batch_size=method.batch_size, seed=seed, steps=steps,
+                       label=method.label, validators=validators)
 
-    dtype = np.dtype(config.network.dtype)
-    for constraint in constraints:
-        constraint.set_dtype(dtype)
-    in_features = 2 + interior.params.shape[1]
-    net = FullyConnected(in_features, 3, width=config.network.width,
-                         depth=config.network.depth,
-                         activation=config.network.activation,
-                         rng=np.random.default_rng(config.seed),
-                         dtype=dtype)
-    optimizer = Adam(net.parameters(), lr=config.lr)
-    scheduler = ExponentialDecayLR(optimizer,
-                                   decay_rate=config.lr_decay_rate,
-                                   decay_steps=config.lr_decay_steps)
-    sampler = _make_sampler(method, config, interior, seed)
-    trainer = Trainer(net, constraints, optimizer, scheduler=scheduler,
-                      samplers={"interior": sampler},
-                      validators=validators, seed=seed)
-    history = trainer.train(steps if steps is not None else config.steps,
-                            validate_every=config.validate_every,
-                            record_every=config.record_every,
-                            label=method.label)
-    return RunResult(label=method.label, history=history, net=net,
-                     sampler=sampler, config=config)
+
+def _deprecated(old, new):
+    warnings.warn(f"{old} is deprecated; use {new} instead",
+                  DeprecationWarning, stacklevel=3)
 
 
 def run_ldc_method(config, method, validators=None, seed=None, steps=None):
-    """Train one LDC method and return its :class:`RunResult`."""
-    seed = config.seed if seed is None else seed
-    rng = np.random.default_rng(seed)
-    if validators is None:
-        validators = [ldc_validator(config, np.random.default_rng(config.seed))]
-    problem = build_ldc_problem(config, method.n_interior, rng)
-    return _train(problem, method, config, validators, seed, steps=steps)
+    """Train one LDC method and return its :class:`RunResult`.
+
+    Deprecated shim over ``repro.problem("ldc")``; kept so existing tables
+    and tests keep running unchanged.
+    """
+    _deprecated("run_ldc_method", 'repro.problem("ldc")')
+    return _run_method("ldc", config, method, validators=validators,
+                       seed=seed, steps=steps)
 
 
 def run_ar_method(config, method, validators=None, seed=None, steps=None):
-    """Train one annular-ring method and return its :class:`RunResult`."""
-    seed = config.seed if seed is None else seed
-    rng = np.random.default_rng(seed)
-    if validators is None:
-        validators = ar_validators(config, np.random.default_rng(config.seed))
-    problem = build_ar_problem(config, method.n_interior, rng)
-    return _train(problem, method, config, validators, seed, steps=steps)
+    """Train one annular-ring method and return its :class:`RunResult`.
+
+    Deprecated shim over ``repro.problem("annular_ring")``.
+    """
+    _deprecated("run_ar_method", 'repro.problem("annular_ring")')
+    return _run_method("annular_ring", config, method, validators=validators,
+                       seed=seed, steps=steps)
 
 
 def run_ldc_suite(config, methods=None, verbose=True):
     """Train all Table-1 methods; returns ``{label: RunResult}``."""
+    from .ldc import ldc_validator
     methods = methods if methods is not None else ldc_methods(config)
     validators = [ldc_validator(config, np.random.default_rng(config.seed))]
     results = {}
@@ -165,13 +117,14 @@ def run_ldc_suite(config, methods=None, verbose=True):
         if verbose:
             print(f"[ldc:{config.scale}] training {method.label} "
                   f"(N={method.n_interior}, batch={method.batch_size})")
-        results[method.label] = run_ldc_method(config, method,
-                                               validators=validators)
+        results[method.label] = _run_method("ldc", config, method,
+                                            validators=validators)
     return results
 
 
 def run_ar_suite(config, include_plain_sgm=False, verbose=True):
     """Train all Table-2 methods; returns ``{label: RunResult}``."""
+    from .annular_ring import ar_validators
     methods = ar_methods(config, include_plain_sgm=include_plain_sgm)
     validators = ar_validators(config, np.random.default_rng(config.seed))
     results = {}
@@ -179,6 +132,6 @@ def run_ar_suite(config, include_plain_sgm=False, verbose=True):
         if verbose:
             print(f"[ar:{config.scale}] training {method.label} "
                   f"(N={method.n_interior}, batch={method.batch_size})")
-        results[method.label] = run_ar_method(config, method,
-                                              validators=validators)
+        results[method.label] = _run_method("annular_ring", config, method,
+                                            validators=validators)
     return results

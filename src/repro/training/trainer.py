@@ -107,11 +107,14 @@ class Trainer:
         def grad_norm_chunk(indices):
             fields = constraint.build_fields(self.net, indices)
             total = np.zeros((len(indices), 1))
-            velocity = [v for v in ("u", "v") if v in constraint.output_names]
+            velocity = [v for v in ("u", "v", "w")
+                        if v in constraint.output_names]
             if not velocity:   # scalar problems: use the first output
                 velocity = [constraint.output_names[0]]
+            # derivatives follow the problem's coordinates, so 1-D/3-D and
+            # space-time workloads probe the right gradient components
             for var in velocity:
-                for coord in ("x", "y"):
+                for coord in constraint.spatial_names:
                     total += fields.d(var, coord).numpy().astype(np.float64) ** 2
             return np.sqrt(total).ravel()
 

@@ -1,0 +1,102 @@
+"""Problem/sampler registries: registration, lookup, and error paths."""
+
+import pytest
+
+from repro.api import (
+    Registry, list_problems, list_samplers, make_sampler, problem_registry,
+    register_problem, register_sampler, sampler_registry,
+)
+from repro.experiments import ldc_config
+from repro.geometry import PointCloud
+
+import numpy as np
+
+
+class TestBuiltinRegistrations:
+    def test_all_four_problems_registered(self):
+        assert list_problems() == ["annular_ring", "burgers", "ldc",
+                                   "poisson3d"]
+
+    def test_all_four_samplers_registered(self):
+        assert list_samplers() == ["mis", "sgm", "sgm_s", "uniform"]
+
+    def test_problem_entries_carry_config_factories(self):
+        for name in list_problems():
+            entry = problem_registry.get(name)
+            config = entry.config_factory("smoke")
+            assert config.scale == "smoke"
+            assert config.n_interior_small > 0
+
+    def test_entries_have_descriptions(self):
+        for _, entry in problem_registry.items():
+            assert entry.description
+        for _, entry in sampler_registry.items():
+            assert entry.description
+
+
+class TestLookupErrors:
+    def test_unknown_problem_names_alternatives(self):
+        with pytest.raises(KeyError, match="ldc"):
+            problem_registry.get("heat_equation")
+
+    def test_unknown_sampler_names_alternatives(self):
+        with pytest.raises(KeyError, match="uniform"):
+            sampler_registry.get("bogus")
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("thing")
+        registry.register("a", object())
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("a", object())
+        registry.register("a", "replacement", overwrite=True)
+        assert registry.get("a") == "replacement"
+
+    def test_contains_and_len(self):
+        assert "sgm" in sampler_registry
+        assert "nope" not in sampler_registry
+        assert len(sampler_registry) == 4
+        assert list(iter(sampler_registry)) == list_samplers()
+
+
+class TestDecorators:
+    def test_register_and_resolve_custom_entries(self):
+        @register_sampler("test_only_sampler", description="test")
+        def build(config, cloud, seed):
+            from repro.sampling import UniformSampler
+            return UniformSampler(len(cloud), seed=seed)
+
+        try:
+            cloud = PointCloud(coords=np.zeros((10, 2)))
+            sampler = make_sampler("test_only_sampler", ldc_config("smoke"),
+                                   cloud, seed=0)
+            assert sampler.n_points == 10
+        finally:
+            # registries are module-global; don't leak into other tests
+            del sampler_registry._entries["test_only_sampler"]
+
+    def test_decorator_returns_the_function(self):
+        @register_problem("test_only_problem", config_factory=ldc_config,
+                          description="test")
+        def build(config, n_interior, rng):
+            return None
+
+        try:
+            assert callable(build)
+            assert problem_registry.get("test_only_problem").builder is build
+        finally:
+            del problem_registry._entries["test_only_problem"]
+
+
+class TestMakeSampler:
+    def test_kinds_map_to_expected_classes(self):
+        from repro.sampling import MISSampler, SGMSampler, UniformSampler
+        config = ldc_config("smoke")
+        cloud = PointCloud(
+            coords=np.random.default_rng(0).uniform(size=(200, 2)))
+        assert isinstance(make_sampler("uniform", config, cloud),
+                          UniformSampler)
+        assert isinstance(make_sampler("mis", config, cloud), MISSampler)
+        sgm = make_sampler("sgm", config, cloud)
+        sgm_s = make_sampler("sgm_s", config, cloud)
+        assert isinstance(sgm, SGMSampler) and not sgm.use_isr
+        assert isinstance(sgm_s, SGMSampler) and sgm_s.use_isr

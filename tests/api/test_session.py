@@ -1,0 +1,110 @@
+"""Session end-to-end smoke runs: every problem × uniform and sgm."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import Problem, RunResult, build_problem
+from repro.sampling import SGMSampler, UniformSampler
+
+#: keep the graph builds and training loops tiny — this is a wiring test
+N_INTERIOR = 400
+STEPS = 4
+
+PROBLEMS = ("ldc", "annular_ring", "burgers", "poisson3d")
+
+
+@pytest.mark.parametrize("name", PROBLEMS)
+@pytest.mark.parametrize("kind", ("uniform", "sgm"))
+def test_session_trains_every_problem(name, kind):
+    result = (repro.problem(name, scale="smoke")
+              .sampler(kind)
+              .n_interior(N_INTERIOR)
+              .validators([])          # skip reference solves; wiring only
+              .train(steps=STEPS))
+    assert isinstance(result, RunResult)
+    assert np.isfinite(result.history.losses[-1])
+    assert len(result.history.steps) >= 1
+    expected = SGMSampler if kind == "sgm" else UniformSampler
+    assert isinstance(result.sampler, expected)
+    assert result.net.num_parameters() > 0
+
+
+@pytest.mark.parametrize("name,dims,n_params,outputs", [
+    ("ldc", 2, 0, ("u", "v", "p")),
+    ("annular_ring", 2, 1, ("u", "v", "p")),
+    ("burgers", 2, 0, ("u",)),
+    ("poisson3d", 3, 0, ("u",)),
+])
+def test_problem_shapes_drive_network_dims(name, dims, n_params, outputs):
+    prob = build_problem(name, n_interior=N_INTERIOR,
+                         rng=np.random.default_rng(0))
+    assert isinstance(prob, Problem)
+    assert prob.dims == dims
+    assert prob.n_params == n_params
+    assert prob.output_names == outputs
+    assert prob.in_features == dims + n_params
+    assert prob.out_features == len(outputs)
+    assert prob.interior.name == "interior"
+    assert len(prob.interior_cloud) == N_INTERIOR
+    assert prob.interior_cloud.features().shape[1] == prob.in_features
+
+
+def test_build_problem_uses_repro_defaults():
+    prob = build_problem("burgers")
+    from repro.experiments import burgers_config
+    assert len(prob.interior_cloud) == burgers_config().n_interior_small
+
+
+def test_session_setters_chain_and_apply():
+    session = (repro.problem("burgers", scale="smoke")
+               .sampler("sgm_s")
+               .seed(3)
+               .n_interior(256)
+               .batch_size(16)
+               .steps(STEPS)
+               .validators([]))
+    result = session.train()
+    assert isinstance(result.sampler, SGMSampler)
+    assert result.sampler.use_isr
+    interior = result.net  # smoke: just confirm the run finished
+    assert interior.num_parameters() > 0
+    assert repr(session).startswith("Session(problem='burgers'")
+
+
+def test_session_config_overrides():
+    session = repro.problem("poisson3d", scale="smoke").config(knn_k=4)
+    assert session._config.knn_k == 4
+    assert session._config.scale == "smoke"
+
+
+def test_unknown_problem_and_sampler_raise():
+    with pytest.raises(KeyError, match="unknown problem"):
+        repro.problem("nope")
+    with pytest.raises(KeyError, match="unknown sampler"):
+        repro.problem("ldc").sampler("nope")
+
+
+def test_same_seed_same_losses():
+    def run():
+        return (repro.problem("burgers", scale="smoke")
+                .sampler("sgm").n_interior(N_INTERIOR)
+                .validators([]).train(steps=6))
+    a, b = run(), run()
+    assert np.allclose(a.history.losses, b.history.losses)
+
+
+def test_problem_requires_interior_constraint():
+    with pytest.raises(ValueError, match="interior"):
+        Problem(name="broken", constraints=[], interior_cloud=None,
+                output_names=("u",), spatial_names=("x", "y"))
+
+
+def test_default_validators_report_errors():
+    # one full-wiring run with real validators (burgers has no reference
+    # solver dependency, so this stays fast)
+    result = (repro.problem("burgers", scale="smoke")
+              .sampler("uniform").n_interior(N_INTERIOR)
+              .train(steps=STEPS))
+    assert "u" in result.history.errors
+    assert np.isfinite(result.history.min_error("u"))

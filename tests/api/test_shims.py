@@ -1,0 +1,76 @@
+"""The legacy run_*_method shims: still working, still RunResults.
+
+The acceptance bar for the API redesign: ``repro.problem("ldc")`` /
+``repro.problem("annular_ring")`` reproduce the same method wiring as the
+old ``run_ldc_method`` / ``run_ar_method`` entry points.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import RunResult
+from repro.experiments import (
+    annular_ring_config, ar_methods, ldc_config, ldc_methods, run_ar_method,
+    run_ldc_method,
+)
+
+
+def test_run_ldc_method_returns_runresult_and_warns():
+    config = ldc_config("smoke")
+    method = ldc_methods(config)[0]
+    with pytest.warns(DeprecationWarning, match="run_ldc_method"):
+        result = run_ldc_method(config, method, validators=[], steps=3)
+    assert isinstance(result, RunResult)
+    assert result.label == method.label
+    assert np.isfinite(result.history.losses[-1])
+
+
+def test_run_ar_method_returns_runresult_and_warns():
+    config = annular_ring_config("smoke")
+    method = ar_methods(config)[0]
+    with pytest.warns(DeprecationWarning, match="run_ar_method"):
+        result = run_ar_method(config, method, validators=[], steps=3)
+    assert isinstance(result, RunResult)
+    assert result.label == method.label
+    assert np.isfinite(result.history.losses[-1])
+
+
+def test_make_sampler_shim_still_raises_valueerror():
+    from repro.experiments.runner import MethodSpec, _make_sampler
+    from repro.geometry import PointCloud
+    cloud = PointCloud(coords=np.zeros((10, 2)))
+    with pytest.raises(ValueError, match="bogus"):
+        _make_sampler(MethodSpec("x", "bogus", 10, 4),
+                      ldc_config("smoke"), cloud, 0)
+
+
+def test_session_matches_legacy_ldc_wiring():
+    """Same config/seed/sizes => bit-identical loss trajectories."""
+    config = ldc_config("smoke")
+    method = ldc_methods(config)[0]          # uniform, small sizes
+    with pytest.warns(DeprecationWarning):
+        legacy = run_ldc_method(config, method, validators=[], steps=8)
+    session = (repro.problem("ldc", config=config)
+               .sampler(method.kind)
+               .n_interior(method.n_interior)
+               .batch_size(method.batch_size)
+               .validators([])
+               .train(steps=8))
+    assert np.allclose(legacy.history.losses, session.history.losses)
+
+
+def test_session_matches_legacy_ar_wiring():
+    config = annular_ring_config("smoke")
+    method = [m for m in ar_methods(config, include_plain_sgm=True)
+              if m.kind == "sgm"][0]
+    with pytest.warns(DeprecationWarning):
+        legacy = run_ar_method(config, method, validators=[], steps=6)
+    session = (repro.problem("annular_ring", config=config)
+               .sampler(method.kind)
+               .n_interior(method.n_interior)
+               .batch_size(method.batch_size)
+               .validators([])
+               .train(steps=6))
+    assert np.allclose(legacy.history.losses, session.history.losses)
+    assert np.array_equal(legacy.sampler.labels, session.sampler.labels)

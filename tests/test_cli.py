@@ -12,6 +12,39 @@ def test_info_runs(capsys):
     assert "SGM" in out
 
 
+def test_problems_lists_registries(capsys):
+    assert main(["problems"]) == 0
+    out = capsys.readouterr().out
+    for name in ("ldc", "annular_ring", "burgers", "poisson3d",
+                 "uniform", "mis", "sgm", "sgm_s"):
+        assert name in out
+
+
+def test_run_parser_accepts_problem_and_sampler():
+    parser = build_parser()
+    args = parser.parse_args(["run", "poisson3d", "--sampler", "sgm",
+                              "--steps", "5"])
+    assert args.problem == "poisson3d"
+    assert args.sampler == "sgm" and args.steps == 5
+
+
+def test_run_rejects_unknown_names_via_registry(capsys):
+    assert main(["run", "not_a_problem"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown problem" in out and "ldc" in out
+    assert main(["run", "ldc", "--sampler", "not_a_sampler"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown sampler" in out and "sgm" in out
+
+
+def test_run_burgers_smoke(capsys):
+    assert main(["run", "burgers", "--sampler", "sgm", "--steps", "6",
+                 "--n-interior", "400"]) == 0
+    out = capsys.readouterr().out
+    assert "burgers:sgm" in out
+    assert "min err(u)" in out
+
+
 def test_parser_commands():
     parser = build_parser()
     args = parser.parse_args(["table1", "--scale", "smoke"])
