@@ -1,0 +1,50 @@
+"""Sharded suite execution: serial vs process-pool wall-clock.
+
+Method sweeps are embarrassingly parallel (each column trains an
+independent network), so a ≥3-method sweep sharded over a process pool
+should beat the serial loop on any multi-core machine while producing
+bit-identical loss trajectories.  This benchmark measures both executors
+on the same sweep and checks the parity invariant that makes the
+comparison meaningful.
+"""
+
+import os
+
+import numpy as np
+
+from repro.experiments import ldc_config, ldc_methods, run_suite
+
+
+def _sweep(executor):
+    config = ldc_config(os.environ.get("REPRO_BENCH_SCALE", "smoke"))
+    methods = ldc_methods(config)          # 4 columns: U, U_large, MIS, SGM
+    return run_suite("ldc", methods, executor=executor, config=config)
+
+
+def test_suite_parallel_vs_serial(benchmark):
+    serial = _sweep("serial")
+    parallel = benchmark.pedantic(lambda: _sweep("process"),
+                                  rounds=1, iterations=1)
+
+    print()
+    print(f"serial   total: {serial.total_seconds:7.1f}s  "
+          f"per-method {[round(t, 1) for t in serial.timings().values()]}")
+    print(f"process  total: {parallel.total_seconds:7.1f}s  "
+          f"({os.cpu_count()} cpus)")
+    speedup = serial.total_seconds / max(parallel.total_seconds, 1e-9)
+    print(f"speedup: {speedup:.2f}x")
+
+    # parity: sharding must not change a single trajectory bit
+    for s, p in zip(serial, parallel):
+        assert s.label == p.label
+        assert np.array_equal(s.history.losses, p.history.losses), s.label
+        for key in s.net_state:
+            assert np.array_equal(s.net_state[key], p.net_state[key])
+
+    # pool startup + per-worker import overhead is fixed (a few seconds),
+    # so the speedup claim is only meaningful once training dominates it —
+    # at smoke scale on a small machine the comparison is just noise
+    if (os.cpu_count() or 1) >= 2 and serial.total_seconds >= 10.0:
+        assert parallel.total_seconds < serial.total_seconds, (
+            f"parallel sweep ({parallel.total_seconds:.1f}s) not faster "
+            f"than serial ({serial.total_seconds:.1f}s)")

@@ -8,6 +8,7 @@ error-vs-wall-time series.
 Usage::
 
     python examples/reproduce_table1.py [--scale smoke|repro] [--out results]
+                                        [--parallel]
 """
 
 import argparse
@@ -25,13 +26,18 @@ def main():
                         choices=("smoke", "repro"),
                         help="experiment scale preset (default: repro)")
     parser.add_argument("--out", default="results", help="output directory")
+    parser.add_argument("--parallel", action="store_true",
+                        help="shard the four-method sweep over a process "
+                             "pool (identical trajectories, lower wall "
+                             "clock on multi-core machines)")
     args = parser.parse_args()
 
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     config = ldc_config(args.scale)
 
-    results = run_ldc_suite(config)
+    executor = "process" if args.parallel else "serial"
+    results = run_ldc_suite(config, executor=executor)
     histories = {label: r.history for label, r in results.items()}
 
     for label, history in histories.items():

@@ -8,6 +8,7 @@ shown only in Figure 3, on the parameterized annular-ring problem
 Usage::
 
     python examples/reproduce_table2.py [--scale smoke|repro] [--out results]
+                                        [--parallel]
 """
 
 import argparse
@@ -28,6 +29,8 @@ def main():
     parser.add_argument("--out", default="results")
     parser.add_argument("--skip-plain-sgm", action="store_true",
                         help="skip the Figure-3-only SGM (no ISR) run")
+    parser.add_argument("--parallel", action="store_true",
+                        help="shard the method sweep over a process pool")
     args = parser.parse_args()
 
     out = Path(args.out)
@@ -35,7 +38,9 @@ def main():
     config = annular_ring_config(args.scale)
 
     results = run_ar_suite(config,
-                           include_plain_sgm=not args.skip_plain_sgm)
+                           include_plain_sgm=not args.skip_plain_sgm,
+                           executor="process" if args.parallel
+                           else "serial")
     histories = {label: r.history for label, r in results.items()}
     for label, history in histories.items():
         history.to_csv(out / f"ar_{label}.csv")

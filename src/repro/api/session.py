@@ -178,6 +178,29 @@ class Session:
             steps=steps if steps is not None else self._steps,
             label=label, validators=self._validators)
 
+    def suite(self, samplers=None, *, executor="serial", max_workers=None,
+              steps=None, verbose=False):
+        """Train a method sweep on this problem; returns a ``SuiteResult``.
+
+        ``samplers`` follows :func:`repro.experiments.resolve_methods`:
+        ``None`` sweeps every registered sampler, or pass sampler names /
+        ``MethodSpec`` objects.  ``executor="process"`` shards the sweep
+        over a process pool; the session's ``seed``/``n_interior``/
+        ``batch_size``/``steps`` overrides apply to every method::
+
+            repro.problem("ldc").suite(["uniform", "sgm"],
+                                       executor="process")
+        """
+        from ..experiments.suite import resolve_methods, run_suite
+        methods = resolve_methods(self._config, samplers,
+                                  n_interior=self._n_interior,
+                                  batch_size=self._batch_size)
+        return run_suite(self.name, methods, executor=executor,
+                         max_workers=max_workers, seed=self._seed,
+                         steps=steps if steps is not None else self._steps,
+                         config=self._config, validators=self._validators,
+                         verbose=verbose)
+
     def __repr__(self):
         return (f"Session(problem={self.name!r}, scale={self._scale!r}, "
                 f"sampler={self._sampler!r})")

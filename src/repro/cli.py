@@ -8,6 +8,10 @@ Commands
     Train any registered problem with any registered sampler via the
     :class:`repro.api.Session` API (problems/samplers are discovered from
     the registries, so plugins appear here automatically).
+``suite``
+    Method sweep: train any registered problem under several registered
+    samplers (``--samplers a,b,c``), optionally sharded over a process
+    pool (``--parallel``), and print the suite table.
 ``problems``
     List the problem and sampler registries.
 ``table1`` / ``table2``
@@ -50,11 +54,12 @@ def _cmd_info(args):
 
 
 def _cmd_table(args, which):
+    executor = "process" if args.parallel else "serial"
     if which == 1:
         from repro.experiments import (
             format_table, ldc_config, run_ldc_suite, table1_rows)
         config = ldc_config(args.scale)
-        results = run_ldc_suite(config)
+        results = run_ldc_suite(config, executor=executor)
         histories = {k: r.history for k, r in results.items()}
         columns, rows = table1_rows(histories)
         print(format_table(f"Table 1 (scale={args.scale})", columns, rows))
@@ -62,7 +67,7 @@ def _cmd_table(args, which):
         from repro.experiments import (
             annular_ring_config, format_table, run_ar_suite, table2_rows)
         config = annular_ring_config(args.scale)
-        results = run_ar_suite(config)
+        results = run_ar_suite(config, executor=executor)
         histories = {k: r.history for k, r in results.items()}
         columns, rows = table2_rows(histories)
         print(format_table(f"Table 2 (scale={args.scale})", columns, rows))
@@ -97,6 +102,26 @@ def _cmd_run(args):
         session.batch_size(args.batch_size)
     result = session.train(steps=args.steps)
     _print_run_summary(result)
+    return 0
+
+
+def _cmd_suite(args):
+    from repro.experiments import run_suite, suite_table
+    samplers = (None if args.samplers is None
+                else [s.strip() for s in args.samplers.split(",") if s.strip()])
+    executor = "process" if args.parallel else "serial"
+    try:
+        suite = run_suite(args.problem, samplers, executor=executor,
+                          max_workers=args.max_workers, seed=args.seed,
+                          steps=args.steps, scale=args.scale, verbose=True)
+    except (KeyError, ValueError) as exc:
+        # registry lookups and method resolution name the problem themselves
+        print(f"error: {exc.args[0]}")
+        return 2
+    print()
+    print(suite_table(suite))
+    print(f"\nsweep total: {suite.total_seconds:.1f}s "
+          f"({suite.executor} executor, {len(suite)} methods)")
     return 0
 
 
@@ -171,10 +196,26 @@ def build_parser():
     p.add_argument("--n-interior", type=int, default=None)
     p.add_argument("--batch-size", type=int, default=None)
 
+    p = sub.add_parser("suite", help="train a method sweep on any "
+                       "registered problem (serial or process-parallel)")
+    p.add_argument("problem", metavar="problem",
+                   help="a registered problem, e.g. ldc, annular_ring")
+    p.add_argument("--samplers", default=None,
+                   help="comma-separated registered samplers "
+                        "(default: all registered)")
+    p.add_argument("--parallel", action="store_true",
+                   help="shard methods over a process pool")
+    p.add_argument("--max-workers", type=int, default=None)
+    p.add_argument("--scale", default="smoke", choices=("smoke", "repro"))
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--seed", type=int, default=None)
+
     for n in (1, 2):
         p = sub.add_parser(f"table{n}", help=f"regenerate Table {n}")
         p.add_argument("--scale", default="smoke",
                        choices=("smoke", "repro"))
+        p.add_argument("--parallel", action="store_true",
+                       help="shard the method sweep over a process pool")
 
     for problem in ("ldc", "ar"):
         p = sub.add_parser(problem, help=f"train one method on {problem}")
@@ -199,6 +240,8 @@ def main(argv=None):
         return _cmd_info(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "suite":
+        return _cmd_suite(args)
     if args.command == "problems":
         return _cmd_problems(args)
     if args.command in ("table1", "table2"):

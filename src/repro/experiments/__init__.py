@@ -15,7 +15,13 @@ from .runner import (
     MethodSpec, RunResult, run_ldc_method, run_ar_method,
     run_ldc_suite, run_ar_suite, ldc_methods, ar_methods,
 )
-from .tables import table1_rows, table2_rows, format_table
+from .suite import (
+    EXECUTORS, MethodResult, SamplerStats, SuiteResult, method_label,
+    methods_from_samplers, resolve_methods, run_suite,
+)
+from .tables import (
+    table1_rows, table2_rows, suite_rows, suite_table, format_table,
+)
 from .figures import (
     error_curves, curves_to_csv, render_curves, pressure_error_fields,
 )
@@ -31,7 +37,10 @@ __all__ = [
     "build_poisson3d_problem", "poisson3d_validator",
     "MethodSpec", "RunResult", "run_ldc_method", "run_ar_method",
     "run_ldc_suite", "run_ar_suite", "ldc_methods", "ar_methods",
-    "table1_rows", "table2_rows", "format_table",
+    "EXECUTORS", "MethodResult", "SamplerStats", "SuiteResult",
+    "method_label", "methods_from_samplers", "resolve_methods", "run_suite",
+    "table1_rows", "table2_rows", "suite_rows", "suite_table",
+    "format_table",
     "error_curves", "curves_to_csv", "render_curves",
     "pressure_error_fields",
 ]

@@ -107,31 +107,30 @@ def run_ar_method(config, method, validators=None, seed=None, steps=None):
                        seed=seed, steps=steps)
 
 
-def run_ldc_suite(config, methods=None, verbose=True):
-    """Train all Table-1 methods; returns ``{label: RunResult}``."""
-    from .ldc import ldc_validator
+def run_ldc_suite(config, methods=None, verbose=True, executor="serial",
+                  max_workers=None):
+    """Train all Table-1 methods; returns ``{label: RunResult}``.
+
+    Thin wrapper over the registry-driven :func:`repro.experiments.run_suite`
+    engine, kept for the Table-1 call sites; pass ``executor="process"`` to
+    shard the sweep over a process pool.
+    """
+    from .suite import run_suite
     methods = methods if methods is not None else ldc_methods(config)
-    validators = [ldc_validator(config, np.random.default_rng(config.seed))]
-    results = {}
-    for method in methods:
-        if verbose:
-            print(f"[ldc:{config.scale}] training {method.label} "
-                  f"(N={method.n_interior}, batch={method.batch_size})")
-        results[method.label] = _run_method("ldc", config, method,
-                                            validators=validators)
-    return results
+    suite = run_suite("ldc", methods, executor=executor,
+                      max_workers=max_workers, config=config, verbose=verbose)
+    return suite.run_results()
 
 
-def run_ar_suite(config, include_plain_sgm=False, verbose=True):
-    """Train all Table-2 methods; returns ``{label: RunResult}``."""
-    from .annular_ring import ar_validators
+def run_ar_suite(config, include_plain_sgm=False, verbose=True,
+                 executor="serial", max_workers=None):
+    """Train all Table-2 methods; returns ``{label: RunResult}``.
+
+    Thin wrapper over :func:`repro.experiments.run_suite`; pass
+    ``executor="process"`` to shard the sweep over a process pool.
+    """
+    from .suite import run_suite
     methods = ar_methods(config, include_plain_sgm=include_plain_sgm)
-    validators = ar_validators(config, np.random.default_rng(config.seed))
-    results = {}
-    for method in methods:
-        if verbose:
-            print(f"[ar:{config.scale}] training {method.label} "
-                  f"(N={method.n_interior}, batch={method.batch_size})")
-        results[method.label] = _run_method("annular_ring", config, method,
-                                            validators=validators)
-    return results
+    suite = run_suite("annular_ring", methods, executor=executor,
+                      max_workers=max_workers, config=config, verbose=verbose)
+    return suite.run_results()

@@ -1,0 +1,315 @@
+"""Registry-driven method sweeps with serial or sharded execution.
+
+The paper's headline results are method-sweep tables: train the *same*
+problem under several samplers (uniform small/large batch, MIS, SGM,
+SGM-S) and compare error trajectories.  :func:`run_suite` generalises the
+old hardcoded LDC/annular-ring loops over the problem and sampler
+registries: any registered problem crossed with any subset of registered
+samplers resolves into :class:`~repro.api.MethodSpec` columns.
+
+Method sweeps are embarrassingly parallel — each column trains an
+independent network — so :func:`run_suite` can shard them across a
+``ProcessPoolExecutor``.  Every worker seeds itself from its spec (the
+problem build, network init, and sampler all derive from ``config.seed`` /
+the run seed), so serial and process execution produce bit-identical loss
+trajectories; results are returned in spec order regardless of completion
+order.  Workers return :class:`MethodResult` payloads that are fully
+picklable (history, net state dict, sampler statistics) instead of live
+trainer objects.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..api.registry import problem_registry, sampler_registry
+from ..api.types import MethodSpec, RunResult
+
+__all__ = [
+    "EXECUTORS", "MethodResult", "SamplerStats", "SuiteResult",
+    "method_label", "methods_from_samplers", "resolve_methods", "run_suite",
+]
+
+EXECUTORS = ("serial", "process")
+
+#: label prefixes mirroring the paper's column headers (U500, MIS500, ...)
+_LABEL_PREFIXES = {"uniform": "U", "mis": "MIS", "sgm": "SGM",
+                   "sgm_s": "SGM-S"}
+
+
+def method_label(kind, batch_size):
+    """The paper-style column label for a sampler at a batch size."""
+    prefix = _LABEL_PREFIXES.get(kind, kind.upper().replace("_", "-"))
+    return f"{prefix}{batch_size}"
+
+
+def methods_from_samplers(config, samplers=None, n_interior=None,
+                          batch_size=None):
+    """One small-batch :class:`MethodSpec` per sampler name.
+
+    ``samplers=None`` expands to every registered sampler.  Sizes default
+    to the config's reduced dataset/batch (the paper trains every
+    importance-sampling column at the small sizes).
+    """
+    if samplers is None:
+        samplers = sampler_registry.names()
+    n_interior = (config.n_interior_small if n_interior is None
+                  else int(n_interior))
+    batch_size = config.batch_small if batch_size is None else int(batch_size)
+    specs = []
+    for kind in samplers:
+        sampler_registry.get(kind)   # fail fast with the registry's error
+        specs.append(MethodSpec(method_label(kind, batch_size), kind,
+                                n_interior, batch_size))
+    return specs
+
+
+def resolve_methods(config, methods=None, n_interior=None, batch_size=None):
+    """Normalise ``methods`` into a list of :class:`MethodSpec`.
+
+    Accepts ``None`` (all registered samplers), sampler-registry names,
+    ready-made :class:`MethodSpec` objects, or a mix of both.  Every spec's
+    sampler kind is validated against the registry, and duplicate column
+    labels are rejected (they would collide in the result tables).
+    """
+    if methods is None:
+        specs = methods_from_samplers(config, None, n_interior, batch_size)
+    else:
+        specs = []
+        for method in methods:
+            if isinstance(method, MethodSpec):
+                sampler_registry.get(method.kind)
+                specs.append(method)
+            else:
+                specs.extend(methods_from_samplers(
+                    config, [method], n_interior, batch_size))
+    if not specs:
+        raise ValueError("suite needs at least one method")
+    labels = [spec.label for spec in specs]
+    duplicates = sorted({l for l in labels if labels.count(l) > 1})
+    if duplicates:
+        raise ValueError(f"duplicate method labels {duplicates}; give "
+                         f"explicit MethodSpecs with distinct labels")
+    return specs
+
+
+class SamplerStats:
+    """Picklable stand-in for a worker's sampler: statistics only.
+
+    Carries the attributes the tables/figures/examples read from a trained
+    sampler (``probe_points`` overhead, SGM cluster ``labels``) without the
+    live probe closures, which cannot cross a process boundary.
+    """
+
+    def __init__(self, name, probe_points, labels=None, refresh_count=0,
+                 rebuild_count=0):
+        self.name = name
+        self.probe_points = int(probe_points)
+        self.labels = labels
+        self.refresh_count = int(refresh_count)
+        self.rebuild_count = int(rebuild_count)
+
+    def __repr__(self):
+        return (f"SamplerStats(name={self.name!r}, "
+                f"probe_points={self.probe_points})")
+
+
+@dataclass
+class MethodResult:
+    """One trained suite column, in picklable form."""
+
+    spec: MethodSpec
+    seed: int
+    history: object
+    wall_seconds: float
+    sampler_stats: SamplerStats
+    net_arch: dict = field(repr=False, default=None)
+    net_state: dict = field(repr=False, default=None)
+
+    @property
+    def label(self):
+        return self.spec.label
+
+    @property
+    def kind(self):
+        return self.spec.kind
+
+    @property
+    def probe_points(self):
+        return self.sampler_stats.probe_points
+
+    def rebuild_net(self):
+        """Reconstruct the trained network from its architecture + state."""
+        from ..nn import FullyConnected
+        arch = self.net_arch
+        net = FullyConnected(arch["in_features"], arch["out_features"],
+                             width=arch["width"], depth=arch["depth"],
+                             activation=arch["activation"],
+                             dtype=np.dtype(arch["dtype"]))
+        net.load_state_dict(self.net_state)
+        return net
+
+    def to_run_result(self, config=None):
+        """Adapt to the :class:`~repro.api.RunResult` shape legacy callers
+        (tables, figures, examples) consume."""
+        return RunResult(label=self.label, history=self.history,
+                         net=self.rebuild_net(), sampler=self.sampler_stats,
+                         config=config)
+
+
+@dataclass
+class SuiteResult:
+    """All methods of one sweep, in spec order with per-method timing."""
+
+    problem: str
+    executor: str
+    methods: list
+    total_seconds: float
+    seed: int = 0
+    config: object = field(repr=False, default=None)
+
+    @property
+    def labels(self):
+        return [m.label for m in self.methods]
+
+    def histories(self):
+        """``{label: History}`` for the table/figure formatters."""
+        return {m.label: m.history for m in self.methods}
+
+    def timings(self):
+        """``{label: training wall seconds}`` measured inside each worker."""
+        return {m.label: m.wall_seconds for m in self.methods}
+
+    def run_results(self):
+        """``{label: RunResult}`` with reconstructed trained networks."""
+        return {m.label: m.to_run_result(self.config) for m in self.methods}
+
+    def __len__(self):
+        return len(self.methods)
+
+    def __iter__(self):
+        return iter(self.methods)
+
+    def __getitem__(self, label):
+        for method in self.methods:
+            if method.label == label:
+                return method
+        raise KeyError(f"unknown method label {label!r}; "
+                       f"have {self.labels}")
+
+
+def _train_method(task):
+    """Worker: build the problem and train one method (picklable I/O).
+
+    Runs identically under both executors — the serial path calls this
+    function in-process, the process path ships ``task`` to a worker — so
+    trajectory parity between executors is parity of one code path.  All
+    randomness derives from ``(config, seed)``, never from worker state.
+    """
+    name, config, spec, seed, steps, validators, verbose = task
+    from ..api.problems import build_problem
+    from ..api.session import run_problem
+    if verbose:
+        print(f"[{name}:{config.scale}] training {spec.label} "
+              f"(N={spec.n_interior}, batch={spec.batch_size})")
+    started = time.perf_counter()
+    prob = build_problem(name, config, spec.n_interior,
+                         np.random.default_rng(seed))
+    result = run_problem(prob, config, sampler=spec.kind,
+                         batch_size=spec.batch_size, seed=seed, steps=steps,
+                         label=spec.label, validators=validators)
+    wall = time.perf_counter() - started
+
+    sampler = result.sampler
+    labels = getattr(sampler, "labels", None)
+    stats = SamplerStats(
+        name=getattr(sampler, "name", type(sampler).__name__),
+        probe_points=sampler.probe_points,
+        labels=None if labels is None else np.asarray(labels).copy(),
+        refresh_count=getattr(sampler, "refresh_count", 0),
+        rebuild_count=getattr(sampler, "rebuild_count", 0))
+    arch = {"in_features": result.net.in_features,
+            "out_features": result.net.out_features,
+            "width": config.network.width, "depth": config.network.depth,
+            "activation": config.network.activation,
+            "dtype": config.network.dtype}
+    return MethodResult(spec=spec, seed=seed, history=result.history,
+                        wall_seconds=wall, sampler_stats=stats,
+                        net_arch=arch, net_state=result.net.state_dict())
+
+
+def run_suite(problem, methods=None, *, executor="process", max_workers=None,
+              seed=None, steps=None, config=None, scale="repro",
+              validators=None, verbose=False):
+    """Train a method sweep on any registered problem.
+
+    Parameters
+    ----------
+    problem:
+        A problem-registry name (``ldc``, ``annular_ring``, ...).
+    methods:
+        ``None`` (all registered samplers), sampler names, or
+        :class:`MethodSpec` objects — see :func:`resolve_methods`.
+    executor:
+        ``"serial"`` trains methods one after another in-process;
+        ``"process"`` shards them over a ``ProcessPoolExecutor``.  Both
+        produce bit-identical loss/error trajectories because every worker
+        seeds independently from its spec.
+    max_workers:
+        Process-pool size (default: ``min(len(methods), cpu_count)``).
+    seed:
+        Run seed shared by all methods (default ``config.seed`` — the
+        paper's fair-comparison invariant: identical initialisation).
+    steps:
+        Optimizer steps per method (default ``config.steps``).
+    config:
+        Problem config; defaults to the registered factory at ``scale``.
+    validators:
+        Validator override shared by every method (``[]`` skips validation
+        entirely; ``None`` builds the problem's defaults per worker).  With
+        ``executor="process"`` custom validator objects must be picklable.
+
+    Returns
+    -------
+    :class:`SuiteResult` with methods in spec order regardless of
+    completion order.
+    """
+    entry = problem_registry.get(problem)
+    if config is None:
+        config = entry.config_factory(scale)
+    specs = resolve_methods(config, methods)
+    seed = config.seed if seed is None else int(seed)
+    tasks = [(entry.name, config, spec, seed, steps, validators,
+              verbose and executor == "serial") for spec in specs]
+
+    started = time.perf_counter()
+    if executor == "serial":
+        results = [_train_method(task) for task in tasks]
+    elif executor == "process":
+        if max_workers is None:
+            max_workers = min(len(tasks), os.cpu_count() or 1)
+        results = [None] * len(tasks)
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {pool.submit(_train_method, task): i
+                       for i, task in enumerate(tasks)}
+            # collect as workers finish, but place by submission index so
+            # the suite order is deterministic
+            for future in as_completed(futures):
+                index = futures[future]
+                results[index] = future.result()
+                if verbose:
+                    done = results[index]
+                    print(f"[{entry.name}:{config.scale}] finished "
+                          f"{done.label} in {done.wall_seconds:.1f}s")
+    else:
+        raise ValueError(f"unknown executor {executor!r}; "
+                         f"choose from {EXECUTORS}")
+    total = time.perf_counter() - started
+    return SuiteResult(problem=entry.name, executor=executor,
+                       methods=results, total_seconds=total, seed=seed,
+                       config=config)

@@ -1,10 +1,12 @@
-"""Table formatters mirroring the paper's Table 1 and Table 2."""
+"""Table formatters mirroring the paper's Table 1 and Table 2, plus the
+registry-generic :func:`suite_rows` used by ``repro suite`` sweeps."""
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["table1_rows", "table2_rows", "format_table"]
+__all__ = ["table1_rows", "table2_rows", "suite_rows", "suite_table",
+           "format_table"]
 
 
 def _fmt(value, digits=4):
@@ -67,6 +69,42 @@ def table1_rows(histories):
     sgm = [c for c in columns if c.startswith("SGM")]
     rows += _time_rows(histories, columns, large + mis + sgm, ("u", "v"))
     return columns, rows
+
+
+def suite_rows(histories, variables=None, reference_labels=None):
+    """Generic table rows for any registry-driven method sweep.
+
+    Unlike :func:`table1_rows` / :func:`table2_rows` (which hardcode the
+    paper's column structure), this works for any ``{label: History}``:
+    one ``Min(var)`` row per validated variable, plus the
+    time-to-threshold block against ``reference_labels`` (default: every
+    column, so each method's best error doubles as a threshold).
+    """
+    columns = list(histories)
+    if variables is None:
+        variables = sorted({var for history in histories.values()
+                            for var in history.errors
+                            if len(history.error_series(var)[1])})
+    if reference_labels is None:
+        reference_labels = columns
+    rows = []
+    for var in variables:
+        rows.append((f"Min({var})", {c: histories[c].min_error(var)
+                                     for c in columns}))
+    rows += _time_rows(histories, columns, reference_labels, variables)
+    return columns, rows
+
+
+def suite_table(suite, title=None):
+    """Render a :class:`~repro.experiments.SuiteResult` as aligned text."""
+    histories = suite.histories()
+    columns, rows = suite_rows(histories)
+    if title is None:
+        title = (f"Suite ({suite.problem}, executor={suite.executor}): "
+                 f"min errors and time-to-threshold [s]")
+    timings = suite.timings()
+    rows.append(("train wall [s]", {c: timings[c] for c in columns}))
+    return format_table(title, columns, rows)
 
 
 def table2_rows(histories):

@@ -60,6 +60,28 @@ def test_session_matches_legacy_ldc_wiring():
     assert np.allclose(legacy.history.losses, session.history.losses)
 
 
+def test_run_suite_matches_legacy_method_shims():
+    """Suite columns reproduce the deprecated per-method entry points
+    bit-for-bit, so ``run_ldc_method``/``run_ar_method`` can be deleted
+    next PR with no caller left behind."""
+    from repro.experiments import run_suite
+    config = ldc_config("smoke")
+    methods = ldc_methods(config)[:2]
+    with pytest.warns(DeprecationWarning):
+        legacy = [run_ldc_method(config, m, steps=6) for m in methods]
+    suite = run_suite("ldc", methods, executor="serial", config=config,
+                      steps=6)
+    assert suite.labels == [m.label for m in methods]
+    for old, new in zip(legacy, suite):
+        assert np.array_equal(old.history.losses, new.history.losses)
+        for var in old.history.errors:
+            np.testing.assert_array_equal(old.history.errors[var],
+                                          new.history.errors[var])
+        state = old.net.state_dict()
+        for key, value in new.net_state.items():
+            assert np.array_equal(state[key], value)
+
+
 def test_session_matches_legacy_ar_wiring():
     config = annular_ring_config("smoke")
     method = [m for m in ar_methods(config, include_plain_sgm=True)

@@ -1,0 +1,90 @@
+"""Golden-trajectory regression tests: every problem × sampler pair.
+
+Short deterministic loss trajectories (6 steps, every step recorded) are
+pinned in ``golden_trajectories.json`` for the full registry cross product,
+so refactors of the trainer/sampler/problem wiring cannot silently change
+numerics.  If a change is *intentionally* numeric-affecting, regenerate the
+goldens and explain the shift in the commit::
+
+    PYTHONPATH=src python tests/experiments/test_golden.py
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import list_problems, list_samplers
+
+GOLDEN_PATH = Path(__file__).parent / "golden_trajectories.json"
+
+#: one deterministic, CI-sized run per registry pair
+STEPS = 6
+N_INTERIOR = 400
+RTOL = 1e-5
+
+
+def _pairs():
+    return [(prob, samp) for prob in list_problems()
+            for samp in list_samplers()]
+
+
+def _run_pair(problem, sampler):
+    """The pinned scenario: smoke scale, tiny dataset, every step recorded,
+    no validators (losses alone pin the numerics)."""
+    result = (repro.problem(problem, scale="smoke")
+              .config(record_every=1)
+              .sampler(sampler)
+              .n_interior(N_INTERIOR)
+              .validators([])
+              .train(steps=STEPS))
+    return [float(loss) for loss in result.history.losses]
+
+
+def _load_goldens():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+def test_golden_file_covers_the_full_registry():
+    goldens = _load_goldens()["trajectories"]
+    assert sorted(goldens) == sorted(f"{p}:{s}" for p, s in _pairs()), (
+        "registry changed: regenerate with "
+        "`PYTHONPATH=src python tests/experiments/test_golden.py`")
+
+
+@pytest.mark.parametrize("problem,sampler", _pairs())
+def test_golden_trajectory(problem, sampler):
+    goldens = _load_goldens()["trajectories"]
+    key = f"{problem}:{sampler}"
+    assert key in goldens, (f"no golden for {key}; regenerate with "
+                            f"`python tests/experiments/test_golden.py`")
+    losses = _run_pair(problem, sampler)
+    expected = goldens[key]
+    assert len(losses) == len(expected)
+    np.testing.assert_allclose(
+        losses, expected, rtol=RTOL, atol=1e-12,
+        err_msg=f"{key} trajectory drifted from the pinned golden; if the "
+                f"numeric change is intentional, regenerate the goldens")
+
+
+def regenerate():
+    """Re-pin every trajectory (run after intentional numeric changes)."""
+    trajectories = {}
+    for problem, sampler in _pairs():
+        key = f"{problem}:{sampler}"
+        trajectories[key] = _run_pair(problem, sampler)
+        print(f"{key}: {trajectories[key]}")
+    payload = {
+        "scenario": {"scale": "smoke", "n_interior": N_INTERIOR,
+                     "steps": STEPS, "record_every": 1, "validators": []},
+        "trajectories": trajectories,
+    }
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    regenerate()

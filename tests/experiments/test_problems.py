@@ -5,7 +5,7 @@ import pytest
 
 from repro.experiments import (
     annular_ring_config, annular_ring_geometry, ar_methods, build_ar_problem,
-    build_ldc_problem, ldc_config, ldc_methods, run_ldc_method,
+    build_ldc_problem, ldc_config, ldc_methods,
 )
 from repro.experiments.annular_ring import inlet_profile
 
@@ -103,9 +103,12 @@ class TestRunnerSmoke:
         assert labels == ["U32", "U64", "MIS32", "SGM32", "SGM-S32"]
 
     def test_run_single_method_smoke(self):
+        from repro.experiments import run_suite
         config = ldc_config("smoke")
         method = ldc_methods(config)[0]
-        result = run_ldc_method(config, method, steps=12)
+        suite = run_suite("ldc", [method], executor="serial", config=config,
+                          steps=12)
+        (result,) = suite.run_results().values()
         assert len(result.history.steps) >= 2
         assert np.isfinite(result.history.losses[-1])
         assert result.net.num_parameters() > 0

@@ -1,23 +1,34 @@
-"""Determinism of the experiment runner (same seed → same run)."""
+"""Determinism of the Session-based training engine (same seed → same run)."""
 
 import numpy as np
 
-from repro.experiments import ldc_config, ldc_methods, run_ldc_method
+import repro
+from repro.experiments import ldc_config, ldc_methods
+
+
+def _train(method, seed=None, steps=10):
+    config = ldc_config("smoke")
+    session = (repro.problem("ldc", config=config)
+               .sampler(method.kind)
+               .n_interior(method.n_interior)
+               .batch_size(method.batch_size))
+    if seed is not None:
+        session.seed(seed)
+    return session.train(steps=steps)
 
 
 def test_same_seed_same_losses():
-    config = ldc_config("smoke")
-    method = ldc_methods(config)[0]
-    a = run_ldc_method(config, method, steps=10)
-    b = run_ldc_method(config, method, steps=10)
+    method = ldc_methods(ldc_config("smoke"))[0]
+    a = _train(method)
+    b = _train(method)
     assert np.allclose(a.history.losses, b.history.losses)
 
 
 def test_sgm_run_deterministic():
     config = ldc_config("smoke")
     method = [m for m in ldc_methods(config) if m.kind == "sgm"][0]
-    a = run_ldc_method(config, method, steps=10)
-    b = run_ldc_method(config, method, steps=10)
+    a = _train(method)
+    b = _train(method)
     assert np.allclose(a.history.losses, b.history.losses)
     assert np.array_equal(a.sampler.labels, b.sampler.labels)
 
@@ -25,8 +36,8 @@ def test_sgm_run_deterministic():
 def test_different_methods_share_initial_network():
     config = ldc_config("smoke")
     uniform, _, mis, sgm = ldc_methods(config)
-    r_uniform = run_ldc_method(config, uniform, steps=1)
-    r_sgm = run_ldc_method(config, sgm, steps=1)
+    r_uniform = _train(uniform, steps=1)
+    r_sgm = _train(sgm, steps=1)
     # same seed => identical initialisation (the fair-comparison invariant)
     state_u = r_uniform.net.state_dict()
     state_s = r_sgm.net.state_dict()
@@ -35,8 +46,7 @@ def test_different_methods_share_initial_network():
 
 
 def test_seed_changes_trajectory():
-    config = ldc_config("smoke")
-    method = ldc_methods(config)[0]
-    a = run_ldc_method(config, method, seed=1, steps=10)
-    b = run_ldc_method(config, method, seed=2, steps=10)
+    method = ldc_methods(ldc_config("smoke"))[0]
+    a = _train(method, seed=1)
+    b = _train(method, seed=2)
     assert not np.allclose(a.history.losses, b.history.losses)

@@ -1,0 +1,200 @@
+"""The registry-driven suite engine: resolution, parity, ordering."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import MethodSpec
+from repro.experiments import (
+    SuiteResult, burgers_config, ldc_config, method_label,
+    methods_from_samplers, resolve_methods, run_suite, suite_table,
+)
+
+SAMPLERS = ("uniform", "mis", "sgm", "sgm_s")
+
+
+# ----------------------------------------------------------------------
+# Method resolution
+# ----------------------------------------------------------------------
+def test_method_label_follows_paper_columns():
+    assert method_label("uniform", 500) == "U500"
+    assert method_label("mis", 500) == "MIS500"
+    assert method_label("sgm", 500) == "SGM500"
+    assert method_label("sgm_s", 1024) == "SGM-S1024"
+    assert method_label("my_rule", 64) == "MY-RULE64"
+
+
+def test_methods_from_samplers_defaults_to_registry():
+    config = burgers_config("smoke")
+    specs = methods_from_samplers(config)
+    assert [s.kind for s in specs] == sorted(SAMPLERS)
+    assert all(s.n_interior == config.n_interior_small for s in specs)
+    assert all(s.batch_size == config.batch_small for s in specs)
+
+
+def test_resolve_methods_accepts_names_specs_and_mixtures():
+    config = burgers_config("smoke")
+    explicit = MethodSpec("U-big", "uniform", 600, 48)
+    specs = resolve_methods(config, ["sgm", explicit])
+    assert [s.label for s in specs] == [f"SGM{config.batch_small}", "U-big"]
+    assert specs[1] is explicit
+
+
+def test_resolve_methods_rejects_unknown_sampler_and_duplicates():
+    config = burgers_config("smoke")
+    with pytest.raises(KeyError, match="unknown sampler"):
+        resolve_methods(config, ["not_a_sampler"])
+    with pytest.raises(KeyError, match="unknown sampler"):
+        resolve_methods(config, [MethodSpec("x", "bogus", 100, 8)])
+    with pytest.raises(ValueError, match="duplicate"):
+        resolve_methods(config, ["sgm", "sgm"])
+    with pytest.raises(ValueError, match="at least one"):
+        resolve_methods(config, [])
+
+
+# ----------------------------------------------------------------------
+# Serial execution + SuiteResult surface
+# ----------------------------------------------------------------------
+def test_run_suite_serial_returns_ordered_suiteresult():
+    suite = run_suite("burgers", ["uniform", "sgm"], executor="serial",
+                      scale="smoke", steps=4)
+    assert isinstance(suite, SuiteResult)
+    assert suite.problem == "burgers" and suite.executor == "serial"
+    assert suite.labels == ["U32", "SGM32"]
+    assert len(suite) == 2
+    assert set(suite.histories()) == {"U32", "SGM32"}
+    assert all(t > 0 for t in suite.timings().values())
+    assert suite.total_seconds >= max(suite.timings().values())
+    with pytest.raises(KeyError, match="unknown method label"):
+        suite["nope"]
+
+
+def test_run_suite_rejects_unknown_problem_and_executor():
+    with pytest.raises(KeyError, match="unknown problem"):
+        run_suite("not_a_problem", scale="smoke")
+    with pytest.raises(ValueError, match="unknown executor"):
+        run_suite("burgers", ["uniform"], executor="threads", scale="smoke",
+                  steps=1)
+
+
+def test_run_results_reconstruct_trained_networks():
+    config = burgers_config("smoke")
+    suite = run_suite("burgers", ["uniform"], executor="serial",
+                      config=config, steps=4)
+    results = suite.run_results()
+    (result,) = results.values()
+    # the rebuilt net must carry the exact trained parameters
+    state = result.net.state_dict()
+    for key, value in suite.methods[0].net_state.items():
+        assert np.array_equal(state[key], value)
+    assert result.sampler.probe_points == suite.methods[0].probe_points
+
+
+def test_suite_table_renders_all_columns():
+    suite = run_suite("burgers", ["uniform", "mis"], executor="serial",
+                      scale="smoke", steps=4)
+    text = suite_table(suite)
+    assert "U32" in text and "MIS32" in text
+    assert "train wall [s]" in text
+
+
+@pytest.mark.parametrize("problem", sorted(repro.list_problems()))
+def test_run_suite_works_for_every_registered_problem(problem):
+    suite = run_suite(problem, ["uniform", "sgm"], executor="serial",
+                      scale="smoke", steps=3)
+    assert suite.problem == problem and len(suite) == 2
+    for method in suite:
+        assert len(method.history.losses) >= 1
+        assert np.all(np.isfinite(method.history.losses))
+
+
+# ----------------------------------------------------------------------
+# Serial vs process parity (the scaling subsystem's core invariant)
+# ----------------------------------------------------------------------
+def _assert_method_parity(serial, parallel):
+    assert serial.labels == parallel.labels
+    for s, p in zip(serial, parallel):
+        assert s.label == p.label and s.seed == p.seed
+        assert np.array_equal(s.history.losses, p.history.losses), s.label
+        assert s.history.steps == p.history.steps
+        assert sorted(s.history.errors) == sorted(p.history.errors)
+        for var in s.history.errors:
+            np.testing.assert_array_equal(s.history.errors[var],
+                                          p.history.errors[var])
+        assert s.probe_points == p.probe_points
+        if s.sampler_stats.labels is not None:
+            assert np.array_equal(s.sampler_stats.labels,
+                                  p.sampler_stats.labels)
+        for key in s.net_state:
+            assert np.array_equal(s.net_state[key], p.net_state[key]), (
+                s.label, key)
+
+
+def test_serial_and_process_executors_are_bit_identical():
+    config = burgers_config("smoke")
+    methods = ["uniform", "mis", "sgm"]
+    serial = run_suite("burgers", methods, executor="serial", config=config,
+                       steps=6)
+    parallel = run_suite("burgers", methods, executor="process",
+                         config=config, steps=6)
+    _assert_method_parity(serial, parallel)
+
+
+def test_process_results_keep_spec_order_not_completion_order():
+    # heavier methods first: if results were appended in completion order,
+    # the cheap uniform column would finish (and land) before SGM
+    config = ldc_config("smoke")
+    methods = [
+        MethodSpec("SGM-S-heavy", "sgm_s", 900, 32),
+        MethodSpec("SGM-heavy", "sgm", 900, 32),
+        MethodSpec("U-light", "uniform", 120, 8),
+    ]
+    suite = run_suite("ldc", methods, executor="process", config=config,
+                      steps=5, max_workers=3)
+    assert suite.labels == ["SGM-S-heavy", "SGM-heavy", "U-light"]
+
+
+def test_process_executor_respects_explicit_seed():
+    a = run_suite("burgers", ["uniform"], executor="process", scale="smoke",
+                  steps=5, seed=7)
+    b = run_suite("burgers", ["uniform"], executor="serial", scale="smoke",
+                  steps=5, seed=7)
+    c = run_suite("burgers", ["uniform"], executor="serial", scale="smoke",
+                  steps=5, seed=8)
+    assert np.array_equal(a.methods[0].history.losses,
+                          b.methods[0].history.losses)
+    assert not np.allclose(b.methods[0].history.losses,
+                           c.methods[0].history.losses)
+
+
+# ----------------------------------------------------------------------
+# Session front door
+# ----------------------------------------------------------------------
+def test_session_suite_applies_overrides():
+    suite = (repro.problem("burgers", scale="smoke")
+             .n_interior(300).batch_size(16).seed(3)
+             .suite(["uniform", "sgm"], steps=4))
+    assert suite.labels == ["U16", "SGM16"]
+    assert suite.seed == 3
+    assert all(m.spec.n_interior == 300 for m in suite)
+    assert all(m.spec.batch_size == 16 for m in suite)
+
+
+def test_session_suite_honours_validators_override():
+    suite = (repro.problem("burgers", scale="smoke")
+             .n_interior(200).validators([])
+             .suite(["uniform"], executor="process", steps=4))
+    # validators=[] must reach the workers: no errors recorded at all
+    assert suite.methods[0].history.errors == {}
+
+
+def test_run_suite_validators_override():
+    serial = run_suite("burgers", ["uniform"], executor="serial",
+                       scale="smoke", steps=4, validators=[])
+    assert serial.methods[0].history.errors == {}
+
+
+def test_session_suite_defaults_to_all_registered_samplers():
+    suite = (repro.problem("burgers", scale="smoke")
+             .n_interior(200).suite(steps=2))
+    assert [m.kind for m in suite] == sorted(SAMPLERS)

@@ -1,0 +1,118 @@
+"""Property tests on every *registered* sampler, via the registry factory.
+
+The suite engine trains arbitrary registered samplers, so the invariants
+the trainer relies on must hold for every registry entry, not just the
+hand-constructed samplers of ``test_sampler_properties``:
+
+* batch indices are always in-bounds and exactly the requested size;
+* importance probabilities/ratios are finite and normalised/bounded;
+* batch weights (when a sampler reweights) are positive with mean one.
+"""
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import list_samplers, make_sampler
+from repro.experiments import burgers_config
+from repro.geometry import PointCloud
+
+ALL_SAMPLERS = list_samplers()
+
+
+def _config(n):
+    """A smoke config with SGM hyper-parameters sized for tiny clouds."""
+    return dataclasses.replace(
+        burgers_config("smoke"), knn_k=min(6, n - 2), lrd_level=3,
+        tau_e=50, tau_G=200, probe_ratio=0.25)
+
+
+def _cloud(n, seed):
+    rng = np.random.default_rng(seed)
+    return PointCloud(coords=rng.uniform(size=(n, 2)))
+
+
+def _bind_fake_probes(sampler, n, seed):
+    """Deterministic trainer-free probes (loss, outputs, grad norm)."""
+    rng = np.random.default_rng(seed + 1)
+    losses = rng.exponential(size=n) + 1e-3
+    outputs = rng.normal(size=(n, 2))
+    sampler.bind_probes(probe_loss=lambda idx: losses[np.asarray(idx)],
+                        probe_outputs=lambda idx: outputs[np.asarray(idx)],
+                        probe_grad_norm=lambda idx: losses[np.asarray(idx)])
+
+
+def _make(kind, n, seed):
+    sampler = make_sampler(kind, _config(n), _cloud(n, seed), seed)
+    _bind_fake_probes(sampler, n, seed)
+    sampler.start()
+    return sampler
+
+
+def test_registry_has_the_paper_samplers():
+    assert {"uniform", "mis", "sgm", "sgm_s"} <= set(ALL_SAMPLERS)
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.sampled_from(ALL_SAMPLERS), st.integers(40, 120),
+       st.integers(1, 48), st.integers(0, 2 ** 31))
+def test_batches_in_bounds_and_sized(kind, n, batch, seed):
+    sampler = _make(kind, n, seed)
+    for step in range(4):
+        indices = sampler.batch_indices(step, batch)
+        assert indices.shape == (batch,)
+        assert indices.dtype.kind in "iu"
+        assert indices.min() >= 0 and indices.max() < n
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.sampled_from(ALL_SAMPLERS), st.integers(40, 120),
+       st.integers(0, 2 ** 31))
+def test_batch_weights_finite_positive_mean_one(kind, n, seed):
+    sampler = _make(kind, n, seed)
+    indices = sampler.batch_indices(0, min(16, n))
+    weights = sampler.batch_weights(indices)
+    if weights is not None:      # uniform/SGM batches are unweighted
+        weights = np.asarray(weights, dtype=np.float64)
+        assert np.all(np.isfinite(weights))
+        assert np.all(weights > 0)
+        assert np.isclose(weights.mean(), 1.0)
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(40, 120), st.integers(0, 2 ** 31))
+def test_mis_probabilities_normalised_via_registry(n, seed):
+    sampler = _make("mis", n, seed)
+    sampler.batch_indices(0, min(8, n))
+    probs = np.asarray(sampler.probabilities, dtype=np.float64)
+    assert probs.shape == (n,)
+    assert np.all(np.isfinite(probs)) and np.all(probs > 0)
+    assert np.isclose(probs.sum(), 1.0)
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.sampled_from(["sgm", "sgm_s"]), st.integers(60, 140),
+       st.integers(0, 2 ** 31))
+def test_sgm_ratios_finite_and_bounded_via_registry(kind, n, seed):
+    sampler = _make(kind, n, seed)
+    sampler.refresh_scores()
+    ratios = np.asarray(sampler.sampling_ratios, dtype=np.float64)
+    assert len(ratios) == len(sampler.clusters)
+    assert np.all(np.isfinite(ratios))
+    assert np.all((ratios >= sampler.ratio_min)
+                  & (ratios <= sampler.ratio_max))
+    scores = np.asarray(sampler.cluster_scores, dtype=np.float64)
+    assert np.all(np.isfinite(scores))
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.sampled_from(ALL_SAMPLERS), st.integers(40, 100),
+       st.integers(0, 2 ** 31))
+def test_same_seed_same_batches_via_registry(kind, n, seed):
+    a = _make(kind, n, seed)
+    b = _make(kind, n, seed)
+    for step in range(3):
+        assert np.array_equal(a.batch_indices(step, 8),
+                              b.batch_indices(step, 8))

@@ -45,6 +45,51 @@ def test_run_burgers_smoke(capsys):
     assert "min err(u)" in out
 
 
+def test_suite_parser_accepts_samplers_and_parallel():
+    parser = build_parser()
+    args = parser.parse_args(["suite", "ldc", "--samplers", "uniform,sgm",
+                              "--parallel", "--max-workers", "2"])
+    assert args.problem == "ldc"
+    assert args.samplers == "uniform,sgm"
+    assert args.parallel and args.max_workers == 2
+    args = parser.parse_args(["suite", "burgers"])
+    assert args.samplers is None and not args.parallel
+
+
+def test_suite_smoke_serial(capsys):
+    assert main(["suite", "burgers", "--samplers", "uniform,sgm",
+                 "--steps", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "training U32" in out and "training SGM32" in out
+    assert "Suite (burgers, executor=serial)" in out
+    assert "sweep total" in out and "2 methods" in out
+
+
+def test_suite_smoke_parallel(capsys):
+    assert main(["suite", "burgers", "--samplers", "uniform,mis",
+                 "--steps", "4", "--parallel"]) == 0
+    out = capsys.readouterr().out
+    assert "Suite (burgers, executor=process)" in out
+
+
+def test_suite_rejects_unknown_names_via_registry(capsys):
+    assert main(["suite", "not_a_problem"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown problem" in out and "ldc" in out
+    assert main(["suite", "burgers", "--samplers", "uniform,bogus"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown sampler" in out and "sgm" in out
+
+
+def test_suite_rejects_duplicate_and_empty_samplers(capsys):
+    assert main(["suite", "burgers", "--samplers", "uniform,uniform"]) == 2
+    out = capsys.readouterr().out
+    assert "duplicate" in out
+    assert main(["suite", "burgers", "--samplers", ","]) == 2
+    out = capsys.readouterr().out
+    assert "at least one" in out
+
+
 def test_parser_commands():
     parser = build_parser()
     args = parser.parse_args(["table1", "--scale", "smoke"])
