@@ -13,7 +13,8 @@ Usage::
 
 import argparse
 
-from repro.experiments import annular_ring_config, ar_methods, run_ar_method
+import repro
+from repro.experiments import annular_ring_config, ar_methods
 
 
 def main():
@@ -31,7 +32,11 @@ def main():
     print(f"training {method.label} on the parameterized annular ring "
           f"(r_i in {config.r_inner_range}) for {args.steps} steps...")
 
-    result = run_ar_method(config, method, steps=args.steps)
+    result = (repro.problem("annular_ring", config=config)
+              .sampler(method.kind)
+              .n_interior(method.n_interior)
+              .batch_size(method.batch_size)
+              .train(steps=args.steps, label=method.label))
     history = result.history
     print(f"\nwall time: {history.wall_times[-1]:.0f}s "
           f"(validation averaged over r_i = "

@@ -12,7 +12,8 @@ Usage::
 
 import argparse
 
-from repro.experiments import ldc_config, ldc_methods, run_ldc_method
+import repro
+from repro.experiments import ldc_config, ldc_methods
 
 
 def main():
@@ -28,7 +29,11 @@ def main():
     print(f"training {method.label} on LDC (Re={config.reynolds:g}, "
           f"zero-eq turbulence) for {args.steps} steps...")
 
-    result = run_ldc_method(config, method, steps=args.steps)
+    result = (repro.problem("ldc", config=config)
+              .sampler(method.kind)
+              .n_interior(method.n_interior)
+              .batch_size(method.batch_size)
+              .train(steps=args.steps, label=method.label))
     history = result.history
     print(f"\nwall time: {history.wall_times[-1]:.0f}s")
     for var in ("u", "v", "nu"):

@@ -29,6 +29,7 @@ from . import training
 from . import experiments
 from . import utils
 from . import api
+from . import store
 from .api import (
     Problem, RunResult, Session, list_problems, list_samplers, problem,
     register_problem, register_sampler,
@@ -36,7 +37,7 @@ from .api import (
 
 __all__ = [
     "autodiff", "nn", "geometry", "pde", "graph", "stability", "sampling",
-    "solvers", "training", "experiments", "utils", "api",
+    "solvers", "training", "experiments", "utils", "api", "store",
     "Problem", "RunResult", "Session", "problem",
     "register_problem", "register_sampler", "list_problems", "list_samplers",
     "__version__",

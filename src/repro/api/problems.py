@@ -1,4 +1,5 @@
-"""Built-in problem registrations: ldc, annular_ring, burgers, poisson3d.
+"""Built-in problem registrations: ldc, annular_ring, burgers, poisson3d,
+advection_diffusion.
 
 Each builder wraps the corresponding :mod:`repro.experiments` problem
 module into a :class:`Problem`, closing the config over the validator
@@ -10,10 +11,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..experiments.advection_diffusion import (
+    advection_diffusion_validator, build_advection_diffusion_problem,
+)
 from ..experiments.annular_ring import ar_validators, build_ar_problem
 from ..experiments.burgers import build_burgers_problem, burgers_validator
 from ..experiments.configs import (
-    annular_ring_config, burgers_config, ldc_config, poisson3d_config,
+    advection_diffusion_config, annular_ring_config, burgers_config,
+    ldc_config, poisson3d_config,
 )
 from ..experiments.ldc import build_ldc_problem, ldc_validator
 from ..experiments.poisson3d import build_poisson3d_problem, poisson3d_validator
@@ -76,3 +81,15 @@ def _poisson3d(config, n_interior, rng):
     return Problem.from_legacy(
         "poisson3d", data,
         validator_factory=lambda vrng: [poisson3d_validator(config, vrng)])
+
+
+@register_problem("advection_diffusion",
+                  config_factory=advection_diffusion_config,
+                  description="scalar transport in a prescribed flow, "
+                  "manufactured exponential solution")
+def _advection_diffusion(config, n_interior, rng):
+    data = build_advection_diffusion_problem(config, n_interior, rng)
+    return Problem.from_legacy(
+        "advection_diffusion", data,
+        validator_factory=lambda vrng: [
+            advection_diffusion_validator(config, vrng)])

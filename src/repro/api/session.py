@@ -20,6 +20,7 @@ import numpy as np
 
 from ..nn import Adam, ExponentialDecayLR, FullyConnected
 from ..training import Trainer
+from ..utils import TrainingClock
 from .problems import build_problem
 from .registry import problem_registry, sampler_registry
 from .samplers import make_sampler
@@ -28,32 +29,13 @@ from .types import RunResult
 __all__ = ["Session", "problem", "run_problem"]
 
 
-def run_problem(prob, config, sampler="uniform", batch_size=None,
-                seed=None, steps=None, label=None, validators=None):
-    """Train one :class:`Problem` with a registered sampler.
+def _wire_training(prob, config, sampler, batch_size, seed, validators):
+    """Assemble the trainer for one run (shared by fresh runs and resumes).
 
-    Parameters
-    ----------
-    prob:
-        A built :class:`~repro.api.Problem`.
-    config:
-        The problem's config dataclass (network/optimizer/sampler block).
-    sampler:
-        Sampler-registry key (``uniform``/``mis``/``sgm``/``sgm_s``/...).
-    batch_size:
-        Interior batch size; boundary constraints get a quarter each
-        (Modulus assigns smaller batches to BC constraints).  Defaults to
-        ``config.batch_small``.
-    validators:
-        Override the problem's validator factory (pass ``[]`` to skip
-        validation entirely).
-
-    Returns
-    -------
-    :class:`~repro.api.RunResult`
+    Everything is derived deterministically from ``(prob, config, seed)``:
+    identical inputs wire identical networks, optimizers, samplers, and
+    validators, which is what makes checkpoint-resume bit-identical.
     """
-    seed = config.seed if seed is None else seed
-    batch_size = config.batch_small if batch_size is None else batch_size
     for constraint in prob.constraints:
         if constraint.name == "interior":
             constraint.batch_size = batch_size
@@ -80,13 +62,103 @@ def run_problem(prob, config, sampler="uniform", batch_size=None,
     trainer = Trainer(net, prob.constraints, optimizer, scheduler=scheduler,
                       samplers={"interior": sampler_obj},
                       validators=validators, seed=seed)
+    return trainer, sampler_obj
+
+
+def run_problem(prob, config, sampler="uniform", batch_size=None,
+                seed=None, steps=None, label=None, validators=None,
+                store=None, run_id=None, checkpoint_every=None,
+                resume=False, step_hooks=()):
+    """Train one :class:`Problem` with a registered sampler.
+
+    Parameters
+    ----------
+    prob:
+        A built :class:`~repro.api.Problem`.
+    config:
+        The problem's config dataclass (network/optimizer/sampler block).
+    sampler:
+        Sampler-registry key (``uniform``/``mis``/``sgm``/``sgm_s``/...).
+    batch_size:
+        Interior batch size; boundary constraints get a quarter each
+        (Modulus assigns smaller batches to BC constraints).  Defaults to
+        ``config.batch_small``.
+    validators:
+        Override the problem's validator factory (pass ``[]`` to skip
+        validation entirely).
+    store:
+        Optional :class:`~repro.store.RunStore` (or store root path).  When
+        given, the run persists a durable record: resolved config, streamed
+        loss/error history (append-only JSONL), periodic full-state
+        checkpoints every ``checkpoint_every`` steps, and final sampler
+        statistics.  The returned result carries the record's ``run_id``.
+    run_id:
+        Explicit record id (default: generated from problem/sampler/time).
+    resume:
+        Continue the existing record ``run_id`` from its newest checkpoint
+        instead of starting fresh (used by :func:`repro.store.resume_run`).
+    step_hooks:
+        Extra per-step callbacks forwarded to the trainer (testing /
+        instrumentation).
+
+    Returns
+    -------
+    :class:`~repro.api.RunResult`
+    """
+    seed = config.seed if seed is None else seed
+    batch_size = config.batch_small if batch_size is None else batch_size
+    steps = config.steps if steps is None else steps
     label = label if label is not None else f"{prob.name}:{sampler}"
-    history = trainer.train(steps if steps is not None else config.steps,
-                            validate_every=config.validate_every,
-                            record_every=config.record_every,
-                            label=label)
-    return RunResult(label=label, history=history, net=net,
-                     sampler=sampler_obj, config=config)
+    trainer, sampler_obj = _wire_training(prob, config, sampler, batch_size,
+                                          seed, validators)
+
+    recorder = None
+    history = None
+    clock = None
+    start_step = 0
+    last_errors = None
+    hooks = list(step_hooks)
+    if store is not None:
+        from ..store import RunStore
+        store = RunStore.coerce(store)
+        if resume:
+            recorder = store.resume_recorder(run_id, steps=steps,
+                                             checkpoint_every=checkpoint_every)
+            restored = recorder.load_latest_checkpoint(trainer)
+            if restored is not None:
+                ckpt_step, elapsed, last_errors = restored
+                start_step = ckpt_step + 1
+                clock = TrainingClock(offset=elapsed)
+            history = recorder.streaming_history(
+                label, resume_from_step=start_step)
+        else:
+            recorder = store.begin_run(
+                problem=prob.name, config=config, sampler=sampler,
+                seed=seed, steps=steps, label=label,
+                n_interior=len(prob.interior_cloud), batch_size=batch_size,
+                validators=("default" if validators is None
+                            else ("none" if len(validators) == 0
+                                  else "custom")),
+                run_id=run_id, checkpoint_every=checkpoint_every)
+            history = recorder.streaming_history(label)
+        hooks.append(recorder.checkpoint_hook(trainer))
+
+    try:
+        history = trainer.train(steps,
+                                validate_every=config.validate_every,
+                                record_every=config.record_every,
+                                label=label, clock=clock,
+                                start_step=start_step, history=history,
+                                last_errors=last_errors, step_hooks=hooks)
+    except BaseException as exc:
+        if recorder is not None:
+            recorder.mark_stopped(exc)
+        raise
+    if recorder is not None:
+        recorder.finish(history, sampler_obj)
+    return RunResult(label=label, history=history, net=trainer.net,
+                     sampler=sampler_obj, config=config,
+                     run_id=None if recorder is None else recorder.run_id)
 
 
 class Session:
@@ -169,27 +241,36 @@ class Session:
         rng = rng if rng is not None else np.random.default_rng(seed)
         return build_problem(self.name, self._config, self._n_interior, rng)
 
-    def train(self, steps=None, label=None):
-        """Build the problem and train it; returns a ``RunResult``."""
+    def train(self, steps=None, label=None, store=None, run_id=None,
+              checkpoint_every=None):
+        """Build the problem and train it; returns a ``RunResult``.
+
+        Pass ``store`` (a :class:`repro.store.RunStore` or root path) to
+        persist the run — streamed history, checkpoints every
+        ``checkpoint_every`` steps, and a ``run_id`` for ``repro runs``.
+        """
         prob = self.build()
         return run_problem(
             prob, self._config, sampler=self._sampler,
             batch_size=self._batch_size, seed=self._seed,
             steps=steps if steps is not None else self._steps,
-            label=label, validators=self._validators)
+            label=label, validators=self._validators, store=store,
+            run_id=run_id, checkpoint_every=checkpoint_every)
 
     def suite(self, samplers=None, *, executor="serial", max_workers=None,
-              steps=None, verbose=False):
+              steps=None, verbose=False, store=None, checkpoint_every=None):
         """Train a method sweep on this problem; returns a ``SuiteResult``.
 
         ``samplers`` follows :func:`repro.experiments.resolve_methods`:
         ``None`` sweeps every registered sampler, or pass sampler names /
         ``MethodSpec`` objects.  ``executor="process"`` shards the sweep
         over a process pool; the session's ``seed``/``n_interior``/
-        ``batch_size``/``steps`` overrides apply to every method::
+        ``batch_size``/``steps`` overrides apply to every method.  With
+        ``store`` each method (including each process-pool worker) writes
+        its own durable run record::
 
             repro.problem("ldc").suite(["uniform", "sgm"],
-                                       executor="process")
+                                       executor="process", store="runs")
         """
         from ..experiments.suite import resolve_methods, run_suite
         methods = resolve_methods(self._config, samplers,
@@ -199,7 +280,8 @@ class Session:
                          max_workers=max_workers, seed=self._seed,
                          steps=steps if steps is not None else self._steps,
                          config=self._config, validators=self._validators,
-                         verbose=verbose)
+                         verbose=verbose, store=store,
+                         checkpoint_every=checkpoint_every)
 
     def __repr__(self):
         return (f"Session(problem={self.name!r}, scale={self._scale!r}, "

@@ -23,10 +23,15 @@ class MethodSpec:
 
 @dataclass
 class RunResult:
-    """Trained artefacts for one method."""
+    """Trained artefacts for one method.
+
+    ``run_id`` is set when the run recorded into a
+    :class:`repro.store.RunStore` (else ``None``).
+    """
 
     label: str
     history: object
     net: object
     sampler: object
     config: object = field(repr=False, default=None)
+    run_id: str = None

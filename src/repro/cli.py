@@ -6,12 +6,18 @@ Commands
     Print the library version and subsystem inventory.
 ``run``
     Train any registered problem with any registered sampler via the
-    :class:`repro.api.Session` API (problems/samplers are discovered from
-    the registries, so plugins appear here automatically).
+    :class:`repro.api.Session` API — either by name (``run burgers``) or
+    from a TOML/JSON experiment file (``run --config exp.toml``).  With a
+    config file (or ``--store``) the run records into the persistent run
+    store: resolved config, streamed history, periodic checkpoints.
+``runs``
+    Inspect the run store: ``list``, ``show``, ``compare`` (Table-1-style
+    speedup rows from stored records), ``resume`` (continue a killed run
+    bit-identically from its newest checkpoint), ``gc``.
 ``suite``
     Method sweep: train any registered problem under several registered
     samplers (``--samplers a,b,c``), optionally sharded over a process
-    pool (``--parallel``), and print the suite table.
+    pool (``--parallel``); ``--store`` records every method.
 ``problems``
     List the problem and sampler registries.
 ``table1`` / ``table2``
@@ -47,6 +53,8 @@ def _cmd_info(args):
         ("solvers", "reference CFD (LDC, annular ring), Ghia tables"),
         ("training", "constraints, trainer, validators"),
         ("experiments", "Table 1/2 + Figures 2-4 harness"),
+        ("store", "persistent run store: TOML configs, resumable "
+                  "checkpointed runs"),
     ]
     for name, description in subsystems:
         print(f"  repro.{name:<12} {description}")
@@ -87,33 +95,132 @@ def _print_run_summary(result):
 
 def _cmd_run(args):
     import repro
+    from repro.store import RunStore, load_run_config, resume_run
+
+    run_config = None
+    if args.config is not None:
+        if args.problem is not None:
+            print("error: give either a problem name or --config, not both")
+            return 2
+        try:
+            run_config = load_run_config(args.config)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: {exc}")
+            return 2
+    elif args.problem is None and args.resume is None:
+        print("error: need a problem name, --config, or --resume "
+              "(see `repro problems`)")
+        return 2
+
+    # store resolution: explicit flag > config file > recording implied by
+    # --config/--resume (default root); a bare `repro run <problem>` stays
+    # store-less unless --store is given
+    store = None
+    if args.store is not None:
+        store = RunStore(args.store)
+    elif run_config is not None and run_config.store_root is not None:
+        store = RunStore(run_config.store_root)
+    elif args.config is not None or args.resume is not None:
+        store = RunStore()
+    checkpoint_every = args.checkpoint_every
+    if checkpoint_every is None and run_config is not None:
+        checkpoint_every = run_config.checkpoint_every
+
     try:
-        session = repro.problem(args.problem, scale=args.scale)
-        session.sampler(args.sampler)
-    except KeyError as exc:
-        # registry lookup failures already name the alternatives
+        if args.resume is not None:
+            # a resumed run's wiring is fixed by its record; flags that
+            # would change it are rejected rather than silently ignored
+            frozen = [flag for flag, value in
+                      (("--sampler", args.sampler), ("--scale", args.scale),
+                       ("--seed", args.seed),
+                       ("--n-interior", args.n_interior),
+                       ("--batch-size", args.batch_size))
+                      if value is not None]
+            if frozen:
+                print(f"error: {', '.join(frozen)} cannot change on "
+                      f"--resume (the stored record fixes them); "
+                      f"--steps and --checkpoint-every may")
+                return 2
+            result = resume_run(store, args.resume, steps=args.steps,
+                                checkpoint_every=checkpoint_every)
+        else:
+            if run_config is not None:
+                # CLI flags override the experiment file's [run] values
+                if args.sampler is not None:
+                    run_config.sampler = args.sampler
+                if args.scale is not None:
+                    run_config.scale = args.scale
+                session = run_config.session()
+                steps = (args.steps if args.steps is not None
+                         else run_config.steps)
+            else:
+                session = repro.problem(args.problem,
+                                        scale=args.scale or "smoke")
+                steps = args.steps
+                session.sampler(args.sampler or "sgm")
+            if args.seed is not None:
+                session.seed(args.seed)
+            if args.n_interior is not None:
+                session.n_interior(args.n_interior)
+            if args.batch_size is not None:
+                session.batch_size(args.batch_size)
+            result = session.train(steps=steps, store=store,
+                                   checkpoint_every=checkpoint_every)
+    except (KeyError, ValueError) as exc:
+        # registry/store lookup failures already name the alternatives
         print(f"error: {exc.args[0]}")
         return 2
-    if args.seed is not None:
-        session.seed(args.seed)
-    if args.n_interior is not None:
-        session.n_interior(args.n_interior)
-    if args.batch_size is not None:
-        session.batch_size(args.batch_size)
-    result = session.train(steps=args.steps)
     _print_run_summary(result)
+    if result.run_id is not None:
+        print(f"recorded as {result.run_id} in {store.root}")
     return 0
 
 
 def _cmd_suite(args):
-    from repro.experiments import run_suite, suite_table
+    from repro.experiments import resolve_methods, run_suite, suite_table
     samplers = (None if args.samplers is None
                 else [s.strip() for s in args.samplers.split(",") if s.strip()])
+
+    problem, config, methods, store = args.problem, None, samplers, args.store
     executor = "process" if args.parallel else "serial"
+    seed, steps = args.seed, args.steps
+    max_workers = args.max_workers
+    if args.config is not None:
+        from repro.store import load_run_config
+        if args.problem is not None:
+            print("error: give either a problem name or --config, not both")
+            return 2
+        try:
+            rc = load_run_config(args.config)
+            config = rc.build_config()
+            methods = resolve_methods(config, samplers or rc.samplers,
+                                      n_interior=rc.n_interior,
+                                      batch_size=rc.batch_size)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: {exc}")
+            return 2
+        problem = rc.problem
+        # flags override the file's [run]/[suite] values
+        if not args.parallel:
+            executor = rc.executor
+        if max_workers is None:
+            max_workers = rc.max_workers
+        if seed is None:
+            seed = rc.seed
+        if steps is None:
+            steps = rc.steps
+        if store is None:
+            store = rc.store_root
+    elif args.problem is None:
+        print("error: need a problem name or --config "
+              "(see `repro problems`)")
+        return 2
+
     try:
-        suite = run_suite(args.problem, samplers, executor=executor,
-                          max_workers=args.max_workers, seed=args.seed,
-                          steps=args.steps, scale=args.scale, verbose=True)
+        suite = run_suite(problem, methods, executor=executor,
+                          max_workers=max_workers, seed=seed,
+                          steps=steps, scale=args.scale, config=config,
+                          verbose=True, store=store)
     except (KeyError, ValueError) as exc:
         # registry lookups and method resolution name the problem themselves
         print(f"error: {exc.args[0]}")
@@ -122,7 +229,125 @@ def _cmd_suite(args):
     print(suite_table(suite))
     print(f"\nsweep total: {suite.total_seconds:.1f}s "
           f"({suite.executor} executor, {len(suite)} methods)")
+    if store is not None:
+        recorded = [m.run_id for m in suite if m.run_id]
+        print(f"recorded {len(recorded)} runs in {store}")
     return 0
+
+
+# ----------------------------------------------------------------------
+# `repro runs` family: the run store's read side
+# ----------------------------------------------------------------------
+def _cmd_runs_list(store, args):
+    records = store.runs(problem=args.problem, status=args.status)
+    if not records:
+        print(f"no runs in {store.root}")
+        return 0
+    header = (f"{'run id':<44} {'problem':<20} {'label':<12} "
+              f"{'status':<12} {'steps':>7} {'wall[s]':>9} {'loss':>11}")
+    print(header)
+    print("-" * len(header))
+    for record in records:
+        meta = record.meta
+        last = meta.get("last_step")
+        wall = meta.get("wall_seconds")
+        loss = meta.get("final_loss")
+        print(f"{record.run_id:<44} {meta.get('problem', '?'):<20} "
+              f"{record.label:<12} {record.status:<12} "
+              f"{'-' if last is None else last + 1:>7} "
+              f"{'-' if wall is None else format(wall, '.1f'):>9} "
+              f"{'-' if loss is None else format(loss, '.4g'):>11}")
+    return 0
+
+
+def _cmd_runs_show(store, args):
+    record = store.open(args.run_id)
+    for key in ("run_id", "problem", "sampler", "label", "scale", "status",
+                "seed", "steps", "n_interior", "batch_size", "validators",
+                "checkpoint_every", "repro_version", "numpy_version",
+                "python_version", "git_commit", "error"):
+        if key in record.meta:
+            print(f"{key:<18} {record.meta[key]}")
+    history = record.history()
+    print(f"{'records':<18} {len(history.steps)}")
+    if history.steps:
+        print(f"{'last step':<18} {history.steps[-1]}")
+        print(f"{'wall seconds':<18} {history.wall_times[-1]:.2f}")
+        print(f"{'final loss':<18} {history.losses[-1]:.6g}")
+        for var in sorted(history.errors):
+            err = history.min_error(var)
+            if err == err:   # skip all-NaN series
+                print(f"{'min err(' + var + ')':<18} {err:.4f}")
+    checkpoints = record.checkpoints()
+    print(f"{'checkpoints':<18} {[step for step, _ in checkpoints]}")
+    stats = record.sampler_stats()
+    if stats:
+        print(f"{'sampler':<18} {stats.get('name')} "
+              f"(probes={stats.get('probe_points')}, "
+              f"refreshes={stats.get('refresh_count')}, "
+              f"rebuilds={stats.get('rebuild_count')})")
+    return 0
+
+
+def _cmd_runs_compare(store, args):
+    from repro.store import compare_table
+    if args.run_ids:
+        records = [store.open(run_id) for run_id in args.run_ids]
+    else:
+        records = store.runs(problem=args.problem, status="completed")
+        records = list(reversed(records))       # oldest first = baseline
+    if not records:
+        print("no runs to compare (give run ids or --problem)")
+        return 2
+    variables = (None if args.variables is None else
+                 [v.strip() for v in args.variables.split(",") if v.strip()])
+    print(compare_table(records, baseline=args.baseline,
+                        variables=variables))
+    return 0
+
+
+def _cmd_runs_resume(store, args):
+    from repro.store import resume_run
+    result = resume_run(store, args.run_id, steps=args.steps)
+    _print_run_summary(result)
+    print(f"resumed {args.run_id} to completion in {store.root}")
+    return 0
+
+
+def _cmd_runs_gc(store, args):
+    removed = freed = 0
+    for record in store.runs():
+        if args.all:
+            doomed = True
+        elif args.status is not None:
+            doomed = record.status == args.status
+        else:
+            # default: dead runs with nothing to resume from.  Status
+            # "running" is never gc'd by default — it may be a live
+            # process that simply has not reached its first checkpoint
+            # (use --status running for stores known to hold stale runs)
+            doomed = (record.status in ("failed", "interrupted")
+                      and record.latest_checkpoint() is None)
+        if doomed:
+            freed += record.size_bytes()
+            store.delete(record.run_id)
+            print(f"removed {record.run_id} ({record.status})")
+            removed += 1
+    print(f"gc: removed {removed} run(s), freed {freed / 1024:.1f} KiB")
+    return 0
+
+
+def _cmd_runs(args):
+    from repro.store import RunStore
+    store = RunStore(args.store)
+    handlers = {"list": _cmd_runs_list, "show": _cmd_runs_show,
+                "compare": _cmd_runs_compare, "resume": _cmd_runs_resume,
+                "gc": _cmd_runs_gc}
+    try:
+        return handlers[args.runs_command](store, args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0]}")
+        return 2
 
 
 def _cmd_problems(args):
@@ -184,22 +409,75 @@ def build_parser():
     # time (see _cmd_run), keeping parser construction import-light and
     # letting plugin registrations appear without argparse changes
     p = sub.add_parser("run", help="train any registered problem with any "
-                       "registered sampler (see `repro problems`)")
-    p.add_argument("problem", metavar="problem",
+                       "registered sampler (see `repro problems`), by name "
+                       "or from a TOML/JSON experiment file")
+    p.add_argument("problem", metavar="problem", nargs="?", default=None,
                    help="a registered problem, e.g. ldc, annular_ring, "
-                        "burgers, poisson3d")
-    p.add_argument("--sampler", default="sgm",
-                   help="a registered sampler (default: sgm)")
-    p.add_argument("--scale", default="smoke", choices=("smoke", "repro"))
+                        "burgers, poisson3d (or use --config)")
+    p.add_argument("--config", default=None, metavar="FILE",
+                   help="TOML/JSON experiment file ([run]/[config]/[store] "
+                        "tables); implies recording into the run store")
+    p.add_argument("--sampler", default=None,
+                   help="a registered sampler (default: sgm, or the "
+                        "experiment file's choice)")
+    p.add_argument("--scale", default=None, choices=("smoke", "repro"),
+                   help="config scale preset (default: smoke, or the "
+                        "experiment file's choice)")
     p.add_argument("--steps", type=int, default=None)
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--n-interior", type=int, default=None)
     p.add_argument("--batch-size", type=int, default=None)
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="record the run into this run store "
+                        "(default with --config: [store].root or ./runs)")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   help="full-state checkpoint cadence in steps")
+    p.add_argument("--resume", default=None, metavar="RUN_ID",
+                   help="continue a stored run from its newest checkpoint")
+
+    p = sub.add_parser("runs", help="inspect the persistent run store")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="store root (default: $REPRO_RUNS_DIR or ./runs)")
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+    q = runs_sub.add_parser("list", help="list stored runs")
+    q.add_argument("--problem", default=None)
+    q.add_argument("--status", default=None,
+                   choices=("running", "completed", "interrupted", "failed"))
+    q = runs_sub.add_parser("show", help="one run's metadata and summary")
+    q.add_argument("run_id")
+    q = runs_sub.add_parser("compare", help="Table-1-style speedup rows "
+                            "from stored records")
+    q.add_argument("run_ids", nargs="*",
+                   help="runs to compare (default: all completed runs of "
+                        "--problem)")
+    q.add_argument("--problem", default=None)
+    q.add_argument("--baseline", default=None,
+                   help="run id or label whose best errors set the "
+                        "thresholds (default: first run)")
+    q.add_argument("--variables", default=None,
+                   help="comma-separated error variables (default: all)")
+    q = runs_sub.add_parser("resume", help="continue a run from its newest "
+                            "checkpoint (bit-identical trajectory)")
+    q.add_argument("run_id")
+    q.add_argument("--steps", type=int, default=None,
+                   help="new total step count (default: as launched)")
+    q = runs_sub.add_parser("gc", help="delete failed/interrupted runs "
+                            "that have no checkpoint to resume from")
+    q.add_argument("--status", default=None,
+                   choices=("running", "completed", "interrupted", "failed"),
+                   help="instead delete every run with this status "
+                        "(running runs may belong to a live process)")
+    q.add_argument("--all", action="store_true",
+                   help="delete every run in the store")
 
     p = sub.add_parser("suite", help="train a method sweep on any "
                        "registered problem (serial or process-parallel)")
-    p.add_argument("problem", metavar="problem",
-                   help="a registered problem, e.g. ldc, annular_ring")
+    p.add_argument("problem", metavar="problem", nargs="?", default=None,
+                   help="a registered problem, e.g. ldc, annular_ring "
+                        "(or use --config)")
+    p.add_argument("--config", default=None, metavar="FILE",
+                   help="TOML/JSON experiment file; its [suite] table sets "
+                        "samplers/executor/max_workers")
     p.add_argument("--samplers", default=None,
                    help="comma-separated registered samplers "
                         "(default: all registered)")
@@ -209,6 +487,8 @@ def build_parser():
     p.add_argument("--scale", default="smoke", choices=("smoke", "repro"))
     p.add_argument("--steps", type=int, default=None)
     p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="record every method into this run store")
 
     for n in (1, 2):
         p = sub.add_parser(f"table{n}", help=f"regenerate Table {n}")
@@ -240,6 +520,8 @@ def main(argv=None):
         return _cmd_info(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "runs":
+        return _cmd_runs(args)
     if args.command == "suite":
         return _cmd_suite(args)
     if args.command == "problems":

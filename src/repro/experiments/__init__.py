@@ -2,7 +2,9 @@
 
 from .configs import (
     LDCConfig, AnnularRingConfig, BurgersConfig, Poisson3DConfig,
+    AdvectionDiffusionConfig,
     ldc_config, annular_ring_config, burgers_config, poisson3d_config,
+    advection_diffusion_config,
     SCALES,
 )
 from .ldc import build_ldc_problem, ldc_reference, ldc_validator
@@ -11,8 +13,11 @@ from .annular_ring import (
 )
 from .burgers import build_burgers_problem, burgers_validator
 from .poisson3d import build_poisson3d_problem, poisson3d_validator
+from .advection_diffusion import (
+    build_advection_diffusion_problem, advection_diffusion_validator,
+)
 from .runner import (
-    MethodSpec, RunResult, run_ldc_method, run_ar_method,
+    MethodSpec, RunResult,
     run_ldc_suite, run_ar_suite, ldc_methods, ar_methods,
 )
 from .suite import (
@@ -28,14 +33,17 @@ from .figures import (
 
 __all__ = [
     "LDCConfig", "AnnularRingConfig", "BurgersConfig", "Poisson3DConfig",
+    "AdvectionDiffusionConfig",
     "ldc_config", "annular_ring_config", "burgers_config", "poisson3d_config",
+    "advection_diffusion_config",
     "SCALES",
     "build_ldc_problem", "ldc_reference", "ldc_validator",
     "annular_ring_geometry", "build_ar_problem", "ar_validators",
     "ar_reference",
     "build_burgers_problem", "burgers_validator",
     "build_poisson3d_problem", "poisson3d_validator",
-    "MethodSpec", "RunResult", "run_ldc_method", "run_ar_method",
+    "build_advection_diffusion_problem", "advection_diffusion_validator",
+    "MethodSpec", "RunResult",
     "run_ldc_suite", "run_ar_suite", "ldc_methods", "ar_methods",
     "EXECUTORS", "MethodResult", "SamplerStats", "SuiteResult",
     "method_label", "methods_from_samplers", "resolve_methods", "run_suite",

@@ -13,8 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 __all__ = ["LDCConfig", "AnnularRingConfig", "BurgersConfig",
-           "Poisson3DConfig", "ldc_config", "annular_ring_config",
-           "burgers_config", "poisson3d_config", "SCALES"]
+           "Poisson3DConfig", "AdvectionDiffusionConfig",
+           "ldc_config", "annular_ring_config", "burgers_config",
+           "poisson3d_config", "advection_diffusion_config", "SCALES"]
 
 SCALES = ("paper", "repro", "smoke")
 
@@ -181,6 +182,43 @@ class Poisson3DConfig:
     seed: int = 0
 
 
+@dataclass
+class AdvectionDiffusionConfig:
+    """Steady advection-diffusion of a scalar in the unit square.
+
+    A prescribed constant velocity advects a scalar ``T``; the exact
+    solution ``T = exp((u x + v y) / alpha)`` steepens toward the outflow
+    corner, giving the importance samplers a residual hot spot.  The base
+    values are the repro scale (there is no ``paper`` preset).
+    """
+
+    scale: str = "repro"
+    alpha: float = 0.5
+    velocity: tuple = (1.0, 0.5)
+    n_interior_large: int = 10_000
+    n_interior_small: int = 5_000
+    n_boundary: int = 1_200
+    batch_large: int = 256
+    batch_small: int = 128
+    steps: int = 700
+    tau_e: int = 200
+    tau_G: int = 1_500
+    knn_k: int = 8
+    lrd_level: int = 5
+    probe_ratio: float = 0.15
+    lr: float = 3e-3
+    lr_decay_rate: float = 0.95
+    lr_decay_steps: int = 1200
+    boundary_weight: float = 10.0
+    network: NetworkConfig = field(
+        default_factory=lambda: NetworkConfig(width=32, depth=3,
+                                              activation="tanh"))
+    n_validation: int = 600
+    validate_every: int = 100
+    record_every: int = 50
+    seed: int = 0
+
+
 def ldc_config(scale="repro"):
     """LDC config at the requested scale preset."""
     base = LDCConfig()
@@ -229,6 +267,23 @@ def burgers_config(scale="repro"):
 def poisson3d_config(scale="repro"):
     """3-D Poisson config at the requested scale preset."""
     base = Poisson3DConfig()
+    if scale in ("paper", "repro"):
+        return base
+    if scale == "smoke":
+        return replace(
+            base, scale="smoke",
+            n_interior_large=2_000, n_interior_small=1_000,
+            n_boundary=300, batch_large=64, batch_small=32,
+            steps=60, tau_e=20, tau_G=45, knn_k=6, lrd_level=4,
+            lr_decay_steps=100,
+            network=NetworkConfig(width=16, depth=2, activation="tanh"),
+            n_validation=150, validate_every=20, record_every=10)
+    raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
+
+
+def advection_diffusion_config(scale="repro"):
+    """Advection-diffusion config at the requested scale preset."""
+    base = AdvectionDiffusionConfig()
     if scale in ("paper", "repro"):
         return base
     if scale == "smoke":

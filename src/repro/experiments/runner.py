@@ -10,20 +10,18 @@ only the sampler (and, per the paper, dataset/batch size) differs:
 * ``SGM-S``    — SGM-PINN with the ISR stability term (S1-S4)
 
 The training wiring itself lives in :func:`repro.api.run_problem`; this
-module keeps the table-suite conveniences plus thin deprecation shims
-(:func:`run_ldc_method` / :func:`run_ar_method`) for callers predating the
-registry-backed :class:`repro.api.Session` API.
+module keeps the table-suite conveniences.  (The pre-registry
+``run_ldc_method`` / ``run_ar_method`` shims were removed once every caller
+had migrated to :class:`repro.api.Session` / :func:`run_suite`.)
 """
 
 from __future__ import annotations
-
-import warnings
 
 import numpy as np
 
 from ..api.types import MethodSpec, RunResult
 
-__all__ = ["MethodSpec", "RunResult", "run_ldc_method", "run_ar_method",
+__all__ = ["MethodSpec", "RunResult",
            "run_ldc_suite", "run_ar_suite", "ldc_methods", "ar_methods"]
 
 
@@ -60,15 +58,6 @@ def ar_methods(config, include_plain_sgm=False):
     return methods
 
 
-def _make_sampler(method, config, interior_cloud, seed):
-    """Deprecated: use :func:`repro.api.make_sampler` (registry-backed)."""
-    from ..api import make_sampler
-    try:
-        return make_sampler(method.kind, config, interior_cloud, seed)
-    except KeyError:
-        raise ValueError(f"unknown method kind {method.kind!r}") from None
-
-
 def _run_method(name, config, method, validators=None, seed=None,
                 steps=None):
     """Build the registered problem ``name`` and train one method on it."""
@@ -79,32 +68,6 @@ def _run_method(name, config, method, validators=None, seed=None,
     return run_problem(prob, config, sampler=method.kind,
                        batch_size=method.batch_size, seed=seed, steps=steps,
                        label=method.label, validators=validators)
-
-
-def _deprecated(old, new):
-    warnings.warn(f"{old} is deprecated; use {new} instead",
-                  DeprecationWarning, stacklevel=3)
-
-
-def run_ldc_method(config, method, validators=None, seed=None, steps=None):
-    """Train one LDC method and return its :class:`RunResult`.
-
-    Deprecated shim over ``repro.problem("ldc")``; kept so existing tables
-    and tests keep running unchanged.
-    """
-    _deprecated("run_ldc_method", 'repro.problem("ldc")')
-    return _run_method("ldc", config, method, validators=validators,
-                       seed=seed, steps=steps)
-
-
-def run_ar_method(config, method, validators=None, seed=None, steps=None):
-    """Train one annular-ring method and return its :class:`RunResult`.
-
-    Deprecated shim over ``repro.problem("annular_ring")``.
-    """
-    _deprecated("run_ar_method", 'repro.problem("annular_ring")')
-    return _run_method("annular_ring", config, method, validators=validators,
-                       seed=seed, steps=steps)
 
 
 def run_ldc_suite(config, methods=None, verbose=True, executor="serial",

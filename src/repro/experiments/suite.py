@@ -121,7 +121,11 @@ class SamplerStats:
 
 @dataclass
 class MethodResult:
-    """One trained suite column, in picklable form."""
+    """One trained suite column, in picklable form.
+
+    ``run_id`` names the method's record when the sweep wrote into a
+    :class:`repro.store.RunStore` (else ``None``).
+    """
 
     spec: MethodSpec
     seed: int
@@ -130,6 +134,7 @@ class MethodResult:
     sampler_stats: SamplerStats
     net_arch: dict = field(repr=False, default=None)
     net_state: dict = field(repr=False, default=None)
+    run_id: str = None
 
     @property
     def label(self):
@@ -211,9 +216,16 @@ def _train_method(task):
     trajectory parity between executors is parity of one code path.  All
     randomness derives from ``(config, seed)``, never from worker state.
     """
-    name, config, spec, seed, steps, validators, verbose = task
+    (name, config, spec, seed, steps, validators, verbose, store_root,
+     checkpoint_every) = task
     from ..api.problems import build_problem
     from ..api.session import run_problem
+    store = None
+    if store_root is not None:
+        # each worker opens the store itself (RunStore is not shipped across
+        # the process boundary) and writes only inside its own run directory
+        from ..store import RunStore
+        store = RunStore(store_root)
     if verbose:
         print(f"[{name}:{config.scale}] training {spec.label} "
               f"(N={spec.n_interior}, batch={spec.batch_size})")
@@ -222,7 +234,8 @@ def _train_method(task):
                          np.random.default_rng(seed))
     result = run_problem(prob, config, sampler=spec.kind,
                          batch_size=spec.batch_size, seed=seed, steps=steps,
-                         label=spec.label, validators=validators)
+                         label=spec.label, validators=validators,
+                         store=store, checkpoint_every=checkpoint_every)
     wall = time.perf_counter() - started
 
     sampler = result.sampler
@@ -240,12 +253,14 @@ def _train_method(task):
             "dtype": config.network.dtype}
     return MethodResult(spec=spec, seed=seed, history=result.history,
                         wall_seconds=wall, sampler_stats=stats,
-                        net_arch=arch, net_state=result.net.state_dict())
+                        net_arch=arch, net_state=result.net.state_dict(),
+                        run_id=result.run_id)
 
 
 def run_suite(problem, methods=None, *, executor="process", max_workers=None,
               seed=None, steps=None, config=None, scale="repro",
-              validators=None, verbose=False):
+              validators=None, verbose=False, store=None,
+              checkpoint_every=None):
     """Train a method sweep on any registered problem.
 
     Parameters
@@ -273,6 +288,10 @@ def run_suite(problem, methods=None, *, executor="process", max_workers=None,
         Validator override shared by every method (``[]`` skips validation
         entirely; ``None`` builds the problem's defaults per worker).  With
         ``executor="process"`` custom validator objects must be picklable.
+    store:
+        Optional :class:`repro.store.RunStore` (or root path).  Every
+        method — including each process-pool worker — records its own
+        durable run into the store; :attr:`MethodResult.run_id` names it.
 
     Returns
     -------
@@ -284,8 +303,13 @@ def run_suite(problem, methods=None, *, executor="process", max_workers=None,
         config = entry.config_factory(scale)
     specs = resolve_methods(config, methods)
     seed = config.seed if seed is None else int(seed)
+    store_root = None
+    if store is not None:
+        from ..store import RunStore
+        store_root = str(RunStore.coerce(store).root)
     tasks = [(entry.name, config, spec, seed, steps, validators,
-              verbose and executor == "serial") for spec in specs]
+              verbose and executor == "serial", store_root,
+              checkpoint_every) for spec in specs]
 
     started = time.perf_counter()
     if executor == "serial":

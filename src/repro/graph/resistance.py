@@ -78,7 +78,17 @@ def resistance_embedding(adjacency, num_vectors=24, seed=0, solver="auto"):
     if solver == "auto":
         solver = "splu" if n <= 200_000 else "cg"
     if solver == "splu":
-        factor = spla.splu(grounded.tocsc())
+        try:
+            factor = spla.splu(grounded.tocsc())
+        except RuntimeError:
+            # a disconnected graph grounds only node 0's component, leaving
+            # the other components' blocks exactly singular; a tiny diagonal
+            # shift (taken only on this degenerate path, so well-posed
+            # graphs keep bit-identical results) makes the solve proceed
+            shift = 1e-8 * (1.0 + abs(grounded.diagonal()).mean())
+            regularised = grounded + shift * sp.eye(grounded.shape[0],
+                                                    format="csc")
+            factor = spla.splu(regularised.tocsc())
         solve = factor.solve
     elif solver == "cg":
         ilu = spla.spilu(grounded.tocsc(), drop_tol=1e-4)

@@ -15,6 +15,14 @@ class ConstantLR:
     def step(self):
         """No-op; kept for interface symmetry."""
 
+    def state_dict(self):
+        """Snapshot of the schedule's mutable state."""
+        return {"base_lr": self.base_lr}
+
+    def load_state_dict(self, state):
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self.base_lr = float(state["base_lr"])
+
 
 class ExponentialDecayLR:
     """``lr = base_lr * decay_rate ** (step / decay_steps)``.
@@ -35,3 +43,13 @@ class ExponentialDecayLR:
         self._step += 1
         self.optimizer.lr = (self.base_lr *
                              self.decay_rate ** (self._step / self.decay_steps))
+
+    def state_dict(self):
+        """Snapshot of the schedule's mutable state."""
+        return {"base_lr": self.base_lr, "step": self._step}
+
+    def load_state_dict(self, state):
+        """Restore a snapshot produced by :meth:`state_dict`; the optimizer's
+        current ``lr`` is carried by the optimizer's own state."""
+        self.base_lr = float(state["base_lr"])
+        self._step = int(state["step"])

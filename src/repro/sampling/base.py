@@ -16,9 +16,16 @@ report overhead in "extra forward passes", matching §3.6.
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 
 __all__ = ["Sampler"]
+
+
+def _scalar(value):
+    """Coerce a checkpoint leaf (possibly a 0-d numpy array) to a scalar."""
+    return value.item() if isinstance(value, np.ndarray) else value
 
 
 class Sampler:
@@ -58,3 +65,26 @@ class Sampler:
 
     def start(self):
         """One-time initialisation before training (build graphs etc.)."""
+
+    # ------------------------------------------------------------------
+    # Resumable state (checkpointing)
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        """Snapshot of the sampler's mutable state.
+
+        The RNG state is JSON-encoded (PCG64 carries 128-bit integers that
+        ``.npz`` archives cannot hold natively), so the whole dict flattens
+        cleanly into a checkpoint.  Restoring it with :meth:`load_state_dict`
+        makes every subsequent batch bit-identical to an uninterrupted run.
+        """
+        return {
+            "rng": json.dumps(self.rng.bit_generator.state),
+            "probe_points": self.probe_points,
+            "rebuild_seconds": self.rebuild_seconds,
+        }
+
+    def load_state_dict(self, state):
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self.rng.bit_generator.state = json.loads(str(_scalar(state["rng"])))
+        self.probe_points = int(_scalar(state["probe_points"]))
+        self.rebuild_seconds = float(_scalar(state["rebuild_seconds"]))

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import Sampler
+from .base import Sampler, _scalar
 
 __all__ = ["MISSampler"]
 
@@ -83,3 +83,16 @@ class MISSampler(Sampler):
         """Unbiased importance weights ``1 / (N p_i)``, mean-normalised."""
         w = 1.0 / (self.n_points * self.probabilities[indices])
         return w / w.mean()
+
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        state = super().state_dict()
+        state["probabilities"] = self.probabilities.copy()
+        state["refreshed_once"] = int(self._refreshed_once)
+        return state
+
+    def load_state_dict(self, state):
+        super().load_state_dict(state)
+        self.probabilities = np.asarray(state["probabilities"],
+                                        dtype=np.float64).copy()
+        self._refreshed_once = bool(int(_scalar(state["refreshed_once"])))

@@ -27,7 +27,7 @@ import numpy as np
 
 from ..graph import knn_adjacency, lrd_decompose, parallel_lrd
 from ..stability import spade_scores
-from .base import Sampler
+from .base import Sampler, _scalar
 
 __all__ = ["SGMSampler"]
 
@@ -160,12 +160,17 @@ class SGMSampler(Sampler):
                                    num_vectors=self.num_vectors,
                                    seed=int(self.rng.integers(2 ** 31)))
             labels = result.labels
+        self._set_labels(labels)
+        self.rebuild_seconds += time.perf_counter() - started
+        self.rebuild_count += 1
+
+    def _set_labels(self, labels):
+        """Adopt cluster labels and derive the member lists (deterministic,
+        so checkpoints only need to persist the labels themselves)."""
         self.labels = labels
         order = np.argsort(labels, kind="stable")
         boundaries = np.flatnonzero(np.diff(labels[order])) + 1
         self.clusters = np.split(order, boundaries)
-        self.rebuild_seconds += time.perf_counter() - started
-        self.rebuild_count += 1
 
     # ------------------------------------------------------------------
     # S3 + S4: scoring and epoch assembly
@@ -268,6 +273,42 @@ class SGMSampler(Sampler):
                 self.rng.shuffle(self._epoch)   # Algorithm 1, line 12
                 self._cursor = 0
         return batch
+
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        """Everything mutable: RNG, clusters, scores, epoch, counters.
+
+        Clusters are persisted as labels only (:meth:`_set_labels` rebuilds
+        the member lists deterministically), so restoring mid-run skips the
+        graph rebuild entirely — exactly what bit-identical resume needs.
+        """
+        state = super().state_dict()
+        state["refresh_count"] = self.refresh_count
+        state["rebuild_count"] = self.rebuild_count
+        if self.labels is not None:
+            state["labels"] = np.asarray(self.labels).copy()
+        if self.cluster_scores is not None:
+            state["cluster_scores"] = np.asarray(self.cluster_scores).copy()
+            state["sampling_ratios"] = np.asarray(self.sampling_ratios).copy()
+        if self._epoch is not None:
+            state["epoch"] = np.asarray(self._epoch).copy()
+            state["cursor"] = self._cursor
+        return state
+
+    def load_state_dict(self, state):
+        super().load_state_dict(state)
+        self.refresh_count = int(_scalar(state["refresh_count"]))
+        self.rebuild_count = int(_scalar(state["rebuild_count"]))
+        if "labels" in state:
+            self._set_labels(np.asarray(state["labels"], dtype=int).copy())
+        if "cluster_scores" in state:
+            self.cluster_scores = np.asarray(state["cluster_scores"],
+                                             dtype=np.float64).copy()
+            self.sampling_ratios = np.asarray(state["sampling_ratios"],
+                                              dtype=np.float64).copy()
+        if "epoch" in state:
+            self._epoch = np.asarray(state["epoch"], dtype=int).copy()
+            self._cursor = int(_scalar(state["cursor"]))
 
     # ------------------------------------------------------------------
     def epoch_composition(self):

@@ -1,0 +1,96 @@
+"""Cross-run comparison tables from stored records alone.
+
+The paper's Table 1/2 compare methods by best validation error and by the
+wall time each method needs to reach a reference method's best error.  All
+of that derives from :class:`~repro.training.History`, which every run
+record persists — so speedup tables can be regenerated long after the
+training processes exited, across runs from different days or machines.
+"""
+
+from __future__ import annotations
+
+from ..experiments.tables import format_table, suite_rows
+
+__all__ = ["compare_rows", "compare_table"]
+
+
+def _column_label(record, taken):
+    """Prefer the run label; disambiguate duplicates with the id tail."""
+    label = record.label
+    if label in taken:
+        label = f"{label}#{record.run_id[-6:]}"
+    taken.add(label)
+    return label
+
+
+def compare_rows(records, baseline=None, variables=None):
+    """Table-1-style rows for stored runs.
+
+    Parameters
+    ----------
+    records:
+        Iterable of :class:`~repro.store.RunRecord`.
+    baseline:
+        A run id (or label) whose best errors set the time-to-reach
+        thresholds and the speedup denominators; defaults to the first
+        record.
+    variables:
+        Error variables to report (default: every validated variable).
+
+    Returns
+    -------
+    ``(columns, rows)`` for :func:`~repro.experiments.format_table`:
+    ``Min(var)`` rows, the time-to-threshold block against the baseline,
+    per-run total wall seconds, and ``speedup(var)`` = baseline's
+    time-to-its-own-best over each run's time-to-that-error.
+    """
+    records = list(records)
+    if not records:
+        raise ValueError("no runs to compare")
+    taken = set()
+    labelled = [(_column_label(r, taken), r) for r in records]
+    histories = {label: r.history() for label, r in labelled}
+
+    base_label = labelled[0][0]
+    if baseline is not None:
+        matches = [label for label, r in labelled
+                   if baseline in (r.run_id, r.label, label)]
+        if not matches:
+            raise KeyError(f"baseline {baseline!r} is not among the compared "
+                           f"runs: {[l for l, _ in labelled]}")
+        base_label = matches[0]
+
+    columns, rows = suite_rows(histories, variables=variables,
+                               reference_labels=[base_label])
+    if variables is None:
+        variables = sorted({var for history in histories.values()
+                            for var in history.errors
+                            if len(history.error_series(var)[1])})
+
+    wall = {label: (history.wall_times[-1] if history.wall_times else None)
+            for label, history in histories.items()}
+    rows.append(("train wall [s]", wall))
+
+    base = histories[base_label]
+    for var in variables:
+        threshold = base.min_error(var)
+        base_time = base.time_to_reach(var, threshold)
+        speedups = {}
+        for label, history in histories.items():
+            reached = history.time_to_reach(var, threshold)
+            speedups[label] = (None if reached is None or base_time is None
+                               or reached <= 0.0
+                               else base_time / reached)
+        rows.append((f"speedup({var}) vs {base_label}", speedups))
+    return columns, rows
+
+
+def compare_table(records, baseline=None, variables=None, title=None):
+    """Render :func:`compare_rows` as aligned text."""
+    columns, rows = compare_rows(records, baseline=baseline,
+                                 variables=variables)
+    if title is None:
+        problems = sorted({r.meta.get("problem", "?") for r in records})
+        title = (f"Stored runs ({', '.join(problems)}): min errors, "
+                 f"time-to-threshold [s], speedups")
+    return format_table(title, columns, rows)

@@ -1,0 +1,231 @@
+"""TOML reading/writing with no dependencies beyond the standard library.
+
+``tomllib`` ships with Python 3.11+; on older interpreters a minimal
+fallback parser covers the subset experiment configs actually use (dotted
+tables, strings, booleans, integers, floats, and possibly multi-line
+arrays).  Writing always goes through the local emitter — the standard
+library has no TOML writer on any version.
+"""
+
+from __future__ import annotations
+
+try:
+    import tomllib as _tomllib
+except ModuleNotFoundError:          # Python < 3.11
+    _tomllib = None
+
+__all__ = ["loads", "load", "dumps", "dump"]
+
+
+def loads(text):
+    """Parse a TOML document into nested dicts."""
+    if _tomllib is not None:
+        return _tomllib.loads(text)
+    return _loads_fallback(text)
+
+
+def load(path):
+    """Parse the TOML file at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+def dump(data, path):
+    """Write nested dicts as a TOML file at ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(data))
+
+
+# ----------------------------------------------------------------------
+# Writer
+# ----------------------------------------------------------------------
+def _format_scalar(value):
+    if isinstance(value, bool):          # before int: bool is an int subclass
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        text = repr(value)
+        if "inf" in text or "nan" in text:
+            raise ValueError(f"cannot serialise non-finite float {value!r}")
+        return text
+    if isinstance(value, str):
+        escaped = (value.replace("\\", "\\\\").replace('"', '\\"')
+                   .replace("\n", "\\n").replace("\t", "\\t"))
+        return f'"{escaped}"'
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_format_scalar(v) for v in value) + "]"
+    raise TypeError(f"cannot serialise {type(value).__name__} to TOML")
+
+
+def _emit_table(table, path, lines):
+    scalars = {k: v for k, v in table.items() if not isinstance(v, dict)}
+    subtables = {k: v for k, v in table.items() if isinstance(v, dict)}
+    if path and (scalars or not subtables):
+        if lines:
+            lines.append("")
+        lines.append("[" + ".".join(path) + "]")
+    for key, value in scalars.items():
+        if value is None:
+            continue                     # TOML has no null; omit the key
+        lines.append(f"{key} = {_format_scalar(value)}")
+    for key, value in subtables.items():
+        _emit_table(value, path + [key], lines)
+
+
+def dumps(data):
+    """Serialise nested dicts (str/bool/int/float/list leaves) to TOML."""
+    lines = []
+    _emit_table(dict(data), [], lines)
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Fallback parser (Python 3.9/3.10)
+# ----------------------------------------------------------------------
+def _strip_comment(line):
+    in_basic = in_literal = False
+    i = 0
+    while i < len(line):
+        char = line[i]
+        if in_basic:
+            if char == "\\":
+                i += 1
+            elif char == '"':
+                in_basic = False
+        elif in_literal:
+            if char == "'":
+                in_literal = False
+        elif char == '"':
+            in_basic = True
+        elif char == "'":
+            in_literal = True
+        elif char == "#":
+            return line[:i]
+        i += 1
+    return line
+
+
+def _split_key(dotted):
+    parts = [p.strip() for p in dotted.split(".")]
+    if any(not p for p in parts):
+        raise ValueError(f"malformed TOML key {dotted!r}")
+    return [p.strip('"').strip("'") for p in parts]
+
+
+def _parse_basic_string(text):
+    out, i = [], 1
+    escapes = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\",
+               "b": "\b", "f": "\f"}
+    while i < len(text):
+        char = text[i]
+        if char == "\\":
+            i += 1
+            if i >= len(text):
+                raise ValueError("unterminated escape in TOML string")
+            code = text[i]
+            if code == "u":
+                out.append(chr(int(text[i + 1:i + 5], 16)))
+                i += 4
+            elif code in escapes:
+                out.append(escapes[code])
+            else:
+                raise ValueError(f"unsupported escape \\{code}")
+        elif char == '"':
+            return "".join(out), i + 1
+        else:
+            out.append(char)
+        i += 1
+    raise ValueError("unterminated TOML string")
+
+
+def _parse_value(text):
+    """Parse one TOML value at the start of ``text``; returns (value, end)."""
+    text = text.lstrip()
+    if not text:
+        raise ValueError("empty TOML value")
+    if text[0] == '"':
+        return _parse_basic_string(text)
+    if text[0] == "'":
+        end = text.index("'", 1)
+        return text[1:end], end + 1
+    if text[0] == "[":
+        values, i = [], 1
+        while True:
+            while i < len(text) and text[i] in " \t,":
+                i += 1
+            if i >= len(text):
+                raise ValueError("unterminated TOML array")
+            if text[i] == "]":
+                return values, i + 1
+            value, used = _parse_value(text[i:])
+            values.append(value)
+            i += used
+    # bare scalar: read to the next delimiter
+    end = len(text)
+    for stop in (",", "]"):
+        pos = text.find(stop)
+        if pos != -1:
+            end = min(end, pos)
+    token, rest = text[:end].strip(), end
+    if token == "true":
+        return True, rest
+    if token == "false":
+        return False, rest
+    try:
+        return int(token.replace("_", ""), 0), rest
+    except ValueError:
+        pass
+    try:
+        return float(token.replace("_", "")), rest
+    except ValueError:
+        raise ValueError(
+            f"unsupported TOML value {token!r} (the fallback parser for "
+            f"Python < 3.11 handles strings, booleans, numbers, and arrays; "
+            f"use Python 3.11+ for full TOML)") from None
+
+
+def _loads_fallback(text):
+    root, current = {}, None
+    current = root
+    pending = None                       # continuation for multi-line arrays
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if pending is not None:
+            pending += " " + line
+            if pending.count("[") > pending.count("]"):
+                continue
+            line = pending
+            pending = None
+        if not line:
+            continue
+        try:
+            if line.startswith("["):
+                if line.startswith("[["):
+                    raise ValueError("arrays of tables are not supported")
+                name = line[1:line.index("]")]
+                current = root
+                for part in _split_key(name):
+                    current = current.setdefault(part, {})
+                    if not isinstance(current, dict):
+                        raise ValueError(f"table {name!r} clashes with a key")
+            else:
+                key, sep, rest = line.partition("=")
+                if not sep:
+                    raise ValueError(f"expected `key = value`, got {line!r}")
+                rest = rest.strip()
+                if rest.count("[") > rest.count("]"):
+                    pending = line   # array continues on the next line(s)
+                    continue
+                value, _ = _parse_value(rest)
+                target = current
+                parts = _split_key(key.strip())
+                for part in parts[:-1]:
+                    target = target.setdefault(part, {})
+                target[parts[-1]] = value
+        except ValueError as exc:
+            raise ValueError(f"TOML parse error on line {lineno}: {exc}") \
+                from None
+    if pending is not None:
+        raise ValueError("unterminated multi-line array at end of document")
+    return root

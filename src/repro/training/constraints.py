@@ -19,10 +19,17 @@ __all__ = ["Constraint", "InteriorConstraint", "BoundaryConstraint",
 
 
 class Constraint:
-    """Base: point cloud + batch size + residual evaluation."""
+    """Base: point cloud + batch size + residual evaluation.
+
+    ``field_sources`` maps extra field names to callables
+    ``(coords, params) -> (n,)`` evaluated per batch and registered as
+    constant (non-trainable) fields — e.g. a prescribed advecting velocity
+    the PDE reads alongside the network outputs.
+    """
 
     def __init__(self, name, cloud, output_names, batch_size, weight=1.0,
-                 spatial_names=("x", "y"), dtype=np.float64):
+                 spatial_names=("x", "y"), dtype=np.float64,
+                 field_sources=None):
         self.name = name
         self.cloud = cloud
         self.output_names = tuple(output_names)
@@ -30,6 +37,11 @@ class Constraint:
         self.weight = float(weight)
         self.spatial_names = tuple(spatial_names)
         self.dtype = np.dtype(dtype)
+        self.field_sources = dict(field_sources or {})
+        overlap = set(self.field_sources) & set(self.output_names)
+        if overlap:
+            raise KeyError(f"field_sources shadow network outputs: "
+                           f"{sorted(overlap)}")
         self._features = cloud.features().astype(self.dtype)
 
     def set_dtype(self, dtype):
@@ -50,6 +62,11 @@ class Constraint:
         outputs = net(fields.input_tensor())
         for i, name in enumerate(self.output_names):
             fields.register(name, outputs[:, i:i + 1])
+        for name, source in self.field_sources.items():
+            value = np.asarray(source(self.cloud.coords[indices],
+                                      self.cloud.params[indices]),
+                               dtype=self.dtype).reshape(-1, 1)
+            fields.register(name, Tensor(value))
         if self.cloud.sdf is not None:
             fields.register("sdf",
                             Tensor(self.cloud.sdf[indices].astype(self.dtype)))
@@ -76,9 +93,10 @@ class InteriorConstraint(Constraint):
 
     def __init__(self, name, cloud, pde, batch_size, weight=1.0,
                  sdf_weighting=True, residual_weights=None,
-                 spatial_names=("x", "y")):
+                 spatial_names=("x", "y"), field_sources=None):
         super().__init__(name, cloud, pde.output_names, batch_size,
-                         weight=weight, spatial_names=spatial_names)
+                         weight=weight, spatial_names=spatial_names,
+                         field_sources=field_sources)
         self.pde = pde
         self.sdf_weighting = bool(sdf_weighting) and cloud.sdf is not None
         self.residual_weights = dict(residual_weights or {})

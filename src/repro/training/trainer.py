@@ -161,19 +161,41 @@ class Trainer:
 
     # ------------------------------------------------------------------
     def train(self, steps, validate_every=200, record_every=50, label="run",
-              clock=None):
-        """Run ``steps`` optimizer iterations and return the history."""
-        history = History(label=label)
+              clock=None, start_step=0, history=None, last_errors=None,
+              step_hooks=()):
+        """Run optimizer iterations ``start_step .. steps-1``; return history.
+
+        Parameters beyond the recording cadence support resumable runs:
+
+        start_step:
+            First iteration to execute.  When non-zero the samplers are NOT
+            ``start()``-ed (their graphs/epochs are expected to have been
+            restored from a checkpoint), so the loop continues bit-identically
+            to an uninterrupted run.
+        history:
+            A :class:`History` to append to (e.g. one reloaded from a run
+            store, or a streaming subclass); a fresh one is created when
+            omitted.
+        last_errors:
+            The validation errors in effect at ``start_step`` (restored from
+            the checkpoint), recorded until the next validation boundary.
+        step_hooks:
+            Callables invoked as ``hook(step=, trainer=, clock=, errors=)``
+            after each completed iteration (and its recording) — the run
+            store uses this to write periodic checkpoints.
+        """
+        history = history if history is not None else History(label=label)
         clock = clock if clock is not None else TrainingClock()
-        for sampler in self.samplers.values():
-            sampler.start()
+        if start_step == 0:
+            for sampler in self.samplers.values():
+                sampler.start()
         # the initial S1/S2 build is charged (it happens before training);
         # only mid-training rebuilds run on the paper's background thread
         credited = sum(s.rebuild_seconds for s in self.samplers.values())
 
         use_closure = hasattr(self.optimizer, "step_closure")
-        last_errors = {}
-        for step in range(steps):
+        last_errors = dict(last_errors or {})
+        for step in range(start_step, steps):
             if use_closure:
                 loss_value = self._closure_step(step)
             else:
@@ -198,6 +220,9 @@ class Trainer:
                 history.record(step, clock.elapsed(), loss_value,
                                errors=last_errors,
                                probe_points=self.total_probe_points())
+            for hook in step_hooks:
+                hook(step=step, trainer=self, clock=clock,
+                     errors=last_errors)
         return history
 
     def _closure_step(self, step):

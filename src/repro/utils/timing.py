@@ -26,10 +26,15 @@ class Timer:
 
 
 class TrainingClock:
-    """Monotonic training clock with credit for hidden background work."""
+    """Monotonic training clock with credit for hidden background work.
 
-    def __init__(self):
-        self._start = time.perf_counter()
+    ``offset`` pre-ages the clock: a resumed run passes the elapsed seconds
+    stored in its checkpoint so recorded wall times continue the original
+    series instead of restarting at zero.
+    """
+
+    def __init__(self, offset=0.0):
+        self._start = time.perf_counter() - float(offset)
         self._credit = 0.0
 
     def credit(self, seconds):

@@ -13,9 +13,9 @@ import numpy as np
 
 
 class TestBuiltinRegistrations:
-    def test_all_four_problems_registered(self):
-        assert list_problems() == ["annular_ring", "burgers", "ldc",
-                                   "poisson3d"]
+    def test_builtin_problems_registered(self):
+        assert list_problems() == ["advection_diffusion", "annular_ring",
+                                   "burgers", "ldc", "poisson3d"]
 
     def test_all_four_samplers_registered(self):
         assert list_samplers() == ["mis", "sgm", "sgm_s", "uniform"]

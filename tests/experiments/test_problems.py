@@ -113,10 +113,9 @@ class TestRunnerSmoke:
         assert np.isfinite(result.history.losses[-1])
         assert result.net.num_parameters() > 0
 
-    def test_unknown_method_kind_rejected(self):
-        from repro.experiments.runner import MethodSpec, _make_sampler
+    def test_unknown_sampler_kind_rejected(self):
+        from repro.api import make_sampler
         from repro.geometry import PointCloud
         cloud = PointCloud(coords=np.zeros((10, 2)))
-        with pytest.raises(ValueError):
-            _make_sampler(MethodSpec("x", "bogus", 10, 4),
-                          ldc_config("smoke"), cloud, 0)
+        with pytest.raises(KeyError, match="bogus"):
+            make_sampler("bogus", ldc_config("smoke"), cloud, 0)

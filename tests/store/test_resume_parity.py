@@ -1,0 +1,206 @@
+"""Checkpoint round-trips and bit-identical mid-run resume.
+
+The store's core guarantee: kill a recorded run anywhere, resume it from
+its newest checkpoint, and the stitched loss/error trajectory equals an
+uninterrupted run exactly — for every sampler family (each carries
+different mutable state: RNG streams, MIS probabilities, SGM clusters and
+epoch cursors).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api.session import run_problem
+from repro.store import RunStore, resume_run
+from repro.store.run_store import (load_training_checkpoint,
+                                   save_training_checkpoint)
+
+
+class Interrupted(Exception):
+    """Stands in for SIGKILL in-process (no record/cleanup code runs)."""
+
+
+def _session(sampler, validators):
+    session = (repro.problem("burgers", scale="smoke")
+               .config(record_every=2)
+               .sampler(sampler)
+               .n_interior(400))
+    if validators is not None:
+        session.validators(validators)
+    return session
+
+
+def _interrupt_hook(at_step):
+    def hook(step, **_):
+        if step == at_step:
+            raise Interrupted()
+    return hook
+
+
+def _run_interrupted(store, sampler, validators, steps, interrupt_at,
+                     checkpoint_every):
+    session = _session(sampler, validators)
+    with pytest.raises(Interrupted):
+        run_problem(session.build(), session._config, sampler=sampler,
+                    steps=steps, validators=validators, store=store,
+                    run_id="victim", checkpoint_every=checkpoint_every,
+                    step_hooks=[_interrupt_hook(interrupt_at)])
+    return store.open("victim")
+
+
+@pytest.mark.parametrize("sampler", ["uniform", "mis", "sgm", "sgm_s"])
+def test_resume_is_bit_identical_for_every_sampler(tmp_path, sampler):
+    baseline = _session(sampler, []).train(steps=14)
+    store = RunStore(tmp_path / "runs")
+    record = _run_interrupted(store, sampler, [], steps=14, interrupt_at=9,
+                              checkpoint_every=4)
+    assert record.status == "failed"
+    assert [s for s, _ in record.checkpoints()] == [3, 7]
+
+    resumed = resume_run(store, "victim")
+    assert store.open("victim").status == "completed"
+    np.testing.assert_array_equal(resumed.history.losses,
+                                  baseline.history.losses)
+    assert resumed.history.steps == baseline.history.steps
+    stored = store.open("victim").history()
+    np.testing.assert_array_equal(stored.losses, baseline.history.losses)
+
+
+def test_resume_matches_validation_errors_too(tmp_path):
+    """With default validators the error series must also stitch exactly."""
+    baseline = _session("sgm", None).train(steps=14)
+    store = RunStore(tmp_path / "runs")
+    _run_interrupted(store, "sgm", None, steps=14, interrupt_at=8,
+                     checkpoint_every=5)
+    resumed = resume_run(store, "victim")
+    assert set(resumed.history.errors) == set(baseline.history.errors)
+    for var in baseline.history.errors:
+        np.testing.assert_array_equal(
+            np.nan_to_num(resumed.history.errors[var]),
+            np.nan_to_num(baseline.history.errors[var]))
+
+
+def test_post_checkpoint_records_are_replayed_not_duplicated(tmp_path):
+    """A kill after records past the last checkpoint must not double-record:
+    the resumed run truncates the stream to the checkpoint and replays."""
+    store = RunStore(tmp_path / "runs")
+    record = _run_interrupted(store, "uniform", [], steps=20, interrupt_at=11,
+                              checkpoint_every=4)
+    # records exist past the newest checkpoint (step 7): steps 8 and 10
+    assert record.history().steps == [0, 2, 4, 6, 8, 10]
+    resumed = resume_run(store, "victim")
+    assert resumed.history.steps == [0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 19]
+    stored = store.open("victim").history()
+    assert stored.steps == resumed.history.steps   # no duplicates on disk
+
+
+def test_resume_without_checkpoint_restarts_from_scratch(tmp_path):
+    baseline = _session("uniform", []).train(steps=10)
+    store = RunStore(tmp_path / "runs")
+    _run_interrupted(store, "uniform", [], steps=10, interrupt_at=2,
+                     checkpoint_every=50)     # killed before any checkpoint
+    assert store.open("victim").latest_checkpoint() is None
+    resumed = resume_run(store, "victim")
+    np.testing.assert_array_equal(resumed.history.losses,
+                                  baseline.history.losses)
+
+
+def test_resume_completed_run_refuses_without_more_steps(tmp_path):
+    store = RunStore(tmp_path / "runs")
+    result = _session("uniform", []).train(steps=6, store=store)
+    with pytest.raises(ValueError, match="already completed"):
+        resume_run(store, result.run_id)
+    with pytest.raises(ValueError, match="already completed"):
+        resume_run(store, result.run_id, steps=6)     # not an extension
+
+
+def test_resume_extends_a_completed_run(tmp_path):
+    """The docstring's use case: finish 8 steps, then continue to 16."""
+    store = RunStore(tmp_path / "runs")
+    result = _session("uniform", []).train(steps=8, store=store,
+                                           checkpoint_every=4)
+    extended = resume_run(store, result.run_id, steps=16)
+    record = store.open(result.run_id)
+    assert record.status == "completed"
+    assert record.meta["steps"] == 16
+    assert extended.history.steps[-1] == 15
+    # every step the 16-step baseline records carries the identical loss
+    # (the extension additionally keeps the first run's final record at
+    # step 7, which the uninterrupted baseline never records)
+    baseline = _session("uniform", []).train(steps=16)
+    extended_losses = dict(zip(extended.history.steps,
+                               extended.history.losses))
+    for step, loss in zip(baseline.history.steps, baseline.history.losses):
+        assert extended_losses[step] == loss
+
+
+def test_resume_can_extend_total_steps(tmp_path):
+    store = RunStore(tmp_path / "runs")
+    _run_interrupted(store, "uniform", [], steps=12, interrupt_at=9,
+                     checkpoint_every=4)
+    resumed = resume_run(store, "victim", steps=20)
+    assert resumed.history.steps[-1] == 19
+    assert store.open("victim").meta["steps"] == 20
+
+
+def test_resume_can_change_checkpoint_cadence(tmp_path):
+    store = RunStore(tmp_path / "runs")
+    _run_interrupted(store, "uniform", [], steps=20, interrupt_at=9,
+                     checkpoint_every=4)
+    resume_run(store, "victim", checkpoint_every=5)
+    record = store.open("victim")
+    assert record.meta["checkpoint_every"] == 5
+    # old cadence left [3, 7]; the resumed stretch checkpoints at %5 == 4
+    assert [s for s, _ in record.checkpoints()] == [3, 7, 9, 14, 19]
+
+
+def test_training_checkpoint_roundtrip_restores_all_state(tmp_path):
+    """Save mid-run, mutate everything, load: trainer state must match."""
+    session = _session("sgm", [])
+    prob = session.build()
+    from repro.api.session import _wire_training
+    config = session._config
+    trainer, sampler = _wire_training(prob, config, "sgm", 32, config.seed,
+                                      [])
+    trainer.train(6, validate_every=4, record_every=2)
+    path = tmp_path / "ckpt.npz"
+    save_training_checkpoint(path, trainer, step=5, elapsed=1.5,
+                             errors={"u": 0.25})
+
+    session2 = _session("sgm", [])
+    prob2 = session2.build()
+    trainer2, sampler2 = _wire_training(prob2, config, "sgm", 32,
+                                        config.seed, [])
+    step, elapsed, errors = load_training_checkpoint(path, trainer2)
+    assert step == 5 and elapsed == 1.5 and errors == {"u": 0.25}
+    # network + optimizer
+    for key, value in trainer.net.state_dict().items():
+        np.testing.assert_array_equal(trainer2.net.state_dict()[key], value)
+    assert trainer2.optimizer.step_count == trainer.optimizer.step_count
+    # scheduler
+    assert trainer2.scheduler._step == trainer.scheduler._step
+    # every sampler's RNG stream continues identically
+    for name in trainer.samplers:
+        a = trainer.samplers[name].rng.integers(1 << 30, size=5)
+        b = trainer2.samplers[name].rng.integers(1 << 30, size=5)
+        np.testing.assert_array_equal(a, b)
+    # SGM cluster state
+    np.testing.assert_array_equal(sampler2.labels, sampler.labels)
+    np.testing.assert_array_equal(sampler2._epoch, sampler._epoch)
+    assert sampler2._cursor == sampler._cursor
+    assert sampler2.refresh_count == sampler.refresh_count
+
+
+def test_custom_validators_refuse_resume(tmp_path):
+    from repro.training import PointwiseValidator
+    store = RunStore(tmp_path / "runs")
+    session = _session("uniform", None)
+    validator = PointwiseValidator(
+        "custom", np.random.default_rng(0).uniform(size=(8, 2)),
+        {"u": np.zeros(8)}, ("u",), spatial_names=("x", "t"))
+    run_problem(session.build(), session._config, sampler="uniform",
+                steps=4, validators=[validator], store=store, run_id="v")
+    assert store.open("v").meta["validators"] == "custom"
+    with pytest.raises(ValueError, match="validators"):
+        resume_run(store, "v")

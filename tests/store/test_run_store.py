@@ -1,0 +1,150 @@
+"""RunStore record lifecycle, history streaming, and store concurrency."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.store import RunStore, history_from_jsonl
+from repro.training import History
+
+
+def _train(store, steps=8, sampler="uniform", run_id=None, **session_kw):
+    session = (repro.problem("burgers", scale="smoke")
+               .config(record_every=2)
+               .sampler(sampler)
+               .n_interior(300)
+               .validators([]))
+    return session.train(steps=steps, store=store, run_id=run_id,
+                         **session_kw)
+
+
+class TestRecordLifecycle:
+    def test_completed_run_record(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        result = _train(store, run_id="r1")
+        assert result.run_id == "r1"
+        record = store.open("r1")
+        assert record.status == "completed"
+        meta = record.meta
+        assert meta["problem"] == "burgers" and meta["sampler"] == "uniform"
+        assert meta["steps"] == 8 and meta["n_interior"] == 300
+        assert meta["validators"] == "none"
+        assert meta["repro_version"] == repro.__version__
+        assert np.isclose(meta["final_loss"], result.history.losses[-1])
+
+    def test_streamed_history_matches_result(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        result = _train(store, run_id="r1")
+        stored = store.open("r1").history()
+        assert stored.steps == result.history.steps
+        assert np.array_equal(stored.losses, result.history.losses)
+
+    def test_config_toml_rebuilds_exact_config(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        result = _train(store, run_id="r1")
+        assert store.open("r1").load_config() == result.config
+
+    def test_run_ids_unique_and_listable(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        ids = {_train(store, sampler=s).run_id for s in ("uniform", "mis")}
+        assert len(ids) == 2
+        assert {r.run_id for r in store.runs()} == ids
+        assert store.runs(problem="ldc") == []
+        assert len(store.runs(status="completed")) == 2
+
+    def test_duplicate_run_id_rejected(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        _train(store, run_id="r1")
+        with pytest.raises(FileExistsError):
+            _train(store, run_id="r1")
+
+    def test_unknown_run_raises_keyerror_naming_known(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        _train(store, run_id="r1")
+        with pytest.raises(KeyError, match="r1"):
+            store.open("nope")
+
+    def test_delete(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        _train(store, run_id="r1")
+        store.delete("r1")
+        assert "r1" not in store and len(store) == 0
+
+    def test_failed_run_marked(self, tmp_path):
+        from repro.api.session import run_problem
+        store = RunStore(tmp_path / "runs")
+        session = (repro.problem("burgers", scale="smoke")
+                   .n_interior(300).validators([]))
+
+        def bomb(step, **_):
+            if step == 3:
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            run_problem(session.build(), session._config, sampler="uniform",
+                        steps=8, validators=[], store=store, run_id="r1",
+                        step_hooks=[bomb])
+        record = store.open("r1")
+        assert record.status == "failed"
+        assert "boom" in record.meta["error"]
+
+
+class TestHistoryJsonl:
+    def test_roundtrip_with_nan_errors(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        from repro.store.run_store import _StreamingHistory
+        history = _StreamingHistory("x", path)
+        history.record(0, 0.1, 1.0, errors={"u": 0.5})
+        history.record(1, 0.2, 0.9, errors={"u": float("nan"), "v": 0.4})
+        loaded = history_from_jsonl(path, label="x")
+        assert loaded.steps == [0, 1]
+        np.testing.assert_array_equal(loaded.losses, history.losses)
+        np.testing.assert_array_equal(np.isnan(loaded.errors["u"]),
+                                      np.isnan(history.errors["u"]))
+
+    def test_torn_tail_line_ignored(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        line = json.dumps({"step": 0, "wall_time": 0.1, "loss": 1.0,
+                           "probe_points": 0, "errors": {}})
+        path.write_text(line + "\n" + line[: len(line) // 2])
+        loaded = history_from_jsonl(path)
+        assert loaded.steps == [0]
+
+    def test_missing_file_gives_empty_history(self, tmp_path):
+        loaded = history_from_jsonl(tmp_path / "absent.jsonl")
+        assert isinstance(loaded, History) and loaded.steps == []
+
+
+class TestStoreConcurrency:
+    def test_process_pool_suite_records_every_method(self, tmp_path):
+        """Each sharded worker writes its own record into the shared store."""
+        store = RunStore(tmp_path / "runs")
+        suite = (repro.problem("burgers", scale="smoke")
+                 .config(record_every=2)
+                 .n_interior(300)
+                 .suite(["uniform", "mis", "sgm"], executor="process",
+                        steps=6, store=store))
+        run_ids = [m.run_id for m in suite]
+        assert len(set(run_ids)) == 3 and all(run_ids)
+        for method in suite:
+            record = store.open(method.run_id)
+            assert record.status == "completed"
+            assert record.label == method.label
+            stored = record.history()
+            assert np.array_equal(stored.losses, method.history.losses)
+
+    def test_serial_and_process_stores_agree(self, tmp_path):
+        serial = RunStore(tmp_path / "serial")
+        parallel = RunStore(tmp_path / "parallel")
+        base = (repro.problem("burgers", scale="smoke")
+                .config(record_every=2).n_interior(300))
+        s = base.suite(["uniform", "sgm"], executor="serial", steps=6,
+                       store=serial)
+        p = base.suite(["uniform", "sgm"], executor="process", steps=6,
+                       store=parallel)
+        for ms, mp in zip(s, p):
+            hs = serial.open(ms.run_id).history()
+            hp = parallel.open(mp.run_id).history()
+            assert np.array_equal(hs.losses, hp.losses)

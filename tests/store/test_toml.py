@@ -1,0 +1,77 @@
+"""TOML compat layer: writer round-trips and the <3.11 fallback parser."""
+
+import math
+
+import pytest
+
+from repro.store import toml_compat
+from repro.store.toml_compat import _loads_fallback, dumps, loads
+
+DOCUMENT = {
+    "run": {"problem": "burgers", "sampler": "sgm", "steps": 50,
+            "seed": 0, "resume": True},
+    "config": {"nu": 0.0031830988618, "velocity": [1.0, 0.5],
+               "label": 'with "quotes" and\nnewline',
+               "network": {"width": 32, "depth": 3, "activation": "tanh"}},
+}
+
+
+def test_writer_reader_roundtrip():
+    assert loads(dumps(DOCUMENT)) == DOCUMENT
+
+
+def test_fallback_parser_matches_tomllib_output():
+    """The py<3.11 fallback must agree with tomllib on everything we emit."""
+    text = dumps(DOCUMENT)
+    assert _loads_fallback(text) == loads(text)
+
+
+def test_fallback_parses_handwritten_toml():
+    text = """
+    # experiment
+    [run]
+    problem = "ldc"           # inline comment
+    steps = 2_500_000
+    ratio = 1.5e-3
+    on = true
+    off = false
+
+    [config.network]
+    width = 512
+    sizes = [1, 2,
+             3]               # multi-line array
+    names = ["a", "b#c"]
+    """
+    data = _loads_fallback(text)
+    assert data["run"]["problem"] == "ldc"
+    assert data["run"]["steps"] == 2_500_000
+    assert data["run"]["ratio"] == pytest.approx(1.5e-3)
+    assert data["run"]["on"] is True and data["run"]["off"] is False
+    assert data["config"]["network"]["sizes"] == [1, 2, 3]
+    assert data["config"]["network"]["names"] == ["a", "b#c"]
+
+
+def test_fallback_errors_name_the_line():
+    with pytest.raises(ValueError, match="line 2"):
+        _loads_fallback("[run]\nsteps = 1979-05-27\n")
+    with pytest.raises(ValueError, match="key = value"):
+        _loads_fallback("not an assignment\n")
+
+
+def test_writer_rejects_unserialisable_values():
+    with pytest.raises(ValueError):
+        dumps({"a": {"x": math.inf}})
+    with pytest.raises(TypeError):
+        dumps({"a": {"x": object()}})
+
+
+def test_writer_skips_none_values():
+    text = dumps({"run": {"problem": "ldc", "steps": None}})
+    assert "steps" not in text
+    assert loads(text) == {"run": {"problem": "ldc"}}
+
+
+def test_load_dump_files(tmp_path):
+    path = tmp_path / "exp.toml"
+    toml_compat.dump(DOCUMENT, path)
+    assert toml_compat.load(path) == DOCUMENT

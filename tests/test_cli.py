@@ -110,6 +110,187 @@ def test_rejects_unknown_scale():
         build_parser().parse_args(["table1", "--scale", "huge"])
 
 
+EXPERIMENT_TOML = """
+[run]
+problem = "burgers"
+sampler = "sgm"
+scale = "smoke"
+steps = 8
+n_interior = 300
+
+[config]
+record_every = 2
+
+[store]
+checkpoint_every = 4
+"""
+
+
+class TestRunConfigAndStore:
+    def _write_config(self, tmp_path, store_root):
+        path = tmp_path / "exp.toml"
+        path.write_text(EXPERIMENT_TOML +
+                        f'root = "{store_root.as_posix()}"\n')
+        return path
+
+    def test_run_with_config_records_into_store(self, tmp_path, capsys):
+        config = self._write_config(tmp_path, tmp_path / "runs")
+        assert main(["run", "--config", str(config)]) == 0
+        out = capsys.readouterr().out
+        assert "burgers:sgm" in out and "recorded as" in out
+
+    def test_run_rejects_problem_plus_config(self, tmp_path, capsys):
+        config = self._write_config(tmp_path, tmp_path / "runs")
+        assert main(["run", "ldc", "--config", str(config)]) == 2
+        assert "not both" in capsys.readouterr().out
+
+    def test_run_requires_problem_config_or_resume(self, capsys):
+        assert main(["run"]) == 2
+        assert "--config" in capsys.readouterr().out
+
+    def test_run_reports_bad_config_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text("[run]\nsampler = \"sgm\"\n")   # no problem key
+        assert main(["run", "--config", str(bad)]) == 2
+        assert "problem" in capsys.readouterr().out
+
+    def test_runs_list_show_compare_resume_gc(self, tmp_path, capsys):
+        config = self._write_config(tmp_path, tmp_path / "runs")
+        store = ["--store", str(tmp_path / "runs")]
+        assert main(["run", "--config", str(config)]) == 0
+        assert main(["run", "--config", str(config),
+                     "--sampler", "uniform"]) == 0
+        capsys.readouterr()
+
+        assert main(["runs", *store, "list"]) == 0
+        out = capsys.readouterr().out
+        assert "burgers-sgm-" in out and "burgers-uniform-" in out
+        assert "completed" in out
+
+        from repro.store import RunStore
+        run_id = RunStore(str(tmp_path / "runs")).runs()[0].run_id
+        assert main(["runs", *store, "show", run_id]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoints" in out and "min err(u)" in out
+
+        assert main(["runs", *store, "compare", "--problem", "burgers"]) == 0
+        out = capsys.readouterr().out
+        assert "Min(u)" in out and "speedup(u)" in out
+
+        assert main(["runs", *store, "gc"]) == 0     # nothing to remove
+        assert "removed 0" in capsys.readouterr().out
+        assert main(["runs", *store, "gc", "--all"]) == 0
+        assert "removed 2" in capsys.readouterr().out
+
+    def test_runs_resume_after_interrupt(self, tmp_path, capsys):
+        import numpy as np
+        import repro
+        from repro.api.session import run_problem
+        from repro.store import RunStore
+
+        store_root = tmp_path / "runs"
+        session = (repro.problem("burgers", scale="smoke")
+                   .config(record_every=2).n_interior(300).validators([]))
+
+        class Boom(Exception):
+            pass
+
+        def bomb(step, **_):
+            if step == 5:
+                raise Boom()
+
+        with pytest.raises(Boom):
+            run_problem(session.build(), session._config, sampler="uniform",
+                        steps=10, validators=[], store=RunStore(store_root),
+                        run_id="r1", checkpoint_every=3, step_hooks=[bomb])
+        assert main(["runs", "--store", str(store_root),
+                     "resume", "r1"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed r1" in out
+        baseline = session.train(steps=10)
+        stored = RunStore(store_root).open("r1").history()
+        assert np.array_equal(stored.losses, baseline.history.losses)
+
+    def test_runs_unknown_id_is_an_error(self, tmp_path, capsys):
+        assert main(["runs", "--store", str(tmp_path / "none"),
+                     "show", "ghost"]) == 2
+        assert "unknown run" in capsys.readouterr().out
+
+    def test_resume_rejects_wiring_flags(self, tmp_path, capsys):
+        assert main(["run", "--resume", "r1",
+                     "--store", str(tmp_path / "runs"),
+                     "--sampler", "uniform"]) == 2
+        out = capsys.readouterr().out
+        assert "--sampler" in out and "cannot change" in out
+
+    def test_gc_default_spares_running_and_checkpointed_runs(
+            self, tmp_path, capsys):
+        import numpy as np
+        import repro
+        from repro.api.session import run_problem
+        from repro.store import RunStore
+
+        store = RunStore(tmp_path / "runs")
+        session = (repro.problem("burgers", scale="smoke")
+                   .config(record_every=2).n_interior(300).validators([]))
+
+        class Boom(Exception):
+            pass
+
+        def bomb_at(at):
+            def bomb(step, **_):
+                if step == at:
+                    raise Boom()
+            return bomb
+
+        # failed before any checkpoint -> gc'd; failed after one -> kept
+        for run_id, interrupt_at in (("no-ckpt", 2), ("has-ckpt", 7)):
+            with pytest.raises(Boom):
+                run_problem(session.build(), session._config,
+                            sampler="uniform", steps=12, validators=[],
+                            store=store, run_id=run_id, checkpoint_every=4,
+                            step_hooks=[bomb_at(interrupt_at)])
+        # a live-looking run: status running, no checkpoint yet
+        store.begin_run(problem="burgers", config=session._config,
+                        sampler="uniform", seed=0, steps=12, label="live",
+                        n_interior=300, batch_size=32, run_id="live")
+
+        assert main(["runs", "--store", str(store.root), "gc"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1" in out
+        assert "no-ckpt" not in store and "has-ckpt" in store
+        assert "live" in store
+
+    def test_suite_config_uses_suite_table(self, tmp_path, capsys):
+        config = tmp_path / "exp.toml"
+        config.write_text("""
+[run]
+problem = "burgers"
+scale = "smoke"
+steps = 4
+n_interior = 300
+
+[suite]
+samplers = ["uniform", "mis"]
+""")
+        assert main(["suite", "--config", str(config)]) == 0
+        out = capsys.readouterr().out
+        assert "training U32" in out and "training MIS32" in out
+        assert main(["suite", "ldc", "--config", str(config)]) == 2
+        assert "not both" in capsys.readouterr().out
+        assert main(["suite"]) == 2
+        assert "--config" in capsys.readouterr().out
+
+    def test_suite_store_records_methods(self, tmp_path, capsys):
+        store_root = tmp_path / "suite-runs"
+        assert main(["suite", "burgers", "--samplers", "uniform,sgm",
+                     "--steps", "4", "--store", str(store_root)]) == 0
+        out = capsys.readouterr().out
+        assert "recorded 2 runs" in out
+        from repro.store import RunStore
+        assert len(RunStore(store_root).runs(problem="burgers")) == 2
+
+
 def test_train_smoke_ldc(capsys):
     assert main(["ldc", "--method", "uniform", "--scale", "smoke",
                  "--steps", "8"]) == 0
