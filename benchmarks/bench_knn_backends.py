@@ -36,6 +36,36 @@ def test_brute_backend(benchmark, points):
     assert indices.shape == (N, K)
 
 
+def test_hnsw_index_build_is_amortized_linear(benchmark):
+    """Index construction alone (no queries).
+
+    ``HNSWIndex.add`` used to ``np.vstack`` the whole point matrix per
+    insert, making builds quadratic in N; the doubling buffer brings the
+    append cost down to amortized O(1).  The assertion pins the scaling:
+    a 4x larger build must cost well under the ~16x a quadratic append
+    path would (graph wiring keeps it superlinear, so allow 10x).
+    """
+    import time
+
+    from repro.graph.hnsw import HNSWIndex
+
+    def build(n, seed=0):
+        pts = np.random.default_rng(seed).uniform(size=(n, 2))
+        return HNSWIndex(dim=2, rng=np.random.default_rng(1)).build(pts)
+
+    benchmark.pedantic(build, args=(N,), rounds=1, iterations=1)
+
+    timings = {}
+    for n in (N // 4, N):
+        started = time.perf_counter()
+        build(n)
+        timings[n] = time.perf_counter() - started
+    ratio = timings[N] / timings[N // 4]
+    print(f"\nHNSW build {N // 4} pts: {timings[N // 4]:.2f}s, "
+          f"{N} pts: {timings[N]:.2f}s (x{ratio:.1f} for 4x points)")
+    assert ratio < 10.0, f"build scaling looks quadratic: x{ratio:.1f}"
+
+
 def test_hnsw_backend_with_recall(benchmark, points, exact_indices):
     indices, _ = benchmark.pedantic(
         knn_search, args=(points, K),

@@ -283,6 +283,34 @@ class Session:
                          verbose=verbose, store=store,
                          checkpoint_every=checkpoint_every)
 
+    def matrix(self, problems=None, samplers=None, *, executor="serial",
+               max_workers=None, steps=None, verbose=False, store=None,
+               checkpoint_every=None):
+        """Train a cross-problem benchmark matrix; returns a
+        ``MatrixResult``.
+
+        The session acts as the settings prototype: its ``scale``,
+        ``seed``, ``n_interior``, ``batch_size``, ``steps``, and
+        ``validators`` overrides apply to every cell, and its (possibly
+        customised) config applies to its own problem; other problems get
+        their registered config factory at the session's scale.
+        ``problems=None`` sweeps every registered problem; with
+        ``executor="process"`` all cells shard over one shared pool::
+
+            repro.problem("ldc", scale="smoke").matrix(
+                samplers=["uniform", "sgm"], executor="process",
+                store="runs")
+        """
+        from ..experiments.matrix import run_matrix
+        return run_matrix(problems, samplers, executor=executor,
+                          max_workers=max_workers, seed=self._seed,
+                          steps=steps if steps is not None else self._steps,
+                          scale=self._scale, configs={self.name: self._config},
+                          n_interior=self._n_interior,
+                          batch_size=self._batch_size,
+                          validators=self._validators, verbose=verbose,
+                          store=store, checkpoint_every=checkpoint_every)
+
     def __repr__(self):
         return (f"Session(problem={self.name!r}, scale={self._scale!r}, "
                 f"sampler={self._sampler!r})")

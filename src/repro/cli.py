@@ -12,12 +12,18 @@ Commands
     store: resolved config, streamed history, periodic checkpoints.
 ``runs``
     Inspect the run store: ``list``, ``show``, ``compare`` (Table-1-style
-    speedup rows from stored records), ``resume`` (continue a killed run
-    bit-identically from its newest checkpoint), ``gc``.
+    speedup rows from stored records, grouped per problem), ``plot``
+    (convergence-vs-time figures rendered from stored records alone),
+    ``resume`` (continue a killed run bit-identically from its newest
+    checkpoint), ``gc``.
 ``suite``
     Method sweep: train any registered problem under several registered
     samplers (``--samplers a,b,c``), optionally sharded over a process
     pool (``--parallel``); ``--store`` records every method.
+``matrix``
+    Cross-problem benchmark matrix: ``--problems all`` × ``--samplers``
+    cells sharded over one shared process pool (``--parallel``), every
+    cell recording into a single store (``--store``).
 ``problems``
     List the problem and sampler registries.
 ``table1`` / ``table2``
@@ -52,9 +58,10 @@ def _cmd_info(args):
         ("sampling", "SGM sampler + uniform/MIS/RAR baselines"),
         ("solvers", "reference CFD (LDC, annular ring), Ghia tables"),
         ("training", "constraints, trainer, validators"),
-        ("experiments", "Table 1/2 + Figures 2-4 harness"),
+        ("experiments", "Table 1/2 + Figures 2-4 harness, suites + "
+                        "cross-problem benchmark matrix"),
         ("store", "persistent run store: TOML configs, resumable "
-                  "checkpointed runs"),
+                  "checkpointed runs, figures from records"),
     ]
     for name, description in subsystems:
         print(f"  repro.{name:<12} {description}")
@@ -235,6 +242,34 @@ def _cmd_suite(args):
     return 0
 
 
+def _cmd_matrix(args):
+    from repro.experiments import matrix_table, run_matrix
+    samplers = (None if args.samplers is None
+                else [s.strip() for s in args.samplers.split(",")
+                      if s.strip()])
+    try:
+        matrix = run_matrix(
+            args.problems, samplers,
+            executor="process" if args.parallel else "serial",
+            max_workers=args.max_workers, seed=args.seed, steps=args.steps,
+            scale=args.scale, verbose=True, store=args.store,
+            checkpoint_every=args.checkpoint_every)
+    except (KeyError, ValueError) as exc:
+        # registry lookups and grid resolution name the problem themselves
+        print(f"error: {exc.args[0]}")
+        return 2
+    print()
+    print(matrix_table(matrix))
+    print(f"\nmatrix total: {matrix.total_seconds:.1f}s "
+          f"({matrix.executor} executor, {len(matrix.problems)} problems, "
+          f"{matrix.n_cells} cells)")
+    if args.store is not None:
+        recorded = matrix.run_ids()
+        print(f"recorded {len(recorded)} runs in {args.store}")
+        print(f"render figures with: repro runs --store {args.store} plot")
+    return 0
+
+
 # ----------------------------------------------------------------------
 # `repro runs` family: the run store's read side
 # ----------------------------------------------------------------------
@@ -306,6 +341,33 @@ def _cmd_runs_compare(store, args):
     return 0
 
 
+def _cmd_runs_plot(store, args):
+    from repro.store import curves_by_problem, render_curves, write_curves_csv
+    if args.run_ids:
+        records = [store.open(run_id) for run_id in args.run_ids]
+    else:
+        records = store.runs(problem=args.problem, status="completed")
+        records = list(reversed(records))       # oldest first
+    if not records:
+        print("no runs to plot (give run ids or --problem)")
+        return 2
+    # error scales are only comparable within one workload: one chart
+    # per problem, like `runs compare` (histories parse once and feed
+    # both the charts and the CSV export)
+    what = "training loss" if args.var == "loss" else f"err({args.var})"
+    grouped = curves_by_problem(records, var=args.var)
+    for problem, curves in grouped.items():
+        print(render_curves(curves, var=args.var,
+                            title=f"Convergence vs wall time ({problem}): "
+                                  f"{what}",
+                            width=args.width, height=args.height))
+        print()
+    if args.csv is not None:
+        write_curves_csv(grouped, args.csv, var=args.var)
+        print(f"series written to {args.csv}")
+    return 0
+
+
 def _cmd_runs_resume(store, args):
     from repro.store import resume_run
     result = resume_run(store, args.run_id, steps=args.steps)
@@ -341,8 +403,8 @@ def _cmd_runs(args):
     from repro.store import RunStore
     store = RunStore(args.store)
     handlers = {"list": _cmd_runs_list, "show": _cmd_runs_show,
-                "compare": _cmd_runs_compare, "resume": _cmd_runs_resume,
-                "gc": _cmd_runs_gc}
+                "compare": _cmd_runs_compare, "plot": _cmd_runs_plot,
+                "resume": _cmd_runs_resume, "gc": _cmd_runs_gc}
     try:
         return handlers[args.runs_command](store, args)
     except (KeyError, ValueError) as exc:
@@ -456,6 +518,19 @@ def build_parser():
                         "thresholds (default: first run)")
     q.add_argument("--variables", default=None,
                    help="comma-separated error variables (default: all)")
+    q = runs_sub.add_parser("plot", help="convergence-vs-time figure "
+                            "rendered from stored records alone")
+    q.add_argument("run_ids", nargs="*",
+                   help="runs to plot (default: all completed runs of "
+                        "--problem, one chart per problem)")
+    q.add_argument("--problem", default=None)
+    q.add_argument("--var", default="loss",
+                   help="series to plot: 'loss' (default) or a validated "
+                        "error variable like u, v, p")
+    q.add_argument("--csv", default=None, metavar="FILE",
+                   help="also write the series as long-format CSV")
+    q.add_argument("--width", type=int, default=72)
+    q.add_argument("--height", type=int, default=18)
     q = runs_sub.add_parser("resume", help="continue a run from its newest "
                             "checkpoint (bit-identical trajectory)")
     q.add_argument("run_id")
@@ -489,6 +564,25 @@ def build_parser():
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--store", default=None, metavar="DIR",
                    help="record every method into this run store")
+
+    p = sub.add_parser("matrix", help="cross-problem benchmark matrix: "
+                       "problems x samplers cells on one shared pool")
+    p.add_argument("--problems", default="all",
+                   help="comma-separated registered problems, or 'all' "
+                        "(default)")
+    p.add_argument("--samplers", default=None,
+                   help="comma-separated registered samplers "
+                        "(default: all registered)")
+    p.add_argument("--parallel", action="store_true",
+                   help="shard every cell over one shared process pool")
+    p.add_argument("--max-workers", type=int, default=None)
+    p.add_argument("--scale", default="smoke", choices=("smoke", "repro"))
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="record every cell into this single run store")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   help="full-state checkpoint cadence in steps")
 
     for n in (1, 2):
         p = sub.add_parser(f"table{n}", help=f"regenerate Table {n}")
@@ -524,6 +618,8 @@ def main(argv=None):
         return _cmd_runs(args)
     if args.command == "suite":
         return _cmd_suite(args)
+    if args.command == "matrix":
+        return _cmd_matrix(args)
     if args.command == "problems":
         return _cmd_problems(args)
     if args.command in ("table1", "table2"):

@@ -24,6 +24,9 @@ from .suite import (
     EXECUTORS, MethodResult, SamplerStats, SuiteResult, method_label,
     methods_from_samplers, resolve_methods, run_suite,
 )
+from .matrix import (
+    MatrixResult, matrix_table, resolve_problems, run_matrix,
+)
 from .tables import (
     table1_rows, table2_rows, suite_rows, suite_table, format_table,
 )
@@ -47,6 +50,7 @@ __all__ = [
     "run_ldc_suite", "run_ar_suite", "ldc_methods", "ar_methods",
     "EXECUTORS", "MethodResult", "SamplerStats", "SuiteResult",
     "method_label", "methods_from_samplers", "resolve_methods", "run_suite",
+    "MatrixResult", "matrix_table", "resolve_problems", "run_matrix",
     "table1_rows", "table2_rows", "suite_rows", "suite_table",
     "format_table",
     "error_curves", "curves_to_csv", "render_curves",

@@ -1,0 +1,212 @@
+"""Cross-problem benchmark matrix on one shared process pool.
+
+The paper's headline evidence is method-sweep tables across *several*
+workloads; importance-sampling baselines are only credible when compared
+over many PDEs (Nabian et al. 2021, DMIS).  :func:`run_matrix` resolves a
+problems × samplers grid into cells — one :class:`~repro.api.MethodSpec`
+per (problem, sampler) — and shards **all** cells over one shared
+``ProcessPoolExecutor`` via the same task loop ``run_suite`` uses, so a
+5-problem × 4-sampler matrix saturates the pool instead of running five
+sequential suites.
+
+Every cell is built from exactly the task tuple :func:`run_suite` would
+build for the same problem, so each cell's loss/error trajectory is
+bit-identical to the corresponding standalone suite cell (parity-tested).
+With ``store=`` every cell records its own durable run into a single
+:class:`repro.store.RunStore`, from which ``repro runs plot`` /
+``repro runs compare`` regenerate the convergence-vs-time figures and
+cross-problem speedup rows without any live objects.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..api.registry import problem_registry
+from .suite import SuiteResult, _execute_tasks, _make_task, resolve_methods
+from .tables import suite_table
+
+__all__ = ["MatrixResult", "matrix_table", "resolve_problems", "run_matrix"]
+
+
+def resolve_problems(problems=None):
+    """Normalise ``problems`` into registered names.
+
+    ``None`` or ``"all"`` expands to every registered problem; a comma
+    string splits; every name is validated against the registry (failing
+    fast with the registry's error).  Duplicates are rejected — they would
+    collide in the result grid.
+    """
+    if problems is None or problems == "all":
+        return problem_registry.names()
+    if isinstance(problems, str):
+        problems = [p.strip() for p in problems.split(",") if p.strip()]
+    names = []
+    for name in problems:
+        problem_registry.get(name)
+        names.append(name)
+    if not names:
+        raise ValueError("matrix needs at least one problem")
+    duplicates = sorted({n for n in names if names.count(n) > 1})
+    if duplicates:
+        raise ValueError(f"duplicate problems {duplicates} in matrix")
+    return names
+
+
+@dataclass
+class MatrixResult:
+    """All cells of one problems × samplers grid, grouped per problem.
+
+    ``suites`` maps each problem name to a :class:`SuiteResult` whose
+    methods are in spec order; ``total_seconds`` is the wall time of the
+    whole grid on the shared pool (each embedded suite's
+    ``total_seconds`` is the sum of its cells' training time, since the
+    cells did not run as an isolated sweep).
+    """
+
+    executor: str
+    suites: dict
+    total_seconds: float
+    scale: str = "repro"
+    store_root: str = field(repr=False, default=None)
+
+    @property
+    def problems(self):
+        return list(self.suites)
+
+    @property
+    def n_cells(self):
+        return sum(len(suite) for suite in self.suites.values())
+
+    def __len__(self):
+        return self.n_cells
+
+    def __getitem__(self, problem):
+        try:
+            return self.suites[problem]
+        except KeyError:
+            raise KeyError(f"unknown problem {problem!r} in matrix; "
+                           f"have {self.problems}") from None
+
+    def __iter__(self):
+        return iter(self.suites.values())
+
+    def cells(self):
+        """``(problem, MethodResult)`` pairs in grid order."""
+        for problem, suite in self.suites.items():
+            for method in suite:
+                yield problem, method
+
+    def labels(self):
+        """``{problem: [column labels]}`` of the grid."""
+        return {problem: suite.labels
+                for problem, suite in self.suites.items()}
+
+    def histories(self):
+        """``{problem: {label: History}}`` for figures/tables."""
+        return {problem: suite.histories()
+                for problem, suite in self.suites.items()}
+
+    def run_ids(self):
+        """Store record ids of every cell (``None`` entries dropped)."""
+        return [m.run_id for _, m in self.cells() if m.run_id is not None]
+
+
+def matrix_table(matrix, title=None):
+    """Render a :class:`MatrixResult` as one aligned table per problem."""
+    if title is None:
+        title = (f"Benchmark matrix ({len(matrix.problems)} problems x "
+                 f"{max((len(s) for s in matrix), default=0)} methods, "
+                 f"executor={matrix.executor})")
+    blocks = [title]
+    for problem, suite in matrix.suites.items():
+        blocks.append(suite_table(suite, title=f"[{problem}] min errors "
+                                               f"and time-to-threshold [s]"))
+    return "\n\n".join(blocks)
+
+
+def run_matrix(problems=None, methods=None, *, executor="process",
+               max_workers=None, seed=None, steps=None, scale="repro",
+               configs=None, n_interior=None, batch_size=None,
+               validators=None, verbose=False, store=None,
+               checkpoint_every=None):
+    """Train a problems × samplers benchmark matrix on one shared pool.
+
+    Parameters
+    ----------
+    problems:
+        ``None``/``"all"`` (every registered problem), a comma string, or
+        a list of problem-registry names — see :func:`resolve_problems`.
+    methods:
+        ``None`` (all registered samplers), sampler names, or
+        :class:`MethodSpec` objects; resolved *per problem config* via
+        :func:`resolve_methods`, so column labels follow each problem's
+        batch size.
+    executor:
+        ``"serial"`` or ``"process"``.  The process path shards every
+        cell of the grid over one shared ``ProcessPoolExecutor`` — a
+        5 × 4 matrix keeps the pool saturated instead of running five
+        sequential suites.
+    max_workers:
+        Shared pool size (default: ``min(n_cells, cpu_count)``).
+    seed:
+        Run seed shared by all cells (default: each problem's
+        ``config.seed`` — the same default the standalone suite uses,
+        preserving per-cell parity).
+    steps:
+        Optimizer steps per cell (default: each problem's config).
+    scale:
+        Config scale preset for every problem without an entry in
+        ``configs``.
+    configs:
+        Optional ``{problem: config}`` overrides.
+    store:
+        Optional :class:`repro.store.RunStore` (or root path): every cell
+        — including each process-pool worker — records its own durable
+        run into this single store.
+
+    Returns
+    -------
+    :class:`MatrixResult` with per-problem suites in grid order; each
+    cell is bit-identical to the corresponding ``run_suite`` cell.
+    """
+    names = resolve_problems(problems)
+    configs = dict(configs or {})
+    store_root = None
+    if store is not None:
+        from ..store import RunStore
+        store_root = str(RunStore.coerce(store).root)
+
+    tasks, labels, grid = [], [], []
+    for name in names:
+        entry = problem_registry.get(name)
+        config = configs.get(name)
+        if config is None:
+            config = entry.config_factory(scale)
+        specs = resolve_methods(config, methods, n_interior=n_interior,
+                                batch_size=batch_size)
+        cell_seed = config.seed if seed is None else int(seed)
+        grid.append((entry.name, config, specs, cell_seed, len(tasks)))
+        for spec in specs:
+            tasks.append(_make_task(entry.name, config, spec, cell_seed,
+                                    steps, validators,
+                                    verbose and executor == "serial",
+                                    store_root, checkpoint_every))
+            labels.append(f"{entry.name}:{config.scale}:{spec.label}")
+
+    started = time.perf_counter()
+    results = _execute_tasks(tasks, labels, executor=executor,
+                             max_workers=max_workers, verbose=verbose)
+    total = time.perf_counter() - started
+
+    suites = {}
+    for name, config, specs, cell_seed, start in grid:
+        cells = results[start:start + len(specs)]
+        suites[name] = SuiteResult(
+            problem=name, executor=executor, methods=cells,
+            total_seconds=sum(m.wall_seconds for m in cells),
+            seed=cell_seed, config=config)
+    return MatrixResult(executor=executor, suites=suites,
+                        total_seconds=total, scale=scale,
+                        store_root=store_root)

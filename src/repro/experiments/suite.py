@@ -35,6 +35,18 @@ __all__ = [
     "method_label", "methods_from_samplers", "resolve_methods", "run_suite",
 ]
 
+
+def _make_task(problem, config, spec, seed, steps, validators, verbose,
+               store_root, checkpoint_every):
+    """The picklable work unit :func:`_train_method` consumes.
+
+    Built here (and only here) so :func:`run_suite` and the cross-problem
+    matrix produce *identical* tuples for the same cell — which is what
+    makes a matrix cell bit-identical to the standalone suite cell.
+    """
+    return (problem, config, spec, seed, steps, validators, verbose,
+            store_root, checkpoint_every)
+
 EXECUTORS = ("serial", "process")
 
 #: label prefixes mirroring the paper's column headers (U500, MIS500, ...)
@@ -257,6 +269,60 @@ def _train_method(task):
                         run_id=result.run_id)
 
 
+def _with_cell_label(exc, label):
+    """Best-effort clone of ``exc`` with the failing cell's label attached.
+
+    Falls back to the original exception for types whose constructor does
+    not accept a single message (the label is still visible via the
+    ``__cause__`` chain the caller raises from).
+    """
+    try:
+        labelled = type(exc)(f"[{label}] {exc}")
+    except Exception:
+        return exc
+    return labelled
+
+
+def _execute_tasks(tasks, labels, *, executor, max_workers=None,
+                   verbose=False):
+    """Run :func:`_train_method` over ``tasks``, serially or on one pool.
+
+    This is the single task/placement loop shared by :func:`run_suite`
+    and the cross-problem matrix: all tasks — whatever problem they
+    belong to — shard over *one* ``ProcessPoolExecutor``, and results come
+    back in submission order regardless of completion order.  On the
+    process path the first worker failure cancels every pending sibling
+    (no wasted training of doomed cells) and re-raises with the failing
+    cell's label attached.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; "
+                         f"choose from {EXECUTORS}")
+    if executor == "serial":
+        return [_train_method(task) for task in tasks]
+    if max_workers is None:
+        max_workers = min(len(tasks), os.cpu_count() or 1)
+    results = [None] * len(tasks)
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = {pool.submit(_train_method, task): i
+                   for i, task in enumerate(tasks)}
+        # collect as workers finish, but place by submission index so
+        # the result order is deterministic
+        for future in as_completed(futures):
+            index = futures[future]
+            try:
+                results[index] = future.result()
+            except Exception as exc:
+                for pending in futures:
+                    pending.cancel()
+                raise _with_cell_label(exc, labels[index]) from exc
+            if verbose:
+                done = results[index]
+                print(f"[{labels[index]}] finished in "
+                      f"{done.wall_seconds:.1f}s")
+    return results
+
+
 def run_suite(problem, methods=None, *, executor="process", max_workers=None,
               seed=None, steps=None, config=None, scale="repro",
               validators=None, verbose=False, store=None,
@@ -307,32 +373,14 @@ def run_suite(problem, methods=None, *, executor="process", max_workers=None,
     if store is not None:
         from ..store import RunStore
         store_root = str(RunStore.coerce(store).root)
-    tasks = [(entry.name, config, spec, seed, steps, validators,
-              verbose and executor == "serial", store_root,
-              checkpoint_every) for spec in specs]
+    tasks = [_make_task(entry.name, config, spec, seed, steps, validators,
+                        verbose and executor == "serial", store_root,
+                        checkpoint_every) for spec in specs]
+    labels = [f"{entry.name}:{config.scale}:{spec.label}" for spec in specs]
 
     started = time.perf_counter()
-    if executor == "serial":
-        results = [_train_method(task) for task in tasks]
-    elif executor == "process":
-        if max_workers is None:
-            max_workers = min(len(tasks), os.cpu_count() or 1)
-        results = [None] * len(tasks)
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = {pool.submit(_train_method, task): i
-                       for i, task in enumerate(tasks)}
-            # collect as workers finish, but place by submission index so
-            # the suite order is deterministic
-            for future in as_completed(futures):
-                index = futures[future]
-                results[index] = future.result()
-                if verbose:
-                    done = results[index]
-                    print(f"[{entry.name}:{config.scale}] finished "
-                          f"{done.label} in {done.wall_seconds:.1f}s")
-    else:
-        raise ValueError(f"unknown executor {executor!r}; "
-                         f"choose from {EXECUTORS}")
+    results = _execute_tasks(tasks, labels, executor=executor,
+                             max_workers=max_workers, verbose=verbose)
     total = time.perf_counter() - started
     return SuiteResult(problem=entry.name, executor=executor,
                        methods=results, total_seconds=total, seed=seed,

@@ -43,16 +43,32 @@ class HNSWIndex:
         self.ef_search = int(ef_search)
         self.rng = rng if rng is not None else np.random.default_rng()
         self._level_mult = 1.0 / np.log(self.m)
-        self.points = np.empty((0, dim))
+        # amortized doubling buffer: `points` is a view of the filled
+        # prefix, so inserts append in O(1) instead of copying the whole
+        # matrix per add (the old np.vstack made index builds quadratic)
+        self._buffer = np.empty((0, dim))
+        self._count = 0
         self.levels = []
         # neighbours[node][level] -> list of node ids
         self.neighbours = []
         self.entry_point = None
         self.max_level = -1
 
+    @property
+    def points(self):
+        return self._buffer[:self._count]
+
     # ------------------------------------------------------------------
     def __len__(self):
-        return len(self.points)
+        return self._count
+
+    def reserve(self, n):
+        """Grow the point buffer to hold at least ``n`` points."""
+        if n > len(self._buffer):
+            grown = np.empty((int(n), self.dim))
+            grown[:self._count] = self._buffer[:self._count]
+            self._buffer = grown
+        return self
 
     def _distance(self, query, ids):
         return np.linalg.norm(self.points[ids] - query, axis=1)
@@ -89,8 +105,11 @@ class HNSWIndex:
     def add(self, point):
         """Insert a single point."""
         point = np.asarray(point, dtype=np.float64)
-        node = len(self.points)
-        self.points = np.vstack([self.points, point[None]])
+        node = self._count
+        if self._count == len(self._buffer):
+            self.reserve(max(8, 2 * len(self._buffer)))
+        self._buffer[node] = point
+        self._count += 1
         level = int(-np.log(self.rng.uniform(1e-12, 1.0)) * self._level_mult)
         self.levels.append(level)
         self.neighbours.append({l: [] for l in range(level + 1)})
@@ -132,7 +151,9 @@ class HNSWIndex:
 
     def build(self, points):
         """Insert ``points`` one by one."""
-        for point in np.asarray(points, dtype=np.float64):
+        points = np.asarray(points, dtype=np.float64)
+        self.reserve(self._count + len(points))
+        for point in points:
             self.add(point)
         return self
 
@@ -159,18 +180,46 @@ class HNSWIndex:
         return ids, dists
 
     def knn(self, queries, k, exclude_self=False):
-        """Batch query; optionally drop each query's own id from its result."""
-        take = k + 1 if exclude_self else k
+        """Batch query; optionally drop each query's own id from its result.
+
+        Always returns ``(len(queries), k)`` arrays.  When the index holds
+        fewer than ``k`` eligible points the effective ``k`` is clamped to
+        what exists and each row is padded deterministically by cycling
+        through its found neighbours (closest first); only an index that
+        cannot supply a single neighbour raises.
+        """
+        n = self._count
+        available = n - 1 if exclude_self else n
+        if available < 1:
+            raise ValueError(
+                f"index holds {n} point(s) — too small to return even one "
+                f"{'non-self ' if exclude_self else ''}neighbour")
+        effective_k = min(k, available)
+        take = effective_k + 1 if exclude_self else effective_k
         all_ids = np.empty((len(queries), k), dtype=int)
         all_dists = np.empty((len(queries), k))
         for i, q in enumerate(np.asarray(queries, dtype=np.float64)):
             ids, dists = self.query(q, take)
             if exclude_self:
                 keep = ids != i
-                ids, dists = ids[keep][:k], dists[keep][:k]
-            if len(ids) < k:  # top up from a wider beam if needed
-                ids2, dists2 = self.query(q, take * 4, ef=take * 8)
+                ids, dists = ids[keep][:effective_k], dists[keep][:effective_k]
+            if len(ids) < effective_k:  # top up from a wider beam if needed
+                ids2, dists2 = self.query(q, min(take * 4, n),
+                                          ef=min(take * 8, 4 * n))
                 keep = ids2 != i if exclude_self else slice(None)
-                ids, dists = ids2[keep][:k], dists2[keep][:k]
+                ids = ids2[keep][:effective_k]
+                dists = dists2[keep][:effective_k]
+            if len(ids) < effective_k:
+                # degenerate connectivity: fall back to exact distances
+                # for this row rather than returning a short beam
+                others = np.delete(np.arange(n), i) if exclude_self \
+                    else np.arange(n)
+                exact = self._distance(q, others)
+                order = np.argsort(exact, kind="stable")[:effective_k]
+                ids, dists = others[order], exact[order]
+            if len(ids) < k:
+                pad = np.arange(k - len(ids)) % len(ids)
+                ids = np.concatenate([ids, ids[pad]])
+                dists = np.concatenate([dists, dists[pad]])
             all_ids[i], all_dists[i] = ids, dists
         return all_ids, all_dists

@@ -74,10 +74,19 @@ class MISSampler(Sampler):
         self._refreshed_once = True
 
     def batch_indices(self, step, batch_size):
+        batch_size = int(batch_size)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
         if not self._refreshed_once or (step > 0 and step % self.tau_e == 0):
             self._refresh()
-        return self.rng.choice(self.n_points, size=batch_size, replace=False,
-                               p=self.probabilities)
+        # without-replacement draws need at least batch_size admissible
+        # (p > 0) points; small-scale configs can ask for more than the
+        # dataset holds, so only that degenerate path switches to
+        # with-replacement (the common path's RNG stream is untouched)
+        admissible = int(np.count_nonzero(self.probabilities))
+        replace = batch_size > admissible
+        return self.rng.choice(self.n_points, size=batch_size,
+                               replace=replace, p=self.probabilities)
 
     def batch_weights(self, indices):
         """Unbiased importance weights ``1 / (N p_i)``, mean-normalised."""

@@ -14,8 +14,12 @@ process.  This package provides:
 * :func:`resume_run` — continue a stored run from its newest checkpoint
   with a bit-identical loss trajectory;
 * :func:`compare_rows` / :func:`compare_table` — Table-1-style cross-run
-  speedup tables computed from stored records alone (``repro runs
-  compare``).
+  speedup tables computed from stored records alone, grouped per problem
+  when the store spans a benchmark matrix (``repro runs compare``);
+* :func:`render_convergence` / :func:`save_convergence_csv` —
+  convergence-vs-time figures (loss or validation error against the
+  recorded wall clock) regenerated from ``history.jsonl`` alone
+  (``repro runs plot``).
 
 Typical use::
 
@@ -30,9 +34,13 @@ Typical use::
     resumed = resume_run(store, result.run_id, steps=400)
 """
 
-from .compare import compare_rows, compare_table
+from .compare import (compare_by_problem, compare_rows, compare_table,
+                      group_by_problem)
 from .config import (RunConfig, config_from_tables, config_to_tables,
                      load_run_config)
+from .figures import (convergence_curves, curves_by_problem, render_curves,
+                      render_convergence, save_convergence_csv,
+                      write_curves_csv)
 from .resume import resume_run
 from .run_store import (STORE_ROOT_ENV, RunRecord, RunRecorder, RunStore,
                         history_from_jsonl, load_training_checkpoint,
@@ -41,6 +49,9 @@ from .run_store import (STORE_ROOT_ENV, RunRecord, RunRecorder, RunStore,
 __all__ = [
     "RunStore", "RunRecord", "RunRecorder", "STORE_ROOT_ENV",
     "RunConfig", "load_run_config", "config_to_tables", "config_from_tables",
-    "resume_run", "compare_rows", "compare_table", "history_from_jsonl",
+    "resume_run", "compare_rows", "compare_table", "compare_by_problem",
+    "group_by_problem", "history_from_jsonl",
+    "convergence_curves", "curves_by_problem", "render_curves",
+    "render_convergence", "save_convergence_csv", "write_curves_csv",
     "save_training_checkpoint", "load_training_checkpoint",
 ]

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from ..experiments.tables import format_table, suite_rows
 
-__all__ = ["compare_rows", "compare_table"]
+__all__ = ["compare_by_problem", "compare_rows", "compare_table",
+           "group_by_problem"]
 
 
 def _column_label(record, taken):
@@ -85,12 +86,55 @@ def compare_rows(records, baseline=None, variables=None):
     return columns, rows
 
 
+def group_by_problem(records):
+    """``{problem: [records]}`` preserving each group's record order."""
+    grouped = {}
+    for record in records:
+        grouped.setdefault(record.meta.get("problem", "?"),
+                           []).append(record)
+    return grouped
+
+
+def compare_by_problem(records, baseline=None, variables=None):
+    """Cross-problem grouping of :func:`compare_rows`.
+
+    Error thresholds and speedup denominators are only meaningful within
+    one workload, so a record set spanning several problems (a benchmark
+    matrix store) is split per problem first.  ``baseline`` — a run id or
+    label — is matched within each group; groups it does not name fall
+    back to their first record.
+
+    Returns
+    -------
+    ``{problem: (columns, rows)}`` in first-seen problem order.
+    """
+    tables = {}
+    for problem, group in group_by_problem(records).items():
+        base = baseline
+        if base is not None and not any(
+                base in (r.run_id, r.label) for r in group):
+            base = None
+        tables[problem] = compare_rows(group, baseline=base,
+                                       variables=variables)
+    return tables
+
+
 def compare_table(records, baseline=None, variables=None, title=None):
-    """Render :func:`compare_rows` as aligned text."""
-    columns, rows = compare_rows(records, baseline=baseline,
+    """Render stored-run comparisons as aligned text.
+
+    Records spanning several problems render one table per problem (via
+    :func:`compare_by_problem`) — speedups never compare across
+    workloads.
+    """
+    records = list(records)
+    grouped = compare_by_problem(records, baseline=baseline,
                                  variables=variables)
-    if title is None:
-        problems = sorted({r.meta.get("problem", "?") for r in records})
-        title = (f"Stored runs ({', '.join(problems)}): min errors, "
-                 f"time-to-threshold [s], speedups")
-    return format_table(title, columns, rows)
+    blocks = []
+    for problem, (columns, rows) in grouped.items():
+        block_title = (f"Stored runs ({problem}): min errors, "
+                       f"time-to-threshold [s], speedups")
+        blocks.append(format_table(block_title, columns, rows))
+    text = "\n\n".join(blocks)
+    if title is not None:
+        text = f"{title}\n{text}"
+    return text

@@ -1,0 +1,123 @@
+"""Convergence-vs-time figures rendered from stored records alone.
+
+The paper's Figures 2/3 plot validation error against training wall time
+per method.  Every run record persists exactly that series — the
+:class:`~repro.utils.TrainingClock` wall times streamed into
+``history.jsonl`` — so the figures can be regenerated long after the
+training processes exited, across runs from different days or machines::
+
+    from repro.store import RunStore, render_convergence
+
+    records = RunStore("runs").runs(problem="burgers", status="completed")
+    print(render_convergence(records, var="u"))
+
+``var="loss"`` (the default) plots the training loss; any validated
+variable name plots its error series.  ``repro runs plot`` is the CLI
+face of this module.
+"""
+
+from __future__ import annotations
+
+import csv
+
+from ..utils import ascii_plot
+from .compare import _column_label, group_by_problem
+
+__all__ = ["convergence_curves", "curves_by_problem", "render_curves",
+           "render_convergence", "save_convergence_csv", "write_curves_csv"]
+
+#: pseudo-variable selecting the training-loss series instead of an error
+LOSS_VAR = "loss"
+
+
+def _series_name(var):
+    return LOSS_VAR if var == LOSS_VAR else f"err({var})"
+
+
+def convergence_curves(records, var=LOSS_VAR):
+    """``{label: (wall_times, values)}`` from stored histories alone.
+
+    Parameters
+    ----------
+    records:
+        Iterable of :class:`~repro.store.RunRecord` (no live trainer,
+        network, or sampler objects are needed — only ``history.jsonl``).
+    var:
+        ``"loss"`` for the training-loss series, or a validated variable
+        name (``"u"``, ``"v"``, ...) for its error series.
+    """
+    records = list(records)
+    if not records:
+        raise ValueError("no runs to plot")
+    taken = set()
+    curves = {}
+    for record in records:
+        label = _column_label(record, taken)
+        history = record.history()
+        if var == LOSS_VAR:
+            curves[label] = (list(history.wall_times), list(history.losses))
+        else:
+            times, values = history.error_series(var)
+            curves[label] = (list(times), list(values))
+    return curves
+
+
+def curves_by_problem(records, var=LOSS_VAR):
+    """``{problem: {label: (wall_times, values)}}`` — each record's
+    history is parsed exactly once; error scales only compare within one
+    workload, so figures and CSV exports group the same way
+    ``runs compare`` does."""
+    return {problem: convergence_curves(group, var=var)
+            for problem, group in group_by_problem(records).items()}
+
+
+def render_curves(curves, var=LOSS_VAR, title="", logy=True, width=72,
+                  height=18):
+    """ASCII chart of prepared ``{label: (times, values)}`` curves."""
+    series = [(times, values, label)
+              for label, (times, values) in curves.items() if len(times)]
+    if not series:
+        return f"{title}\n(no data)"
+    return ascii_plot(series, width=width, height=height, logy=logy,
+                      title=title, ylabel=_series_name(var))
+
+
+def render_convergence(records, var=LOSS_VAR, title=None, logy=True,
+                       width=72, height=18):
+    """ASCII convergence-vs-time chart for stored runs.
+
+    Mirrors the paper's error-vs-wall-time figures; returns the rendered
+    chart as text (also what ``repro runs plot`` prints).
+    """
+    records = list(records)
+    curves = convergence_curves(records, var=var)
+    if title is None:
+        problems = sorted({r.meta.get("problem", "?") for r in records})
+        title = (f"Convergence vs wall time ({', '.join(problems)}): "
+                 f"{_series_name(var)}")
+    return render_curves(curves, var=var, title=title, logy=logy,
+                         width=width, height=height)
+
+
+def write_curves_csv(grouped_curves, path, var=LOSS_VAR):
+    """Write ``{problem: {label: (times, values)}}`` in long format
+    (problem, label, wall_time, value); returns ``path``."""
+    value_name = LOSS_VAR if var == LOSS_VAR else f"err_{var}"
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["problem", "label", "wall_time", value_name])
+        for problem, curves in grouped_curves.items():
+            for label, (times, values) in curves.items():
+                for t, v in zip(times, values):
+                    writer.writerow([problem, label, t, v])
+    return path
+
+
+def save_convergence_csv(records, path, var=LOSS_VAR):
+    """Persist the figure series of stored runs as CSV; returns the path.
+
+    Rows carry the problem name, so a benchmark-matrix store exports with
+    every series attributable to its workload.
+    """
+    return write_curves_csv(curves_by_problem(records, var=var), path,
+                            var=var)

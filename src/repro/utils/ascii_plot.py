@@ -7,7 +7,8 @@ import numpy as np
 __all__ = ["ascii_plot"]
 
 
-def ascii_plot(series, width=72, height=18, logy=False, title=""):
+def ascii_plot(series, width=72, height=18, logy=False, title="",
+               ylabel=None):
     """Render one or more ``(xs, ys, label)`` series as an ASCII chart.
 
     Parameters
@@ -20,6 +21,8 @@ def ascii_plot(series, width=72, height=18, logy=False, title=""):
         Plot ``log10(y)``.
     title:
         Optional header line.
+    ylabel:
+        Y-axis quantity name (default ``"err"``).
 
     Returns
     -------
@@ -54,7 +57,8 @@ def ascii_plot(series, width=72, height=18, logy=False, title=""):
         for c, r in zip(cols, rows):
             canvas[height - 1 - r][c] = marker
 
-    ylab = "log10(err)" if logy else "err"
+    ylabel = "err" if ylabel is None else ylabel
+    ylab = f"log10({ylabel})" if logy else ylabel
     lines = []
     if title:
         lines.append(title)

@@ -68,3 +68,89 @@ def test_results_sorted_by_distance():
     index = build_index()
     _, dists = index.query(np.array([0.5, 0.5]), k=8)
     assert np.all(np.diff(dists) >= -1e-12)
+
+
+# ----------------------------------------------------------------------
+# Tiny clouds: knn() used to crash assigning a short row into (n, k)
+# ----------------------------------------------------------------------
+class TestKnnTinyClouds:
+    def test_knn_cloud_smaller_than_k_pads_rows(self):
+        pts = RNG.uniform(size=(4, 2))
+        index = HNSWIndex(dim=2, rng=np.random.default_rng(0)).build(pts)
+        ids, dists = index.knn(pts, k=8, exclude_self=True)
+        assert ids.shape == (4, 8) and dists.shape == (4, 8)
+        for i, row in enumerate(ids):
+            assert i not in row
+            # the 3 real neighbours all appear; padding only repeats them
+            assert set(row) == set(range(4)) - {i}
+
+    def test_knn_cloud_equal_to_k(self):
+        pts = RNG.uniform(size=(6, 2))
+        index = HNSWIndex(dim=2, rng=np.random.default_rng(1)).build(pts)
+        ids, _ = index.knn(pts, k=6, exclude_self=True)
+        assert ids.shape == (6, 6)
+        for i, row in enumerate(ids):
+            assert i not in row
+
+    def test_knn_padding_is_deterministic(self):
+        pts = RNG.uniform(size=(3, 2))
+        a = HNSWIndex(dim=2, rng=np.random.default_rng(2)).build(pts)
+        b = HNSWIndex(dim=2, rng=np.random.default_rng(2)).build(pts)
+        ids_a, dists_a = a.knn(pts, k=7, exclude_self=True)
+        ids_b, dists_b = b.knn(pts, k=7, exclude_self=True)
+        assert np.array_equal(ids_a, ids_b)
+        assert np.array_equal(dists_a, dists_b)
+
+    def test_knn_without_exclude_self_pads_too(self):
+        pts = RNG.uniform(size=(2, 2))
+        index = HNSWIndex(dim=2, rng=np.random.default_rng(3)).build(pts)
+        ids, dists = index.knn(pts, k=5, exclude_self=False)
+        assert ids.shape == (2, 5)
+        # closest neighbour of each point is itself at distance zero
+        assert np.allclose(dists[np.arange(2), 0], 0.0)
+
+    def test_knn_single_point_with_exclude_self_raises(self):
+        index = HNSWIndex(dim=2, rng=np.random.default_rng(4))
+        index.build(np.zeros((1, 2)))
+        with pytest.raises(ValueError, match="too small"):
+            index.knn(np.zeros((1, 2)), k=1, exclude_self=True)
+        # without exclusion the lone point is its own neighbour
+        ids, dists = index.knn(np.zeros((1, 2)), k=2, exclude_self=False)
+        assert ids.shape == (1, 2) and np.allclose(dists, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Doubling buffer: add() must stay amortized O(1) per insert
+# ----------------------------------------------------------------------
+class TestDoublingBuffer:
+    def test_points_view_matches_inserted(self):
+        pts = RNG.uniform(size=(37, 2))
+        index = HNSWIndex(dim=2, rng=np.random.default_rng(5)).build(pts)
+        assert len(index) == 37
+        assert index.points.shape == (37, 2)
+        assert np.array_equal(index.points, pts)
+
+    def test_buffer_grows_geometrically(self):
+        index = HNSWIndex(dim=2, rng=np.random.default_rng(6))
+        for p in RNG.uniform(size=(100, 2)):
+            index.add(p)
+        assert len(index) == 100
+        assert len(index._buffer) >= 100
+        # capacity doubles, so at most ~2x overshoot
+        assert len(index._buffer) <= 256
+
+    def test_reserve_preserves_contents(self):
+        pts = RNG.uniform(size=(10, 2))
+        index = HNSWIndex(dim=2, rng=np.random.default_rng(7)).build(pts)
+        index.reserve(1000)
+        assert np.array_equal(index.points, pts)
+        assert len(index._buffer) >= 1000
+
+    def test_build_then_incremental_adds(self):
+        index = HNSWIndex(dim=2, rng=np.random.default_rng(8))
+        index.build(RNG.uniform(size=(20, 2)))
+        for p in RNG.uniform(size=(20, 2)):
+            index.add(p)
+        assert len(index) == 40
+        ids, _ = index.query(np.array([0.5, 0.5]), k=5)
+        assert len(ids) == 5

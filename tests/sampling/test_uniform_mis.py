@@ -113,3 +113,34 @@ class TestMIS:
     def test_unknown_measure_rejected(self):
         with pytest.raises(ValueError):
             MISSampler(10, measure="nope")
+
+    def test_batch_larger_than_dataset_falls_back_to_replacement(self):
+        # regression: rng.choice(replace=False, p=...) used to raise
+        # "Cannot take a larger sample than population" on small configs
+        sampler, _ = self.make_sampler(n=10)
+        batch = sampler.batch_indices(0, 25)
+        assert batch.shape == (25,)
+        assert batch.min() >= 0 and batch.max() < 10
+        w = sampler.batch_weights(batch)
+        assert np.all(np.isfinite(w)) and np.isclose(w.mean(), 1.0)
+
+    def test_batch_exceeding_admissible_points_uses_replacement(self):
+        # floor_fraction=0 zeroes half the probabilities; a batch larger
+        # than the admissible half must still draw (with replacement) and
+        # never touch a zero-probability index
+        sampler, values = self.make_sampler(n=20, floor_fraction=0.0)
+        batch = sampler.batch_indices(0, 15)
+        assert batch.shape == (15,)
+        assert np.all(values[batch] > 0)
+
+    def test_small_batch_path_leaves_common_path_untouched(self):
+        # the replacement fallback must not perturb the RNG stream of
+        # ordinary draws (golden trajectories depend on it)
+        a, _ = self.make_sampler(n=50)
+        b, _ = self.make_sampler(n=50)
+        assert np.array_equal(a.batch_indices(0, 16), b.batch_indices(0, 16))
+
+    def test_rejects_non_positive_batch(self):
+        sampler, _ = self.make_sampler(n=10)
+        with pytest.raises(ValueError, match="positive"):
+            sampler.batch_indices(0, 0)

@@ -1,0 +1,93 @@
+"""Convergence-vs-time figures must render from stored records alone."""
+
+import csv
+
+import numpy as np
+import pytest
+
+import repro
+from repro.store import (RunStore, convergence_curves, render_convergence,
+                         save_convergence_csv)
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    """Two recorded smoke runs (different samplers) in one store."""
+    root = tmp_path_factory.mktemp("figure-store")
+    store = RunStore(root)
+    session = (repro.problem("burgers", scale="smoke")
+               .config(record_every=2).n_interior(300))
+    for sampler in ("uniform", "sgm"):
+        session.sampler(sampler).train(steps=8, store=store,
+                                       label=f"{sampler}-col")
+    return store
+
+
+def _fresh_records(store):
+    """Reload through a brand-new RunStore: no live objects survive."""
+    return list(reversed(RunStore(store.root).runs(status="completed")))
+
+
+def test_loss_curves_from_store_alone(store):
+    curves = convergence_curves(_fresh_records(store))
+    assert set(curves) == {"uniform-col", "sgm-col"}
+    for times, losses in curves.values():
+        assert len(times) == len(losses) > 0
+        assert all(np.isfinite(losses))
+        assert times == sorted(times)
+
+
+def test_error_variable_curves(store):
+    curves = convergence_curves(_fresh_records(store), var="u")
+    for times, errors in curves.values():
+        assert len(times) == len(errors) > 0
+        assert all(e >= 0 for e in errors)
+
+
+def test_unvalidated_variable_gives_empty_series(store):
+    curves = convergence_curves(_fresh_records(store), var="not_a_var")
+    assert all(len(times) == 0 for times, _ in curves.values())
+
+
+def test_render_convergence_ascii(store):
+    text = render_convergence(_fresh_records(store))
+    assert "Convergence vs wall time (burgers)" in text
+    assert "uniform-col" in text and "sgm-col" in text
+    assert "log10(loss)" in text
+    text_u = render_convergence(_fresh_records(store), var="u")
+    assert "err(u)" in text_u
+
+
+def test_render_handles_empty_series(store):
+    text = render_convergence(_fresh_records(store), var="not_a_var")
+    assert "no data" in text
+
+
+def test_save_convergence_csv_roundtrip(store, tmp_path):
+    path = tmp_path / "fig.csv"
+    save_convergence_csv(_fresh_records(store), path, var="loss")
+    with open(path, newline="") as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["problem", "label", "wall_time", "loss"]
+    assert {row[0] for row in rows[1:]} == {"burgers"}
+    labels = {row[1] for row in rows[1:]}
+    assert labels == {"uniform-col", "sgm-col"}
+    # every data row is (problem, label, float, float)
+    for row in rows[1:]:
+        float(row[2]), float(row[3])
+
+
+def test_duplicate_labels_disambiguated_by_id_tail(tmp_path):
+    store = RunStore(tmp_path / "dupes")
+    session = (repro.problem("burgers", scale="smoke")
+               .config(record_every=2).n_interior(300).validators([]))
+    for _ in range(2):
+        session.train(steps=4, store=store, label="same")
+    curves = convergence_curves(RunStore(store.root).runs())
+    assert len(curves) == 2
+    assert any(label.startswith("same#") for label in curves)
+
+
+def test_no_records_raises():
+    with pytest.raises(ValueError, match="no runs"):
+        convergence_curves([])

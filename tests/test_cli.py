@@ -291,6 +291,82 @@ samplers = ["uniform", "mis"]
         assert len(RunStore(store_root).runs(problem="burgers")) == 2
 
 
+class TestMatrixCommand:
+    def test_matrix_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["matrix"])
+        assert args.problems == "all" and args.samplers is None
+        assert not args.parallel and args.store is None
+        args = parser.parse_args(["matrix", "--problems", "burgers,ldc",
+                                  "--samplers", "uniform,sgm", "--parallel",
+                                  "--store", "runs"])
+        assert args.problems == "burgers,ldc" and args.parallel
+
+    def test_matrix_smoke_serial(self, capsys):
+        assert main(["matrix", "--problems", "burgers,poisson3d",
+                     "--samplers", "uniform,sgm", "--steps", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Benchmark matrix (2 problems" in out
+        assert "[burgers]" in out and "[poisson3d]" in out
+        assert "4 cells" in out
+
+    def test_matrix_parallel_store_then_plot_and_compare(self, tmp_path,
+                                                         capsys):
+        store = str(tmp_path / "matrix-runs")
+        assert main(["matrix", "--problems", "burgers,poisson3d",
+                     "--samplers", "uniform,sgm", "--steps", "4",
+                     "--parallel", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "recorded 4 runs" in out
+
+        # the figure renders from the stored records alone
+        csv_path = str(tmp_path / "fig.csv")
+        assert main(["runs", "--store", store, "plot",
+                     "--csv", csv_path]) == 0
+        out = capsys.readouterr().out
+        assert "Convergence vs wall time (burgers)" in out
+        assert "Convergence vs wall time (poisson3d)" in out
+        assert f"series written to {csv_path}" in out
+        # matrix-store exports attribute every series to its workload
+        import csv as csv_mod
+        with open(csv_path, newline="") as handle:
+            rows = list(csv_mod.reader(handle))
+        assert rows[0] == ["problem", "label", "wall_time", "loss"]
+        assert {r[0] for r in rows[1:]} == {"burgers", "poisson3d"}
+
+        # cross-problem compare groups per problem (no mixed thresholds)
+        assert main(["runs", "--store", store, "compare"]) == 0
+        out = capsys.readouterr().out
+        assert "Stored runs (burgers)" in out
+        assert "Stored runs (poisson3d)" in out
+
+    def test_matrix_rejects_unknown_names(self, capsys):
+        assert main(["matrix", "--problems", "bogus"]) == 2
+        assert "unknown problem" in capsys.readouterr().out
+        assert main(["matrix", "--problems", "burgers",
+                     "--samplers", "bogus"]) == 2
+        assert "unknown sampler" in capsys.readouterr().out
+
+
+class TestRunsPlot:
+    def test_plot_requires_runs(self, tmp_path, capsys):
+        assert main(["runs", "--store", str(tmp_path / "empty"),
+                     "plot"]) == 2
+        assert "no runs to plot" in capsys.readouterr().out
+
+    def test_plot_specific_run_and_variable(self, tmp_path, capsys):
+        store = str(tmp_path / "runs")
+        assert main(["run", "burgers", "--sampler", "uniform", "--steps",
+                     "6", "--n-interior", "300", "--store", store]) == 0
+        capsys.readouterr()
+        from repro.store import RunStore
+        run_id = RunStore(store).runs()[0].run_id
+        assert main(["runs", "--store", store, "plot", run_id,
+                     "--var", "u"]) == 0
+        out = capsys.readouterr().out
+        assert "err(u)" in out
+
+
 def test_train_smoke_ldc(capsys):
     assert main(["ldc", "--method", "uniform", "--scale", "smoke",
                  "--steps", "8"]) == 0
