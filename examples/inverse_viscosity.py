@@ -1,52 +1,36 @@
 """Inverse problem: recover an unknown viscosity from sparse measurements.
 
 The paper's introduction motivates PINNs through "inverse or data
-assimilation problems".  Here a Burgers travelling wave is observed at a few
+assimilation problems".  A Burgers travelling wave is observed at a few
 hundred sensor locations; a network and a trainable viscosity coefficient
 are fitted jointly so the PDE residual and the data misfit both vanish —
 recovering the viscosity the data was generated with.
+
+The workload is registered as ``inverse_burgers``, so the whole setup is
+one Session chain (and equally one CLI line:
+``repro run inverse_burgers --sampler sgm``).  The trainable coefficient
+rides through the optimizer, the validators (err(nu) is recorded alongside
+err(u)), and — with ``store=`` — through checkpoint/resume.
 """
 
-import numpy as np
-
-from repro.geometry import PointCloud
-from repro.nn import Adam, FullyConnected
-from repro.pde import Burgers1D, TrainableCoefficient, burgers_travelling_wave
-from repro.training import DataConstraint, InteriorConstraint, Trainer
-
-TRUE_NU = 0.2
-AMPLITUDE, SPEED = 0.5, 0.5
+import repro
+from repro.experiments import inverse_burgers_config
 
 
 def main():
-    rng = np.random.default_rng(0)
-    coords = rng.uniform((-1.0, 0.0), (1.0, 1.0), (3000, 2))   # (x, t)
-    cloud = PointCloud(coords=coords)
-    measurements = burgers_travelling_wave(coords[:, 0], coords[:, 1],
-                                           TRUE_NU, amplitude=AMPLITUDE,
-                                           speed=SPEED)
+    config = inverse_burgers_config("repro")
+    print(f"true nu = {config.true_nu}, "
+          f"initial guess = {config.nu_initial}")
 
-    nu = TrainableCoefficient(0.02, name="nu")   # start 10x too small
-    constraints = [
-        InteriorConstraint("pde", cloud, Burgers1D(nu=nu), batch_size=128,
-                           sdf_weighting=False, spatial_names=("x", "t")),
-        DataConstraint("sensors", cloud, ("u",), {"u": measurements},
-                       batch_size=128, weight=20.0,
-                       spatial_names=("x", "t")),
-    ]
-    net = FullyConnected(2, 1, width=24, depth=2, activation="tanh",
-                         rng=np.random.default_rng(1))
-    params = net.parameters() + [nu.raw]
-    trainer = Trainer(net, constraints, Adam(params, lr=5e-3),
-                      extra_parameters=[nu.raw], seed=0)
+    result = (repro.problem("inverse_burgers", scale="repro")
+              .sampler("sgm")
+              .train(steps=1000))
 
-    print(f"true nu = {TRUE_NU}, initial guess = {nu.value():.4f}")
-    for stage in range(4):
-        trainer.train(250, validate_every=10_000, record_every=250)
-        print(f"  after {250 * (stage + 1):4d} steps: "
-              f"nu = {nu.value():.4f}")
-    err = abs(nu.value() - TRUE_NU) / TRUE_NU
-    print(f"recovered nu = {nu.value():.4f}  (relative error {err:.1%})")
+    recovered = result.coefficients["nu"]
+    err = abs(recovered - config.true_nu) / config.true_nu
+    print(f"recovered nu = {recovered:.4f}  (relative error {err:.1%})")
+    print(f"min err(u)  = {result.history.min_error('u'):.4f}")
+    print(f"min err(nu) = {result.history.min_error('nu'):.4f}")
 
 
 if __name__ == "__main__":

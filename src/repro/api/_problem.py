@@ -45,6 +45,12 @@ class Problem:
     param_space:
         Optional :class:`repro.geometry.ParamSpace` for parameterized
         geometry families.
+    extra_modules:
+        Mapping name -> :class:`repro.nn.Module` of extra trainable pieces
+        beyond the network — e.g. a
+        :class:`~repro.pde.TrainableCoefficient` an inverse problem's PDE
+        closes over.  The engine folds their parameters into the optimizer
+        and the run store checkpoints their state alongside the network.
     """
 
     name: str
@@ -54,10 +60,12 @@ class Problem:
     spatial_names: tuple
     validator_factory: object = None
     param_space: object = field(default=None, repr=False)
+    extra_modules: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self):
         self.output_names = tuple(self.output_names)
         self.spatial_names = tuple(self.spatial_names)
+        self.extra_modules = dict(self.extra_modules or {})
         names = [c.name for c in self.constraints]
         if "interior" not in names:
             raise ValueError(f"problem {self.name!r} has no 'interior' "
@@ -89,6 +97,17 @@ class Problem:
         """The constraint named ``"interior"``."""
         return next(c for c in self.constraints if c.name == "interior")
 
+    @property
+    def extra_parameters(self):
+        """Trainable parameters of ``extra_modules``, in registration order.
+
+        The engine appends these to the network's parameter list when it
+        constructs the optimizer, so the order here must stay deterministic
+        (it also fixes the optimizer-state layout a checkpoint restores).
+        """
+        return [param for module in self.extra_modules.values()
+                for param in module.parameters()]
+
     # ------------------------------------------------------------------
     def make_validators(self, rng=None):
         """Build this problem's validators (empty when no factory is set)."""
@@ -107,4 +126,5 @@ class Problem:
                    output_names=data["output_names"],
                    spatial_names=data.get("spatial_names", spatial_names),
                    validator_factory=validator_factory,
-                   param_space=data.get("param_space"))
+                   param_space=data.get("param_space"),
+                   extra_modules=data.get("extra_modules"))

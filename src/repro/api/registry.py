@@ -21,6 +21,7 @@ Usage::
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -29,6 +30,25 @@ __all__ = [
     "register_problem", "register_sampler",
     "list_problems", "list_samplers",
 ]
+
+
+def _docstring_summary(obj):
+    """A docstring's summary paragraph, as one line.
+
+    Registration uses this as the default ``description``, so a builder's
+    docstring is the single source for what ``repro problems`` prints.
+    Lines up to the first blank line are joined (summaries may wrap).
+    """
+    doc = inspect.getdoc(obj) or ""
+    summary = []
+    for line in doc.splitlines():
+        line = line.strip()
+        if not line:
+            if summary:
+                break
+            continue
+        summary.append(line)
+    return " ".join(summary).rstrip(".")
 
 
 class Registry:
@@ -105,23 +125,34 @@ sampler_registry = Registry("sampler")
 
 def register_problem(name, *, config_factory, description="",
                      overwrite=False):
-    """Class-of-problem decorator: register ``builder`` under ``name``."""
+    """Class-of-problem decorator: register ``builder`` under ``name``.
+
+    ``description`` defaults to the first line of the builder's docstring,
+    so the docstring is the single source for the one-line summary shown
+    by ``repro problems`` and checked against ``docs/workloads.md``.
+    """
     def decorate(builder):
         problem_registry.register(
             name, ProblemEntry(name=name, builder=builder,
                                config_factory=config_factory,
-                               description=description),
+                               description=(description or
+                                            _docstring_summary(builder))),
             overwrite=overwrite)
         return builder
     return decorate
 
 
 def register_sampler(name, *, description="", overwrite=False):
-    """Register a sampler factory ``(config, interior_cloud, seed)``."""
+    """Register a sampler factory ``(config, interior_cloud, seed)``.
+
+    As with :func:`register_problem`, ``description`` defaults to the
+    first line of the factory's docstring.
+    """
     def decorate(factory):
         sampler_registry.register(
             name, SamplerEntry(name=name, factory=factory,
-                               description=description),
+                               description=(description or
+                                            _docstring_summary(factory))),
             overwrite=overwrite)
         return factory
     return decorate

@@ -20,15 +20,16 @@ def make_sampler(kind, config, interior_cloud, seed=0):
     return sampler_registry.get(kind).factory(config, interior_cloud, seed)
 
 
-@register_sampler("uniform", description="i.i.d. uniform mini-batches "
-                  "(the U_small / U_large baselines)")
+@register_sampler("uniform")
 def _uniform(config, interior_cloud, seed):
+    """i.i.d. uniform mini-batches (the U_small / U_large baselines)."""
     return UniformSampler(len(interior_cloud), seed=seed)
 
 
-@register_sampler("mis", description="Modulus-style pointwise importance "
-                  "sampling (full-dataset refreshes)")
+@register_sampler("mis")
 def _mis(config, interior_cloud, seed):
+    """Modulus-style pointwise importance sampling (full-dataset
+    refreshes)."""
     return MISSampler(len(interior_cloud), tau_e=config.tau_e,
                       measure="grad_norm", seed=seed)
 
@@ -45,13 +46,14 @@ def _sgm(config, interior_cloud, seed, use_isr):
         seed=seed)
 
 
-@register_sampler("sgm", description="SGM-PINN cluster importance sampling "
-                  "without the stability term (S1+S2+S4)")
+@register_sampler("sgm")
 def _sgm_plain(config, interior_cloud, seed):
+    """SGM-PINN cluster importance sampling without the stability term
+    (S1+S2+S4)."""
     return _sgm(config, interior_cloud, seed, use_isr=False)
 
 
-@register_sampler("sgm_s", description="SGM-PINN with the ISR stability "
-                  "term (S1-S4)")
+@register_sampler("sgm_s")
 def _sgm_stability(config, interior_cloud, seed):
+    """SGM-PINN with the ISR stability term (S1-S4)."""
     return _sgm(config, interior_cloud, seed, use_isr=True)

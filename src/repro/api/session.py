@@ -52,7 +52,10 @@ def _wire_training(prob, config, sampler, batch_size, seed, validators):
                          activation=config.network.activation,
                          rng=np.random.default_rng(config.seed),
                          dtype=dtype)
-    optimizer = Adam(net.parameters(), lr=config.lr)
+    # inverse problems train extra modules (PDE coefficients) jointly: their
+    # parameters join the optimizer in the problem's registration order,
+    # which also fixes the optimizer-state layout checkpoints restore
+    optimizer = Adam(net.parameters() + prob.extra_parameters, lr=config.lr)
     scheduler = ExponentialDecayLR(optimizer,
                                    decay_rate=config.lr_decay_rate,
                                    decay_steps=config.lr_decay_steps)
@@ -61,7 +64,8 @@ def _wire_training(prob, config, sampler, batch_size, seed, validators):
         validators = prob.make_validators(np.random.default_rng(config.seed))
     trainer = Trainer(net, prob.constraints, optimizer, scheduler=scheduler,
                       samplers={"interior": sampler_obj},
-                      validators=validators, seed=seed)
+                      validators=validators,
+                      extra_modules=prob.extra_modules, seed=seed)
     return trainer, sampler_obj
 
 
@@ -156,9 +160,13 @@ def run_problem(prob, config, sampler="uniform", batch_size=None,
         raise
     if recorder is not None:
         recorder.finish(history, sampler_obj)
+    coefficients = {name: module.value()
+                    for name, module in prob.extra_modules.items()
+                    if hasattr(module, "value")}
     return RunResult(label=label, history=history, net=trainer.net,
                      sampler=sampler_obj, config=config,
-                     run_id=None if recorder is None else recorder.run_id)
+                     run_id=None if recorder is None else recorder.run_id,
+                     coefficients=coefficients)
 
 
 class Session:
@@ -166,9 +174,35 @@ class Session:
 
     Every setter returns ``self`` so calls chain; :meth:`train` builds the
     problem, wires the engine, and returns a
-    :class:`~repro.api.RunResult`::
+    :class:`~repro.api.RunResult`.  :meth:`suite` and :meth:`matrix` fan
+    the same settings out over sampler sweeps and problems × samplers
+    grids.
 
-        repro.problem("ldc", scale="smoke").sampler("sgm").train(steps=50)
+    Parameters
+    ----------
+    name : str
+        A problem-registry key (``repro problems`` lists them).
+    scale : str, optional
+        Config scale preset: ``"repro"`` (default), ``"smoke"`` (CI-sized),
+        or ``"paper"`` where defined.
+    config : dataclass, optional
+        A ready-made config replacing the registered factory's output.
+
+    See Also
+    --------
+    repro.problem : the usual entry point returning a ``Session``.
+    repro.experiments.run_suite : the functional sweep engine.
+
+    Examples
+    --------
+    >>> import repro
+    >>> result = (repro.problem("burgers", scale="smoke")
+    ...           .sampler("uniform")
+    ...           .n_interior(200)
+    ...           .validators([])
+    ...           .train(steps=2))
+    >>> len(result.history.losses)
+    2
     """
 
     def __init__(self, name, scale="repro", config=None):

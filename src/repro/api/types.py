@@ -26,7 +26,9 @@ class RunResult:
     """Trained artefacts for one method.
 
     ``run_id`` is set when the run recorded into a
-    :class:`repro.store.RunStore` (else ``None``).
+    :class:`repro.store.RunStore` (else ``None``).  ``coefficients`` maps
+    each trainable PDE coefficient (inverse problems) to its recovered
+    value — empty for forward problems.
     """
 
     label: str
@@ -35,3 +37,4 @@ class RunResult:
     sampler: object
     config: object = field(repr=False, default=None)
     run_id: str = None
+    coefficients: dict = field(default_factory=dict)

@@ -52,7 +52,8 @@ def _cmd_info(args):
         ("autodiff", "higher-order reverse-mode AD"),
         ("nn", "MLPs, optimizers (Adam/L-BFGS), schedules"),
         ("geometry", "2-D/3-D CSG with SDF sampling"),
-        ("pde", "NS2D, zero-eq turbulence, Poisson 2D/3D, Burgers"),
+        ("pde", "NS 2D/3D, zero-eq turbulence, Poisson 2D/3D, Burgers, "
+                "trainable coefficients"),
         ("graph", "kNN/HNSW, effective resistance, LRD decomposition"),
         ("stability", "SPADE/ISR scores"),
         ("sampling", "SGM sampler + uniform/MIS/RAR baselines"),
@@ -98,6 +99,8 @@ def _print_run_summary(result):
           f"final loss {history.losses[-1]:.4g}")
     for var in sorted(history.errors):
         print(f"  min err({var}) = {history.min_error(var):.4f}")
+    for name, value in sorted(getattr(result, "coefficients", {}).items()):
+        print(f"  recovered {name} = {value:.4g}")
 
 
 def _cmd_run(args):
@@ -413,11 +416,15 @@ def _cmd_runs(args):
 
 
 def _cmd_problems(args):
+    # each entry's description is pulled from its registered builder's
+    # docstring at registration time (see repro.api.register_problem), so
+    # the listing always names what every problem/sampler actually is
     from repro.api import problem_registry, sampler_registry
     for registry in (problem_registry, sampler_registry):
         print(f"{registry.kind}s:")
+        width = max(len(name) for name in registry.names()) + 2
         for name, entry in registry.items():
-            print(f"  {name:<14} {entry.description}")
+            print(f"  {name:<{width}} {entry.description}")
     return 0
 
 
@@ -475,7 +482,8 @@ def build_parser():
                        "or from a TOML/JSON experiment file")
     p.add_argument("problem", metavar="problem", nargs="?", default=None,
                    help="a registered problem, e.g. ldc, annular_ring, "
-                        "burgers, poisson3d (or use --config)")
+                        "burgers, poisson3d, inverse_burgers, ns3d "
+                        "(or use --config)")
     p.add_argument("--config", default=None, metavar="FILE",
                    help="TOML/JSON experiment file ([run]/[config]/[store] "
                         "tables); implies recording into the run store")

@@ -2,9 +2,9 @@
 
 from .configs import (
     LDCConfig, AnnularRingConfig, BurgersConfig, Poisson3DConfig,
-    AdvectionDiffusionConfig,
+    AdvectionDiffusionConfig, InverseBurgersConfig, NS3DConfig,
     ldc_config, annular_ring_config, burgers_config, poisson3d_config,
-    advection_diffusion_config,
+    advection_diffusion_config, inverse_burgers_config, ns3d_config,
     SCALES,
 )
 from .ldc import build_ldc_problem, ldc_reference, ldc_validator
@@ -16,6 +16,10 @@ from .poisson3d import build_poisson3d_problem, poisson3d_validator
 from .advection_diffusion import (
     build_advection_diffusion_problem, advection_diffusion_validator,
 )
+from .inverse_burgers import (
+    build_inverse_burgers_problem, inverse_burgers_validators,
+)
+from .ns3d import build_ns3d_problem, ns3d_validator
 from .runner import (
     MethodSpec, RunResult,
     run_ldc_suite, run_ar_suite, ldc_methods, ar_methods,
@@ -36,9 +40,9 @@ from .figures import (
 
 __all__ = [
     "LDCConfig", "AnnularRingConfig", "BurgersConfig", "Poisson3DConfig",
-    "AdvectionDiffusionConfig",
+    "AdvectionDiffusionConfig", "InverseBurgersConfig", "NS3DConfig",
     "ldc_config", "annular_ring_config", "burgers_config", "poisson3d_config",
-    "advection_diffusion_config",
+    "advection_diffusion_config", "inverse_burgers_config", "ns3d_config",
     "SCALES",
     "build_ldc_problem", "ldc_reference", "ldc_validator",
     "annular_ring_geometry", "build_ar_problem", "ar_validators",
@@ -46,6 +50,8 @@ __all__ = [
     "build_burgers_problem", "burgers_validator",
     "build_poisson3d_problem", "poisson3d_validator",
     "build_advection_diffusion_problem", "advection_diffusion_validator",
+    "build_inverse_burgers_problem", "inverse_burgers_validators",
+    "build_ns3d_problem", "ns3d_validator",
     "MethodSpec", "RunResult",
     "run_ldc_suite", "run_ar_suite", "ldc_methods", "ar_methods",
     "EXECUTORS", "MethodResult", "SamplerStats", "SuiteResult",

@@ -14,8 +14,10 @@ from dataclasses import dataclass, field, replace
 
 __all__ = ["LDCConfig", "AnnularRingConfig", "BurgersConfig",
            "Poisson3DConfig", "AdvectionDiffusionConfig",
+           "InverseBurgersConfig", "NS3DConfig",
            "ldc_config", "annular_ring_config", "burgers_config",
-           "poisson3d_config", "advection_diffusion_config", "SCALES"]
+           "poisson3d_config", "advection_diffusion_config",
+           "inverse_burgers_config", "ns3d_config", "SCALES"]
 
 SCALES = ("paper", "repro", "smoke")
 
@@ -219,6 +221,94 @@ class AdvectionDiffusionConfig:
     seed: int = 0
 
 
+@dataclass
+class InverseBurgersConfig:
+    """Inverse viscosity recovery on the Burgers travelling wave.
+
+    The wave is observed at ``n_sensors`` scattered space-time locations;
+    a network and a trainable viscosity (softplus-positive, started at
+    ``nu_initial``) are fitted jointly until the PDE residual and the
+    measurement misfit both vanish, recovering ``true_nu``.  The validator
+    reports both the field error err(u) and the coefficient recovery error
+    err(nu) = |recovered - true| / true.  The base values are the repro
+    scale (there is no ``paper`` preset).
+    """
+
+    scale: str = "repro"
+    #: viscosity the sensor data is generated with (the recovery target)
+    true_nu: float = 0.2
+    #: initial coefficient guess (10x too small, as in the original example)
+    nu_initial: float = 0.02
+    amplitude: float = 0.5
+    speed: float = 0.5
+    n_sensors: int = 600
+    data_weight: float = 20.0
+    n_interior_large: int = 12_000
+    n_interior_small: int = 6_000
+    n_boundary: int = 600
+    batch_large: int = 256
+    batch_small: int = 128
+    steps: int = 900
+    tau_e: int = 150
+    tau_G: int = 600
+    knn_k: int = 8
+    lrd_level: int = 5
+    probe_ratio: float = 0.15
+    lr: float = 5e-3
+    lr_decay_rate: float = 0.95
+    lr_decay_steps: int = 1200
+    boundary_weight: float = 20.0
+    network: NetworkConfig = field(
+        default_factory=lambda: NetworkConfig(width=24, depth=2,
+                                              activation="tanh"))
+    n_validation: int = 600
+    validate_every: int = 100
+    record_every: int = 50
+    seed: int = 0
+
+
+@dataclass
+class NS3DConfig:
+    """3-D Navier-Stokes in the unit cube (outputs u, v, w, p).
+
+    Validated against the manufactured Beltrami (ABC) flow: a steady Euler
+    solution whose viscous defect is supplied back as an exact body force
+    ``f = nu k^2 U``, making the flow an exact solution of the *forced*
+    Navier-Stokes system at any viscosity.  Dirichlet walls carry the exact
+    velocity and pressure (pinning the pressure gauge).  The base values
+    are the repro scale (there is no ``paper`` preset).
+    """
+
+    scale: str = "repro"
+    nu: float = 0.1
+    #: ABC-flow amplitudes (A, B, C)
+    amplitudes: tuple = (1.0, 1.0, 1.0)
+    #: wavenumber k of the Beltrami field over the unit cube
+    wavenumber: float = 3.141592653589793
+    n_interior_large: int = 10_000
+    n_interior_small: int = 5_000
+    n_boundary: int = 1_500
+    batch_large: int = 256
+    batch_small: int = 128
+    steps: int = 700
+    tau_e: int = 200
+    tau_G: int = 1_500
+    knn_k: int = 10
+    lrd_level: int = 5
+    probe_ratio: float = 0.15
+    lr: float = 3e-3
+    lr_decay_rate: float = 0.95
+    lr_decay_steps: int = 1200
+    boundary_weight: float = 10.0
+    network: NetworkConfig = field(
+        default_factory=lambda: NetworkConfig(width=40, depth=3,
+                                              activation="tanh"))
+    n_validation: int = 600
+    validate_every: int = 100
+    record_every: int = 50
+    seed: int = 0
+
+
 def ldc_config(scale="repro"):
     """LDC config at the requested scale preset."""
     base = LDCConfig()
@@ -284,6 +374,41 @@ def poisson3d_config(scale="repro"):
 def advection_diffusion_config(scale="repro"):
     """Advection-diffusion config at the requested scale preset."""
     base = AdvectionDiffusionConfig()
+    if scale in ("paper", "repro"):
+        return base
+    if scale == "smoke":
+        return replace(
+            base, scale="smoke",
+            n_interior_large=2_000, n_interior_small=1_000,
+            n_boundary=300, batch_large=64, batch_small=32,
+            steps=60, tau_e=20, tau_G=45, knn_k=6, lrd_level=4,
+            lr_decay_steps=100,
+            network=NetworkConfig(width=16, depth=2, activation="tanh"),
+            n_validation=150, validate_every=20, record_every=10)
+    raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
+
+
+def inverse_burgers_config(scale="repro"):
+    """Inverse-viscosity config at the requested scale preset."""
+    base = InverseBurgersConfig()
+    if scale in ("paper", "repro"):
+        return base
+    if scale == "smoke":
+        return replace(
+            base, scale="smoke",
+            n_interior_large=2_000, n_interior_small=1_000,
+            n_sensors=200, n_boundary=200,
+            batch_large=64, batch_small=32,
+            steps=60, tau_e=20, tau_G=45, knn_k=6, lrd_level=4,
+            lr_decay_steps=100,
+            network=NetworkConfig(width=16, depth=2, activation="tanh"),
+            n_validation=150, validate_every=20, record_every=10)
+    raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
+
+
+def ns3d_config(scale="repro"):
+    """3-D Navier-Stokes config at the requested scale preset."""
+    base = NS3DConfig()
     if scale in ("paper", "repro"):
         return base
     if scale == "smoke":

@@ -170,6 +170,17 @@ def run_matrix(problems=None, methods=None, *, executor="process",
     -------
     :class:`MatrixResult` with per-problem suites in grid order; each
     cell is bit-identical to the corresponding ``run_suite`` cell.
+
+    Examples
+    --------
+    >>> from repro.experiments import run_matrix
+    >>> matrix = run_matrix(["burgers", "poisson3d"], ["uniform"],
+    ...                     executor="serial", scale="smoke", steps=2,
+    ...                     validators=[])
+    >>> matrix.problems
+    ['burgers', 'poisson3d']
+    >>> matrix.n_cells
+    2
     """
     names = resolve_problems(problems)
     configs = dict(configs or {})

@@ -363,6 +363,16 @@ def run_suite(problem, methods=None, *, executor="process", max_workers=None,
     -------
     :class:`SuiteResult` with methods in spec order regardless of
     completion order.
+
+    Examples
+    --------
+    >>> from repro.experiments import run_suite
+    >>> suite = run_suite("burgers", ["uniform", "sgm"], executor="serial",
+    ...                   scale="smoke", steps=3, validators=[])
+    >>> suite.labels
+    ['U32', 'SGM32']
+    >>> sorted(suite.histories())
+    ['SGM32', 'U32']
     """
     entry = problem_registry.get(problem)
     if config is None:

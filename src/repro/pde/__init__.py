@@ -2,7 +2,7 @@
 
 from .fields import Fields
 from .base import PDE
-from .navier_stokes import NavierStokes2D
+from .navier_stokes import NavierStokes2D, NavierStokes3D
 from .zero_eq import ZeroEquationTurbulence
 from .poisson import Poisson2D
 from .poisson3d import Poisson3D
@@ -13,7 +13,8 @@ from .operators import (divergence, vorticity_2d, strain_rate_invariant,
                         gradient_magnitude)
 
 __all__ = [
-    "Fields", "PDE", "NavierStokes2D", "ZeroEquationTurbulence",
+    "Fields", "PDE", "NavierStokes2D", "NavierStokes3D",
+    "ZeroEquationTurbulence",
     "Poisson2D", "Poisson3D", "Burgers1D", "burgers_travelling_wave",
     "TrainableCoefficient", "AdvectionDiffusion2D",
     "divergence", "vorticity_2d", "strain_rate_invariant",

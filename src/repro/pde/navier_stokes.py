@@ -1,4 +1,4 @@
-"""Steady incompressible Navier-Stokes residuals in two dimensions.
+"""Steady incompressible Navier-Stokes residuals in two and three dimensions.
 
 Velocity-pressure form with optional spatially varying effective viscosity
 (molecular + turbulent from a closure such as
@@ -15,6 +15,13 @@ terms when the closure depends on velocity gradients — faithful to Modulus).
 (``nu_eff * laplace``), a common PINN simplification that is ~2x faster; the
 reproduction presets use the faithful form for correctness tests and the
 frozen form inside the large training sweeps.
+
+:class:`NavierStokes3D` extends the same form with a third velocity output
+``w`` over coordinates ``(x, y, z)`` — the 3-D workload the trainer's
+dimension-agnostic probes exercise end-to-end.  Optional per-momentum body
+forces (manufactured-solution forcing) are read from constant fields named
+``f_u`` / ``f_v`` / ``f_w`` when present, matching the
+``Constraint.field_sources`` mechanism.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ from __future__ import annotations
 from ..autodiff import gradients
 from .base import PDE
 
-__all__ = ["NavierStokes2D"]
+__all__ = ["NavierStokes2D", "NavierStokes3D"]
 
 
 class NavierStokes2D(PDE):
@@ -83,3 +90,59 @@ class NavierStokes2D(PDE):
             "momentum_y": (u * v_x + v * v_y + p_y / self.rho +
                            self._diffusion(fields, "v", nu_eff)),
         }
+
+
+class NavierStokes3D(PDE):
+    """Steady incompressible 3-D Navier-Stokes with constant viscosity.
+
+    Outputs ``(u, v, w, p)`` over coordinates ``(x, y, z)``:
+
+        continuity:  u_x + v_y + w_z = 0
+        momentum_i:  (U . grad) U_i + p_i / rho - nu lap(U_i) - f_i = 0
+
+    ``nu`` may be a float or a :class:`~repro.pde.TrainableCoefficient`
+    (inverse problems).  Body forces ``f_i`` default to zero; when the
+    constraint registers constant fields ``f_u`` / ``f_v`` / ``f_w`` (via
+    ``Constraint.field_sources``) they are subtracted from the matching
+    momentum residual — how the manufactured Beltrami workload turns an
+    exact Euler solution into an exact forced Navier-Stokes solution.
+    """
+
+    output_names = ("u", "v", "w", "p")
+
+    #: constant-field names read as body forces when registered
+    FORCING_FIELDS = {"momentum_x": "f_u", "momentum_y": "f_v",
+                      "momentum_z": "f_w"}
+
+    def __init__(self, nu, rho=1.0):
+        self.nu = nu if hasattr(nu, "tensor") else float(nu)
+        self.rho = float(rho)
+
+    def residual_names(self):
+        return ("continuity", "momentum_x", "momentum_y", "momentum_z")
+
+    def _molecular_nu(self):
+        """Viscosity as a scalar or (for inverse problems) a graph tensor."""
+        return self.nu.tensor() if hasattr(self.nu, "tensor") else self.nu
+
+    def _momentum(self, fields, var, pressure_coord):
+        u, v, w = fields.get("u"), fields.get("v"), fields.get("w")
+        convection = (u * fields.d(var, "x") + v * fields.d(var, "y") +
+                      w * fields.d(var, "z"))
+        lap = (fields.d2(var, "x", "x") + fields.d2(var, "y", "y") +
+               fields.d2(var, "z", "z"))
+        return (convection + fields.d("p", pressure_coord) / self.rho -
+                self._molecular_nu() * lap)
+
+    def residuals(self, fields):
+        out = {
+            "continuity": (fields.d("u", "x") + fields.d("v", "y") +
+                           fields.d("w", "z")),
+            "momentum_x": self._momentum(fields, "u", "x"),
+            "momentum_y": self._momentum(fields, "v", "y"),
+            "momentum_z": self._momentum(fields, "w", "z"),
+        }
+        for name, force in self.FORCING_FIELDS.items():
+            if force in fields:
+                out[name] = out[name] - fields.get(force)
+        return out

@@ -170,7 +170,39 @@ class RunConfig:
 
 
 def load_run_config(path):
-    """Parse a TOML (or ``.json``) experiment file into a :class:`RunConfig`."""
+    """Parse a TOML (or ``.json``) experiment file into a :class:`RunConfig`.
+
+    Parameters
+    ----------
+    path : str or Path
+        Experiment file with ``[run]`` / ``[config]`` / ``[store]`` /
+        ``[suite]`` tables (``.json`` files carry the same structure as
+        nested objects).  Unknown tables, keys, and config fields are
+        rejected with the valid alternatives named.
+
+    Returns
+    -------
+    :class:`RunConfig`
+        Ready to open a configured session via :meth:`RunConfig.session`,
+        or to resolve the problem's config via
+        :meth:`RunConfig.build_config`.
+
+    Examples
+    --------
+    >>> import pathlib, tempfile
+    >>> from repro.store import load_run_config
+    >>> path = pathlib.Path(tempfile.mkdtemp()) / "exp.toml"
+    >>> _ = path.write_text('''
+    ... [run]
+    ... problem = "burgers"
+    ... sampler = "sgm"
+    ... scale = "smoke"
+    ... steps = 5
+    ... ''')
+    >>> rc = load_run_config(path)
+    >>> (rc.problem, rc.sampler, rc.steps)
+    ('burgers', 'sgm', 5)
+    """
     path = Path(path)
     if path.suffix.lower() == ".json":
         with open(path, encoding="utf-8") as handle:

@@ -36,7 +36,8 @@ from pathlib import Path
 
 import numpy as np
 
-from ..training.checkpoint import load_checkpoint, save_checkpoint
+from ..training.checkpoint import (apply_checkpoint, load_checkpoint_tree,
+                                   save_checkpoint)
 from ..training.history import History
 from . import toml_compat
 from .config import config_from_tables, config_to_tables
@@ -135,13 +136,32 @@ def save_training_checkpoint(path, trainer, step, elapsed, errors):
     if trainer.scheduler is not None and hasattr(trainer.scheduler,
                                                  "state_dict"):
         extra["scheduler"] = trainer.scheduler.state_dict()
+    modules = getattr(trainer, "extra_modules", None)
+    if modules:
+        # inverse problems: the trainable PDE coefficients' state rides
+        # along, keyed by module name (their optimizer moments are already
+        # inside the Adam state, in net-then-extras parameter order)
+        extra["modules"] = {name: module.state_dict()
+                            for name, module in modules.items()}
     save_checkpoint(path, trainer.net, trainer.optimizer, extra=extra)
 
 
 def load_training_checkpoint(path, trainer):
     """Restore a :func:`save_training_checkpoint`; returns
     ``(step, elapsed_seconds, last_errors)``."""
-    extra = load_checkpoint(path, trainer.net, trainer.optimizer)
+    tree = load_checkpoint_tree(path)
+    extra = tree.get("extra", {})
+    # validate BEFORE applying anything: a rejected checkpoint must not
+    # leave the trainer half-restored (net overwritten, modules stale)
+    modules = getattr(trainer, "extra_modules", {}) or {}
+    stored_modules = extra.get("modules", {})
+    if sorted(modules) != sorted(stored_modules):
+        raise KeyError(f"checkpoint extra-module mismatch: trainer has "
+                       f"{sorted(modules)}, checkpoint holds "
+                       f"{sorted(stored_modules)}")
+    apply_checkpoint(tree, trainer.net, trainer.optimizer)
+    for name, state in stored_modules.items():
+        modules[name].load_state_dict(state)
     for name, state in extra["samplers"].items():
         if name not in trainer.samplers:
             raise KeyError(f"checkpoint has sampler state for unknown "
@@ -326,7 +346,39 @@ class RunRecorder:
 
 
 class RunStore:
-    """A directory of persistent run records."""
+    """A directory of persistent run records.
+
+    Every run trained with ``store=`` persists a self-describing directory
+    (``meta.json``, ``config.toml``, ``history.jsonl``, ``sampler.json``,
+    ``checkpoints/``) under this root; the ``repro runs`` CLI family and
+    :func:`repro.store.resume_run` read them back.
+
+    Parameters
+    ----------
+    root : str or Path, optional
+        Store root directory.  Defaults to ``$REPRO_RUNS_DIR`` when set,
+        else ``./runs``.  Created lazily on the first recorded run.
+
+    See Also
+    --------
+    repro.store.resume_run : continue a stored run from its newest
+        checkpoint, bit-identically.
+    RunRecord : the read-only view of one stored run.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> import repro
+    >>> from repro.store import RunStore
+    >>> store = RunStore(tempfile.mkdtemp())
+    >>> result = (repro.problem("burgers", scale="smoke")
+    ...           .sampler("uniform").n_interior(200).validators([])
+    ...           .train(steps=2, store=store))
+    >>> store.open(result.run_id).status
+    'completed'
+    >>> len(store)
+    1
+    """
 
     def __init__(self, root=None):
         if root is None:

@@ -3,13 +3,14 @@
 from .constraints import (Constraint, InteriorConstraint,
                           BoundaryConstraint, DataConstraint)
 from .history import History
-from .validators import PointwiseValidator, relative_l2
+from .validators import CoefficientValidator, PointwiseValidator, relative_l2
 from .trainer import Trainer
 from .checkpoint import save_checkpoint, load_checkpoint
 
 __all__ = [
     "Constraint", "InteriorConstraint", "BoundaryConstraint",
     "DataConstraint",
-    "History", "PointwiseValidator", "relative_l2", "Trainer",
+    "History", "CoefficientValidator", "PointwiseValidator", "relative_l2",
+    "Trainer",
     "save_checkpoint", "load_checkpoint",
 ]

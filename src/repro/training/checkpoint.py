@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["save_checkpoint", "load_checkpoint", "load_checkpoint_tree",
+           "apply_checkpoint"]
 
 
 #: separator for flattened paths — parameter names contain dots
@@ -76,17 +77,32 @@ def save_checkpoint(path, net, optimizer=None, extra=None):
     np.savez_compressed(path, **flat)
 
 
-def load_checkpoint(path, net, optimizer=None):
-    """Restore a checkpoint written by :func:`save_checkpoint`.
+def load_checkpoint_tree(path):
+    """Read a checkpoint into its nested state tree *without* applying it.
 
-    Returns the ``extra`` dict (empty when none was stored).
+    Callers that must validate a checkpoint against the live trainer (e.g.
+    matching extra-module sets) read the tree first, reject cleanly, and
+    only then :func:`apply_checkpoint` — so a rejected checkpoint never
+    leaves the network or optimizer half-restored.
     """
     with np.load(path) as data:
         arrays = {key: data[key] for key in data.files}
-    tree = _unflatten(arrays)
+    return _unflatten(arrays)
+
+
+def apply_checkpoint(tree, net, optimizer=None):
+    """Apply a tree from :func:`load_checkpoint_tree`; returns ``extra``."""
     net.load_state_dict(tree["net"])
     if optimizer is not None:
         if "optim" not in tree:
             raise KeyError("checkpoint holds no optimizer state")
         optimizer.load_state_dict(tree["optim"])
     return tree.get("extra", {})
+
+
+def load_checkpoint(path, net, optimizer=None):
+    """Restore a checkpoint written by :func:`save_checkpoint`.
+
+    Returns the ``extra`` dict (empty when none was stored).
+    """
+    return apply_checkpoint(load_checkpoint_tree(path), net, optimizer)

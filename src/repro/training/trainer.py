@@ -47,11 +47,21 @@ class Trainer:
         'averaged at r_i = 1.0, 0.88, 0.75'.
     background_rebuild:
         Credit sampler rebuild time back to the wall clock.
+    extra_parameters:
+        Extra trainable tensors (e.g. a raw coefficient parameter) trained
+        jointly with the network; the optimizer must have been constructed
+        over ``net.parameters() + extra_parameters`` in the same order.
+    extra_modules:
+        Mapping name -> :class:`repro.nn.Module` of the extra trainable
+        pieces as *modules* (inverse-problem coefficients).  When given and
+        ``extra_parameters`` is not, the parameter list is derived from the
+        modules; checkpoints persist each module's ``state_dict`` under its
+        name so resumed inverse runs restore the coefficient exactly.
     """
 
     def __init__(self, net, constraints, optimizer, scheduler=None,
                  samplers=None, validators=(), background_rebuild=True,
-                 extra_parameters=(), seed=0):
+                 extra_parameters=(), extra_modules=None, seed=0):
         self.net = net
         self.constraints = list(constraints)
         if not self.constraints:
@@ -60,9 +70,12 @@ class Trainer:
         self.scheduler = scheduler
         self.validators = list(validators)
         self.background_rebuild = bool(background_rebuild)
-        # extra_parameters: trainable PDE coefficients for inverse problems;
-        # the optimizer must have been constructed over the same list
-        self.params = net.parameters() + list(extra_parameters)
+        self.extra_modules = dict(extra_modules or {})
+        extra = list(extra_parameters)
+        if not extra and self.extra_modules:
+            extra = [param for module in self.extra_modules.values()
+                     for param in module.parameters()]
+        self.params = net.parameters() + extra
 
         samplers = dict(samplers or {})
         self.samplers = {}

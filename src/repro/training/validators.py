@@ -12,7 +12,7 @@ import numpy as np
 from ..autodiff import Tensor
 from ..pde import Fields
 
-__all__ = ["PointwiseValidator", "relative_l2"]
+__all__ = ["CoefficientValidator", "PointwiseValidator", "relative_l2"]
 
 
 def relative_l2(predicted, reference):
@@ -24,6 +24,41 @@ def relative_l2(predicted, reference):
     if denom == 0.0:
         return float(np.linalg.norm(predicted))
     return float(np.linalg.norm(predicted - reference) / denom)
+
+
+class CoefficientValidator:
+    """Report a trainable PDE coefficient's recovery error.
+
+    Inverse problems recover a physical coefficient (a viscosity, a
+    diffusivity) jointly with the network; this validator folds the
+    relative recovery error ``|recovered - true| / |true|`` into the same
+    error stream the trainer records for field errors, so ``repro runs``
+    tables and convergence figures show the coefficient converging.
+
+    Parameters
+    ----------
+    coefficient:
+        A :class:`repro.pde.TrainableCoefficient` (anything with a
+        ``value()`` method).
+    true_value:
+        The ground-truth coefficient the data was generated with.
+    name:
+        Error-variable name (default: the coefficient's own name).
+    """
+
+    def __init__(self, coefficient, true_value, name=None):
+        self.coefficient = coefficient
+        self.true_value = float(true_value)
+        self.name = (name if name is not None
+                     else getattr(coefficient, "coeff_name", "coefficient"))
+
+    def evaluate(self, net):
+        """Return ``{name: relative recovery error}`` (``net`` unused)."""
+        denominator = abs(self.true_value)
+        if denominator == 0.0:
+            denominator = 1.0
+        error = abs(self.coefficient.value() - self.true_value) / denominator
+        return {self.name: error}
 
 
 class PointwiseValidator:

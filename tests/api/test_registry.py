@@ -15,7 +15,8 @@ import numpy as np
 class TestBuiltinRegistrations:
     def test_builtin_problems_registered(self):
         assert list_problems() == ["advection_diffusion", "annular_ring",
-                                   "burgers", "ldc", "poisson3d"]
+                                   "burgers", "inverse_burgers", "ldc",
+                                   "ns3d", "poisson3d"]
 
     def test_all_four_samplers_registered(self):
         assert list_samplers() == ["mis", "sgm", "sgm_s", "uniform"]

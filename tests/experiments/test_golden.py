@@ -9,6 +9,7 @@ goldens and explain the shift in the commit::
     PYTHONPATH=src python tests/experiments/test_golden.py
 """
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -24,6 +25,17 @@ GOLDEN_PATH = Path(__file__).parent / "golden_trajectories.json"
 STEPS = 6
 N_INTERIOR = 400
 RTOL = 1e-5
+
+#: the 20 problem × sampler pairs pinned before inverse_burgers/ns3d were
+#: registered (PR 5); their trajectories must never change when the
+#: registry grows — regeneration only *adds* entries for new pairs
+LEGACY_PROBLEMS = ("advection_diffusion", "annular_ring", "burgers", "ldc",
+                   "poisson3d")
+LEGACY_KEYS = tuple(f"{p}:{s}" for p in LEGACY_PROBLEMS
+                    for s in ("mis", "sgm", "sgm_s", "uniform"))
+#: sha256 of the canonical JSON of the 20 legacy entries as pinned in PR 2-4
+LEGACY_SHA256 = ("aaa9ac63c28625d5f6291e77f3ad16273a1d135e26ce77fe"
+                 "67ae04479db7a5d2")
 
 
 def _pairs():
@@ -48,6 +60,18 @@ def _load_goldens():
         return json.load(handle)
 
 
+def test_legacy_golden_entries_are_byte_identical():
+    """Growing the registry must not touch the 20 pre-existing entries."""
+    goldens = _load_goldens()["trajectories"]
+    legacy = {key: goldens[key] for key in sorted(LEGACY_KEYS)}
+    blob = json.dumps(legacy, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    assert digest == LEGACY_SHA256, (
+        "the pre-existing golden trajectories changed; registering new "
+        "problems must only ADD entries (regenerate() preserves existing "
+        "keys — did something alter shared numerics?)")
+
+
 def test_golden_file_covers_the_full_registry():
     goldens = _load_goldens()["trajectories"]
     assert sorted(goldens) == sorted(f"{p}:{s}" for p, s in _pairs()), (
@@ -70,21 +94,37 @@ def test_golden_trajectory(problem, sampler):
                 f"numeric change is intentional, regenerate the goldens")
 
 
-def regenerate():
-    """Re-pin every trajectory (run after intentional numeric changes)."""
+def regenerate(all_pairs=False):
+    """Pin trajectories for registry pairs missing from the golden file.
+
+    Existing entries are preserved byte-identically (so growing the
+    registry cannot silently shift old numerics); pass ``all_pairs=True``
+    (CLI: ``--all``) after an *intentional* numeric change to re-pin
+    everything — and update ``LEGACY_SHA256`` accordingly.
+    """
     trajectories = {}
+    if not all_pairs and GOLDEN_PATH.exists():
+        trajectories = _load_goldens()["trajectories"]
+        stale = sorted(set(trajectories) -
+                       {f"{p}:{s}" for p, s in _pairs()})
+        for key in stale:
+            print(f"dropping stale entry {key}")
+            del trajectories[key]
     for problem, sampler in _pairs():
         key = f"{problem}:{sampler}"
+        if key in trajectories:
+            continue
         trajectories[key] = _run_pair(problem, sampler)
         print(f"{key}: {trajectories[key]}")
     payload = {
         "scenario": {"scale": "smoke", "n_interior": N_INTERIOR,
                      "steps": STEPS, "record_every": 1, "validators": []},
-        "trajectories": trajectories,
+        "trajectories": dict(sorted(trajectories.items())),
     }
     GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {GOLDEN_PATH}")
+    print(f"wrote {GOLDEN_PATH} ({len(trajectories)} entries)")
 
 
 if __name__ == "__main__":
-    regenerate()
+    import sys
+    regenerate(all_pairs="--all" in sys.argv)

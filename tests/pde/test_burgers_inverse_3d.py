@@ -5,9 +5,10 @@ import pytest
 
 from repro import autodiff as ad
 from repro.autodiff import gradients
+from repro.autodiff import Tensor
 from repro.pde import (
-    Burgers1D, Fields, NavierStokes2D, Poisson3D, TrainableCoefficient,
-    burgers_travelling_wave,
+    Burgers1D, Fields, NavierStokes2D, NavierStokes3D, Poisson3D,
+    TrainableCoefficient, burgers_travelling_wave,
 )
 
 
@@ -98,6 +99,59 @@ class TestTrainableCoefficient:
         fields.register("p", x * y)
         res = pde.residuals(fields)
         assert all(np.all(np.isfinite(r.numpy())) for r in res.values())
+
+
+class TestNavierStokes3D:
+    def beltrami_fields(self, nu, k=1.3, n=40, seed=5, forced=True):
+        """Register the exact ABC/Beltrami flow (A=B=C=1) on a batch."""
+        rng = np.random.default_rng(seed)
+        features = rng.uniform(0.0, 1.0, (n, 3))
+        fields = Fields.from_features(features,
+                                      spatial_names=("x", "y", "z"))
+        x, y, z = fields.get("x"), fields.get("y"), fields.get("z")
+        u = ad.sin(k * z) + ad.cos(k * y)
+        v = ad.sin(k * x) + ad.cos(k * z)
+        w = ad.sin(k * y) + ad.cos(k * x)
+        p = (u * u + v * v + w * w) * -0.5
+        for name, tensor in (("u", u), ("v", v), ("w", w), ("p", p)):
+            fields.register(name, tensor)
+        if forced:
+            # the exact body force f = nu k^2 U, as constant fields
+            for name, tensor in (("f_u", u), ("f_v", v), ("f_w", w)):
+                fields.register(name,
+                                Tensor(nu * k * k * tensor.numpy()))
+        return fields
+
+    def test_beltrami_solves_forced_navier_stokes_exactly(self):
+        nu = 0.07
+        fields = self.beltrami_fields(nu)
+        residuals = NavierStokes3D(nu=nu).residuals(fields)
+        assert set(residuals) == {"continuity", "momentum_x",
+                                  "momentum_y", "momentum_z"}
+        for name, tensor in residuals.items():
+            assert np.allclose(tensor.numpy(), 0.0, atol=1e-9), name
+
+    def test_unforced_residual_equals_viscous_defect(self):
+        """Without the body force the momentum residual is nu k^2 U."""
+        nu, k = 0.07, 1.3
+        fields = self.beltrami_fields(nu, k=k, forced=False)
+        residuals = NavierStokes3D(nu=nu).residuals(fields)
+        for coord, var in (("momentum_x", "u"), ("momentum_y", "v"),
+                           ("momentum_z", "w")):
+            expected = nu * k * k * fields.get(var).numpy()
+            assert np.allclose(residuals[coord].numpy(), expected,
+                               atol=1e-9)
+
+    def test_accepts_trainable_viscosity(self):
+        coeff = TrainableCoefficient(0.05)
+        fields = self.beltrami_fields(0.05, forced=False)
+        residuals = NavierStokes3D(nu=coeff).residuals(fields)
+        loss = None
+        for tensor in residuals.values():
+            term = (tensor * tensor).mean()
+            loss = term if loss is None else loss + term
+        grad, = gradients(loss, [coeff.raw])
+        assert abs(grad.item()) > 0.0
 
 
 class TestPoisson3D:

@@ -21,8 +21,8 @@ class Interrupted(Exception):
     """Stands in for SIGKILL in-process (no record/cleanup code runs)."""
 
 
-def _session(sampler, validators):
-    session = (repro.problem("burgers", scale="smoke")
+def _session(sampler, validators, problem="burgers"):
+    session = (repro.problem(problem, scale="smoke")
                .config(record_every=2)
                .sampler(sampler)
                .n_interior(400))
@@ -39,8 +39,8 @@ def _interrupt_hook(at_step):
 
 
 def _run_interrupted(store, sampler, validators, steps, interrupt_at,
-                     checkpoint_every):
-    session = _session(sampler, validators)
+                     checkpoint_every, problem="burgers"):
+    session = _session(sampler, validators, problem=problem)
     with pytest.raises(Interrupted):
         run_problem(session.build(), session._config, sampler=sampler,
                     steps=steps, validators=validators, store=store,
@@ -65,6 +65,77 @@ def test_resume_is_bit_identical_for_every_sampler(tmp_path, sampler):
     assert resumed.history.steps == baseline.history.steps
     stored = store.open("victim").history()
     np.testing.assert_array_equal(stored.losses, baseline.history.losses)
+
+
+def test_inverse_run_resumes_bit_identically_with_coefficient(tmp_path):
+    """The inverse workload adds a trainable coefficient to the training
+    state; interrupted+resumed must equal uninterrupted exactly — losses,
+    err(u)/err(nu) series, and the recovered coefficient itself."""
+    baseline = _session("sgm", None, problem="inverse_burgers").train(steps=14)
+    store = RunStore(tmp_path / "runs")
+    record = _run_interrupted(store, "sgm", None, steps=14, interrupt_at=9,
+                              checkpoint_every=4, problem="inverse_burgers")
+    assert [s for s, _ in record.checkpoints()] == [3, 7]
+
+    resumed = resume_run(store, "victim")
+    np.testing.assert_array_equal(resumed.history.losses,
+                                  baseline.history.losses)
+    assert sorted(resumed.history.errors) == ["nu", "u"]
+    for var in baseline.history.errors:
+        np.testing.assert_array_equal(
+            np.nan_to_num(resumed.history.errors[var]),
+            np.nan_to_num(baseline.history.errors[var]))
+    assert resumed.coefficients == baseline.coefficients
+
+
+def test_inverse_checkpoint_restores_the_coefficient_raw_state(tmp_path):
+    """The coefficient's raw parameter must round-trip through the
+    full-training-state checkpoint bit-for-bit."""
+    from repro.api.session import _wire_training
+    session = _session("uniform", [], problem="inverse_burgers")
+    prob = session.build()
+    config = session._config
+    trainer, _ = _wire_training(prob, config, "uniform", 32, config.seed, [])
+    trainer.train(6, validate_every=4, record_every=2)
+    moved_raw = prob.extra_modules["nu"].raw.data.copy()
+    path = tmp_path / "ckpt.npz"
+    save_training_checkpoint(path, trainer, step=5, elapsed=1.0, errors={})
+
+    session2 = _session("uniform", [], problem="inverse_burgers")
+    prob2 = session2.build()
+    trainer2, _ = _wire_training(prob2, config, "uniform", 32, config.seed,
+                                 [])
+    assert not np.array_equal(prob2.extra_modules["nu"].raw.data, moved_raw)
+    load_training_checkpoint(path, trainer2)
+    np.testing.assert_array_equal(prob2.extra_modules["nu"].raw.data,
+                                  moved_raw)
+    # and the coefficient's Adam moments came back with the optimizer state
+    np.testing.assert_array_equal(trainer2.optimizer._m[-1],
+                                  trainer.optimizer._m[-1])
+
+
+def test_checkpoint_module_mismatch_is_rejected(tmp_path):
+    """A forward-problem checkpoint must not restore onto an inverse
+    trainer (and vice versa) — the extra-module sets must match."""
+    from repro.api.session import _wire_training
+    forward = _session("uniform", [])
+    prob = forward.build()
+    trainer, _ = _wire_training(prob, forward._config, "uniform", 32,
+                                forward._config.seed, [])
+    path = tmp_path / "fwd.npz"
+    save_training_checkpoint(path, trainer, step=0, elapsed=0.0, errors={})
+
+    inverse = _session("uniform", [], problem="inverse_burgers")
+    prob2 = inverse.build()
+    trainer2, _ = _wire_training(prob2, inverse._config, "uniform", 32,
+                                 inverse._config.seed, [])
+    before = {k: v.copy() for k, v in trainer2.net.state_dict().items()}
+    with pytest.raises(KeyError, match="extra-module"):
+        load_training_checkpoint(path, trainer2)
+    # rejection happens before anything is applied: the trainer must not
+    # be left half-restored
+    for key, value in trainer2.net.state_dict().items():
+        np.testing.assert_array_equal(value, before[key])
 
 
 def test_resume_matches_validation_errors_too(tmp_path):

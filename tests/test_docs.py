@@ -1,0 +1,70 @@
+"""docs/ stays in sync with the registries (mirrors the docs-check CI job).
+
+``tools/check_docs.py`` is the enforcement point: every registered problem
+needs a section in ``docs/workloads.md`` and every relative link in
+``docs/`` and the README must resolve.  These tests run it as CI does —
+in a subprocess, so registry experiments cannot pollute this process.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def _run(code=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO / "src") +
+                         os.pathsep + env.get("PYTHONPATH", ""))
+    if code is None:
+        cmd = [sys.executable, str(REPO / "tools" / "check_docs.py")]
+    else:
+        cmd = [sys.executable, "-c", code]
+    return subprocess.run(cmd, capture_output=True, text=True, env=env,
+                          cwd=REPO)
+
+
+def test_docs_check_passes():
+    result = _run()
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "docs check passed" in result.stdout
+
+
+def test_docs_check_detects_undocumented_problem():
+    """Registering a problem without a workloads.md section must fail."""
+    code = (
+        "import sys\n"
+        "sys.path.insert(0, 'src'); sys.path.insert(0, 'tools')\n"
+        "from repro.api import register_problem\n"
+        "@register_problem('totally_undocumented', config_factory=lambda\n"
+        "                  scale='repro': None)\n"
+        "def _build(config, n_interior, rng):\n"
+        "    '''An undocumented test-only problem.'''\n"
+        "import check_docs\n"
+        "sys.exit(check_docs.main())\n"
+    )
+    result = _run(code)
+    assert result.returncode == 1, result.stdout + result.stderr
+    assert "totally_undocumented" in result.stdout
+
+
+def test_docs_check_detects_broken_link(tmp_path):
+    """A dangling relative link in docs/ must fail the check."""
+    code = (
+        "import sys, shutil, pathlib\n"
+        "sys.path.insert(0, 'tools')\n"
+        "import check_docs\n"
+        f"scratch = pathlib.Path({str(tmp_path)!r})\n"
+        "docs = scratch / 'docs'\n"
+        "shutil.copytree('docs', docs)\n"
+        "(docs / 'broken.md').write_text('see [gone](no_such_page.md)')\n"
+        "(scratch / 'README.md').write_text('# stub')\n"
+        "check_docs.REPO = scratch\n"
+        "check_docs.DOCS = docs\n"
+        "errors = check_docs.check_relative_links()\n"
+        "assert any('no_such_page.md' in e for e in errors), errors\n"
+    )
+    result = _run(code)
+    assert result.returncode == 0, result.stdout + result.stderr

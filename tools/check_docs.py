@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Keep docs/ and the registries in sync (run by the docs-check CI job).
+
+Checks
+------
+1. Every registered problem has a ``## `name```-style section in
+   ``docs/workloads.md`` (so a new workload cannot ship undocumented).
+2. Every relative markdown link in ``docs/*.md`` and ``README.md``
+   resolves to an existing file (fragments are stripped; absolute URLs
+   and pure anchors are skipped).
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+DOCS = REPO / "docs"
+
+#: [text](target) markdown links; images share the syntax via a leading !
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_workload_sections():
+    """Every registered problem needs a ``## `name``` heading."""
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.api import list_problems
+
+    workloads = DOCS / "workloads.md"
+    if not workloads.exists():
+        return [f"missing {workloads.relative_to(REPO)}"]
+    text = workloads.read_text(encoding="utf-8")
+    headings = set(re.findall(r"^##\s+`([^`]+)`", text, flags=re.MULTILINE))
+    errors = []
+    for name in list_problems():
+        if name not in headings:
+            errors.append(
+                f"docs/workloads.md: no section for registered problem "
+                f"{name!r} (add a '## `{name}` — ...' heading)")
+    return errors
+
+
+def check_relative_links():
+    """Relative links in docs/ and README must point at existing files."""
+    errors = []
+    pages = sorted(DOCS.glob("*.md")) + [REPO / "README.md"]
+    for page in pages:
+        text = page.read_text(encoding="utf-8")
+        for target in _LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (page.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(f"{page.relative_to(REPO)}: broken relative "
+                              f"link -> {target}")
+    return errors
+
+
+def main():
+    errors = check_workload_sections() + check_relative_links()
+    for error in errors:
+        print(f"error: {error}")
+    if errors:
+        return 1
+    print("docs check passed: every registered problem is documented and "
+          "all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
