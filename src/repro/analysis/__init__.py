@@ -1,0 +1,34 @@
+"""Static analysis: project lint rules + autodiff tape analyzer.
+
+Two engines share this subpackage:
+
+* the **project linter** (:mod:`repro.analysis.core`,
+  :mod:`repro.analysis.rules`, :mod:`repro.analysis.project`): an AST rule
+  framework with repo-specific rules machine-enforcing the invariants the
+  whole reproduction rests on — seeded RNG only, no wall-clock reads in hot
+  paths, no nondeterministic iteration feeding RNG/placement/serialization,
+  picklable process-pool tasks, registry-mediated experiment wiring, and
+  ``state_dict``-complete checkpointable classes;
+* the **tape analyzer** (:mod:`repro.analysis.tape`): traces one training
+  step per registered problem into the autodiff graph and statically checks
+  shape/dtype consistency of every op, dead (never-consumed) nodes,
+  constants re-materialized each step, and duplicate subgraphs.  Its
+  per-problem report is the gating artifact for the record-once/replay-many
+  compile refactor on the ROADMAP.
+
+Both are wired into the CLI (``repro lint`` / ``repro analyze tape``) and a
+tier-1 test keeps the repo itself clean.  Suppress a finding in place with
+``# repro: noqa`` (whole line) or ``# repro: noqa RPR001,RPR007``.
+"""
+
+from .core import (
+    Rule, Violation, available_rules, lint_file, lint_source, rule_catalog,
+)
+from .project import lint_paths, lint_project, repo_source_root
+from .tape import TapeReport, analyze_tape, trace_training_step
+
+__all__ = [
+    "Rule", "TapeReport", "Violation", "analyze_tape", "available_rules",
+    "lint_file", "lint_paths", "lint_project", "lint_source", "repo_source_root",
+    "rule_catalog", "trace_training_step",
+]

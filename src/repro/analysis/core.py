@@ -1,0 +1,230 @@
+"""The AST lint framework: rules, violations, suppressions, file driver.
+
+A rule is a small :class:`ast.NodeVisitor` subclass with an id (``RPR001``),
+a severity, and a one-line fix hint.  Rules are registered by subclassing
+:class:`Rule` (registration is automatic via ``__init_subclass__``), get a
+fresh instance per file, and report through :meth:`Rule.report`.
+
+Suppression is line-scoped and explicit::
+
+    labels = set(names)
+    for name in labels:      # repro: noqa RPR003
+        ...
+
+A bare ``# repro: noqa`` silences every rule on that line.  Suppressions
+apply to the physical line a violation is attached to, so the comment sits
+next to the code it excuses — greppable and reviewable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+
+__all__ = [
+    "FileContext", "Rule", "Violation",
+    "available_rules", "lint_file", "lint_source", "rule_catalog",
+]
+
+#: ``# repro: noqa`` or ``# repro: noqa RPR001,RPR003`` (comma/space split)
+_NOQA = re.compile(r"#\s*repro:\s*noqa(?:\s+(?P<ids>[A-Z0-9 ,]+))?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: where, which rule, what, and how to fix it."""
+
+    rule_id: str
+    severity: str
+    message: str
+    path: str
+    line: int
+    col: int
+    hint: str = ""
+
+    def format(self):
+        """``path:line:col: RPRxxx message`` (the classic lint shape)."""
+        location = f"{self.path}:{self.line}:{self.col}"
+        text = f"{location}: {self.rule_id} [{self.severity}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self):
+        return {"rule": self.rule_id, "severity": self.severity,
+                "message": self.message, "path": self.path,
+                "line": self.line, "col": self.col, "hint": self.hint}
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may know about the file under analysis."""
+
+    path: str
+    source: str
+    module: str = ""
+    #: package-relative posix path ("repro/training/trainer.py") used by
+    #: path-scoped rules; falls back to ``path`` when unknown
+    relpath: str = ""
+    #: project-wide facts gathered by a pre-scan (see analysis.project);
+    #: single-file linting leaves this empty and project rules stay quiet
+    project: dict = field(default_factory=dict)
+
+    def scope_path(self):
+        return self.relpath or self.path
+
+
+_RULE_REGISTRY = []
+
+
+class Rule(ast.NodeVisitor):
+    """Base class: one instance analyses one file.
+
+    Subclasses set ``id``, ``title``, ``severity`` (``"error"`` |
+    ``"warning"``), ``hint``, and ``rationale`` (the docs catalog is built
+    from these), override visitor methods, and call :meth:`report`.
+    Subclassing registers the rule; abstract intermediates can opt out with
+    ``register = False``.
+    """
+
+    id = ""
+    title = ""
+    severity = "error"
+    hint = ""
+    rationale = ""
+    register = True
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        if cls.register and cls.id:
+            _RULE_REGISTRY.append(cls)
+
+    def __init__(self, context):
+        self.context = context
+        self.violations = []
+
+    # ------------------------------------------------------------------
+    def applies_to(self, context):
+        """Path predicate; rules scoped to subsystems override this."""
+        return True
+
+    def report(self, node, message, hint=None):
+        """Record a violation anchored at ``node``."""
+        self.violations.append(Violation(
+            rule_id=self.id, severity=self.severity, message=message,
+            path=self.context.path, line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            hint=self.hint if hint is None else hint))
+
+    def run(self, tree):
+        """Visit ``tree`` and return this file's violations."""
+        self.visit(tree)
+        return self.violations
+
+
+def available_rules():
+    """All registered rule classes, sorted by id."""
+    # rules.py populates the registry as an import side effect
+    from . import rules  # noqa: F401  (registration import)
+    return sorted(_RULE_REGISTRY, key=lambda rule: rule.id)
+
+
+def rule_catalog():
+    """``[{id, title, severity, hint, rationale}]`` for docs and --format json."""
+    return [{"id": rule.id, "title": rule.title, "severity": rule.severity,
+             "hint": rule.hint, "rationale": rule.rationale}
+            for rule in available_rules()]
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+def _suppressions(source):
+    """Map line number -> set of suppressed rule ids (``None`` = all).
+
+    Comments are located with :mod:`tokenize` rather than substring search,
+    so a ``# repro: noqa`` inside a string literal does not suppress
+    anything.
+    """
+    suppressed = {}
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA.search(token.string)
+            if match is None:
+                continue
+            ids = match.group("ids")
+            line = token.start[0]
+            if ids is None:
+                suppressed[line] = None
+            else:
+                names = {part for part in re.split(r"[,\s]+", ids.strip())
+                         if part}
+                if suppressed.get(line, set()) is not None:
+                    suppressed.setdefault(line, set()).update(names)
+    except tokenize.TokenError:
+        pass
+    return suppressed
+
+
+def _apply_suppressions(violations, suppressed):
+    kept = []
+    for violation in violations:
+        ids = suppressed.get(violation.line, set())
+        if ids is None or violation.rule_id in (ids or ()):
+            continue
+        kept.append(violation)
+    return kept
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+def lint_source(source, path="<string>", *, relpath="", project=None,
+                select=None):
+    """Lint one source string; returns a list of :class:`Violation`.
+
+    Parameters
+    ----------
+    select:
+        Optional iterable of rule ids to run (default: every registered
+        rule).
+    project:
+        Project-context dict from :func:`repro.analysis.project.prescan`;
+        omit for single-file linting (project-scoped rules stay quiet).
+    """
+    context = FileContext(path=str(path), source=source, relpath=relpath,
+                          project=dict(project or {}))
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Violation(rule_id="RPR000", severity="error",
+                          message=f"syntax error: {exc.msg}",
+                          path=str(path), line=exc.lineno or 1,
+                          col=exc.offset or 0,
+                          hint="fix the syntax error so analysis can run")]
+    wanted = None if select is None else set(select)
+    violations = []
+    for rule_cls in available_rules():
+        if wanted is not None and rule_cls.id not in wanted:
+            continue
+        rule = rule_cls(context)
+        if not rule.applies_to(context):
+            continue
+        violations.extend(rule.run(tree))
+    violations = _apply_suppressions(violations, _suppressions(source))
+    return sorted(violations, key=lambda v: (v.line, v.col, v.rule_id))
+
+
+def lint_file(path, *, relpath="", project=None, select=None):
+    """Lint one file on disk."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, path=str(path), relpath=relpath,
+                       project=project, select=select)

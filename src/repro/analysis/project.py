@@ -1,0 +1,112 @@
+"""Project-level lint driving: file discovery, pre-scan, repo defaults.
+
+Two of the shipped rules need facts no single file can establish — which
+modules are *problem modules* (RPR005) and which class names define
+``state_dict`` (RPR007, for subclasses persisting through an inherited
+round-trip).  :func:`prescan` gathers those facts in one cheap AST pass over
+the whole file set and hands them to every rule through
+``FileContext.project``; single-file linting (no pre-scan) leaves the dict
+empty and those rules stay quiet rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from .core import lint_file
+
+__all__ = ["lint_paths", "lint_project", "prescan", "repo_source_root"]
+
+
+def repo_source_root():
+    """Directory of the installed ``repro`` package (the default lint target)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _python_files(paths):
+    """All ``.py`` files under ``paths``, deduplicated, in sorted order."""
+    seen = set()
+    files = []
+    for path in paths:
+        path = Path(path)
+        candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(candidate)
+    return files
+
+
+def _relpath(path, roots):
+    """Posix path of ``path`` relative to the innermost containing root."""
+    resolved = Path(path).resolve()
+    best = None
+    for root in roots:
+        try:
+            relative = resolved.relative_to(Path(root).resolve())
+        except ValueError:
+            continue
+        if best is None or len(relative.parts) < len(best.parts):
+            best = relative
+    return best.as_posix() if best is not None else Path(path).as_posix()
+
+
+def prescan(files):
+    """One AST pass over ``files`` collecting cross-file facts for rules.
+
+    Returns a dict with:
+
+    ``problem_modules``
+        Stems of modules defining a top-level ``build_*_problem`` function —
+        the experiment problem modules RPR005 fences off from one another.
+    ``state_dict_classes``
+        Names of classes defining a ``state_dict`` method; RPR007 treats
+        subclasses of these as checkpointable even when the subclass itself
+        only inherits the round-trip.
+    """
+    problem_modules = set()
+    state_dict_classes = set()
+    for path in files:
+        path = Path(path)
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"),
+                             filename=str(path))
+        except (SyntaxError, OSError):
+            continue
+        for node in tree.body:
+            # nonempty middle: build_ldc_problem yes, api's build_problem no
+            if (isinstance(node, ast.FunctionDef)
+                    and re.fullmatch(r"build_\w+_problem", node.name)):
+                problem_modules.add(path.stem)
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if (isinstance(item, ast.FunctionDef)
+                            and item.name == "state_dict"):
+                        state_dict_classes.add(node.name)
+                        break
+    return {"problem_modules": frozenset(problem_modules),
+            "state_dict_classes": frozenset(state_dict_classes)}
+
+
+def lint_paths(paths, *, select=None):
+    """Lint every ``.py`` file under ``paths`` with full project context."""
+    roots = [Path(p) for p in paths]
+    files = _python_files(roots)
+    project = prescan(files)
+    violations = []
+    for path in files:
+        violations.extend(lint_file(
+            path, relpath=_relpath(path, roots), project=project,
+            select=select))
+    return violations
+
+
+def lint_project(root=None, *, select=None):
+    """Lint the repro source tree (or ``root``); the ``repro lint`` default."""
+    root = repo_source_root() if root is None else Path(root)
+    return lint_paths([root], select=select)

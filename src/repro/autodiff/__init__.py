@@ -9,6 +9,7 @@ reverse-mode differentiation of arbitrary order.
 from .tensor import Tensor, as_tensor
 from .functional import gradients, grad
 from .check import gradcheck, numeric_gradient
+from .introspect import Tape, iter_graph, op_name, record_tape
 from . import ops
 from .ops import (
     add, sub, mul, div, neg, power, matmul,
@@ -21,6 +22,7 @@ from .ops import (
 
 __all__ = [
     "Tensor", "as_tensor", "gradients", "grad", "gradcheck", "numeric_gradient",
+    "Tape", "iter_graph", "op_name", "record_tape",
     "ops",
     "add", "sub", "mul", "div", "neg", "power", "matmul",
     "exp", "log", "sqrt", "square", "sin", "cos", "tanh",

@@ -1,0 +1,149 @@
+"""Read-only introspection over the dynamically built autodiff tape.
+
+The engine's hot path (:mod:`repro.autodiff.ops`) deliberately keeps graph
+nodes minimal — no op labels, no creation log — because PINN training builds
+thousands of nodes per optimizer step.  This module recovers that metadata
+*without* touching the hot path:
+
+* :func:`op_name` derives a node's primitive name from its VJP callback's
+  ``__qualname__`` (every primitive closes its VJP over its own scope, so
+  ``add.<locals>.vjp`` names the op that built the node);
+* :func:`record_tape` is a context manager that temporarily wraps the ops
+  module's node constructors so every tensor created inside the ``with``
+  block — tracked nodes *and* constant leaves — is logged in creation order
+  into a :class:`Tape`;
+* :func:`iter_graph` walks the graph reachable from a set of outputs in
+  topological order (constants included, unlike the backward pass, which
+  prunes them).
+
+These hooks exist for :mod:`repro.analysis.tape`, the static analyzer whose
+per-problem report gates the record-once/replay-many compile refactor: dead
+nodes, re-materialized constants, and duplicate subgraphs found here are
+exactly the waste a compiled tape eliminates.  Nothing in this module runs
+during normal training.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from . import ops
+from .tensor import Tensor
+
+__all__ = ["Tape", "iter_graph", "op_name", "record_tape"]
+
+
+def op_name(tensor):
+    """Name of the primitive that produced ``tensor`` (``"leaf"`` for leaves).
+
+    Every primitive in :mod:`repro.autodiff.ops` builds its node's VJP as a
+    closure (``def vjp`` or a lambda) inside its own function body, so the
+    callback's ``__qualname__`` — e.g. ``"mul.<locals>.vjp"`` or
+    ``"tanh.<locals>.<lambda>"`` — carries the op name for free.  Nodes whose
+    VJP is missing but that have parents (a mid-construction state the ops
+    module never leaks) report ``"op"``.
+    """
+    vjp = tensor._vjp
+    if vjp is None:
+        return "leaf" if not tensor._parents else "op"
+    qualname = getattr(vjp, "__qualname__", "")
+    head = qualname.split(".", 1)[0]
+    return head if head else "op"
+
+
+def parents(tensor):
+    """The node's parent tensors (empty tuple for leaves)."""
+    return tensor._parents
+
+
+class Tape:
+    """Creation-ordered log of every tensor built during a recorded region.
+
+    Attributes
+    ----------
+    nodes:
+        Gradient-tracking graph nodes, in creation order.
+    constants:
+        Constant leaf tensors materialized by ops during the region (scalar
+        coercions from Python literals, pruned-subgraph results, ...).
+        Pre-existing leaves — parameters, input features — are *not* logged;
+        they were created before recording started.
+    """
+
+    def __init__(self):
+        self.nodes = []
+        self.constants = []
+
+    def __len__(self):
+        return len(self.nodes)
+
+    def created_ids(self):
+        """``id()`` set of every tensor created during the region."""
+        ids = {id(t) for t in self.nodes}
+        ids.update(id(t) for t in self.constants)
+        return ids
+
+    def __repr__(self):
+        return (f"Tape({len(self.nodes)} nodes, "
+                f"{len(self.constants)} constants)")
+
+
+@contextmanager
+def record_tape():
+    """Log every tensor the ops module creates inside the ``with`` block.
+
+    Works by swapping the module-level ``_node``/``_leaf`` constructors in
+    :mod:`repro.autodiff.ops` for recording wrappers — the primitives resolve
+    both names through the module globals at call time, so no per-op changes
+    (and no steady-state overhead outside the block) are needed.  Not
+    reentrant and not thread-safe; it is an offline-analysis tool, not a
+    training facility.
+
+    Yields
+    ------
+    :class:`Tape`
+    """
+    tape = Tape()
+    original_node, original_leaf = ops._node, ops._leaf
+
+    def recording_node(data, node_parents, vjp):
+        tensor = original_node(data, node_parents, vjp)
+        tape.nodes.append(tensor)
+        return tensor
+
+    def recording_leaf(data):
+        tensor = original_leaf(data)
+        tape.constants.append(tensor)
+        return tensor
+
+    ops._node, ops._leaf = recording_node, recording_leaf
+    try:
+        yield tape
+    finally:
+        ops._node, ops._leaf = original_node, original_leaf
+
+
+def iter_graph(outputs):
+    """Yield every tensor reachable from ``outputs`` in topological order.
+
+    Unlike the backward pass this walk does not prune constant subgraphs:
+    analysis wants to see the whole structure, gradients or not.  Each
+    tensor is yielded exactly once, parents before children.
+    """
+    outputs = [outputs] if isinstance(outputs, Tensor) else list(outputs)
+    seen = set()
+    order = []
+    stack = [(t, False) for t in reversed(outputs)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in seen:
+                stack.append((parent, False))
+    return order

@@ -26,6 +26,17 @@ Commands
     cell recording into a single store (``--store``).
 ``problems``
     List the problem and sampler registries.
+``lint``
+    Run the project linter (``repro.analysis``) over the repro source tree
+    (or given paths): seeded-RNG-only, no wall-clock in hot paths,
+    deterministic iteration, picklable pool tasks, registry-mediated
+    experiment wiring, complete ``state_dict`` round-trips.  Exits nonzero
+    on findings; ``--rules`` prints the rule catalog.
+``analyze``
+    Static analyses that need a built problem: ``analyze tape`` traces one
+    training step per registered problem into the autodiff graph and
+    verifies shape/dtype consistency, reporting dead nodes, re-materialized
+    constants, and duplicate subgraphs (the compile-readiness artifact).
 ``table1`` / ``table2``
     Regenerate the paper's tables (wraps the ``examples/reproduce_*``
     pipelines) at a chosen scale.
@@ -63,6 +74,8 @@ def _cmd_info(args):
                         "cross-problem benchmark matrix"),
         ("store", "persistent run store: TOML configs, resumable "
                   "checkpointed runs, figures from records"),
+        ("analysis", "project lint rules + autodiff tape analyzer "
+                     "(repro lint / repro analyze tape)"),
     ]
     for name, description in subsystems:
         print(f"  repro.{name:<12} {description}")
@@ -428,6 +441,75 @@ def _cmd_problems(args):
     return 0
 
 
+def _cmd_lint(args):
+    import json
+
+    from repro.analysis import lint_paths, lint_project, rule_catalog
+
+    if args.rules:
+        if args.format == "json":
+            print(json.dumps({"rules": rule_catalog()}, indent=2))
+        else:
+            for rule in rule_catalog():
+                print(f"{rule['id']} [{rule['severity']}] {rule['title']}")
+                print(f"    {rule['rationale']}")
+                print(f"    fix: {rule['hint']}")
+        return 0
+
+    select = (None if args.select is None else
+              [s.strip() for s in args.select.split(",") if s.strip()])
+    if args.paths:
+        violations = lint_paths(args.paths, select=select)
+    else:
+        violations = lint_project(select=select)
+
+    if args.format == "json":
+        print(json.dumps({
+            "violations": [v.to_dict() for v in violations],
+            "count": len(violations),
+            "errors": sum(v.severity == "error" for v in violations),
+            "warnings": sum(v.severity == "warning" for v in violations),
+        }, indent=2))
+    else:
+        for violation in violations:
+            print(violation.format())
+        target = ", ".join(args.paths) if args.paths else "repro source tree"
+        print(f"{len(violations)} finding(s) in {target}")
+    return 1 if violations else 0
+
+
+def _cmd_analyze(args):
+    import json
+
+    from repro.analysis import analyze_tape
+
+    if args.problem == "all":
+        from repro.api.registry import list_problems
+        import repro.api.problems  # noqa: F401  (populate the registry)
+        problems = list_problems()
+    else:
+        problems = [args.problem]
+
+    reports = []
+    for problem in problems:
+        try:
+            reports.append(analyze_tape(problem, sampler=args.sampler,
+                                        scale=args.scale))
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}")
+            return 2
+    if args.format == "json":
+        print(json.dumps({"reports": [r.to_dict() for r in reports]},
+                         indent=2))
+    else:
+        for report in reports:
+            print(report.format())
+            print()
+        consistent = sum(r.shape_consistent for r in reports)
+        print(f"{consistent}/{len(reports)} problem(s) shape-consistent")
+    return 0 if all(r.shape_consistent for r in reports) else 1
+
+
 def _cmd_train(args, problem):
     from repro.experiments.runner import _run_method
     if problem == "ldc":
@@ -607,6 +689,32 @@ def build_parser():
                        choices=("smoke", "repro"))
         p.add_argument("--steps", type=int, default=None)
 
+    p = sub.add_parser("lint", help="run the project linter over the repro "
+                       "source tree (or given paths)")
+    p.add_argument("paths", nargs="*", metavar="path",
+                   help="files or directories to lint (default: the "
+                        "installed repro package)")
+    p.add_argument("--format", default="text", choices=("text", "json"))
+    p.add_argument("--select", default=None, metavar="IDS",
+                   help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--rules", action="store_true",
+                   help="print the rule catalog instead of linting")
+
+    p = sub.add_parser("analyze", help="static analyses over built problems")
+    analyze_sub = p.add_subparsers(dest="analyze_command", required=True)
+    q = analyze_sub.add_parser("tape", help="trace one training step into "
+                               "the autodiff graph and verify shape/dtype "
+                               "consistency, dead nodes, re-materialized "
+                               "constants, duplicate subgraphs")
+    q.add_argument("--problem", default="all",
+                   help="a registered problem, or 'all' (default)")
+    q.add_argument("--sampler", default="uniform",
+                   help="registered sampler to trace under "
+                        "(default: uniform)")
+    q.add_argument("--scale", default="smoke",
+                   choices=("smoke", "repro", "paper"))
+    q.add_argument("--format", default="text", choices=("text", "json"))
+
     p = sub.add_parser("solve-ldc", help="run the reference LDC solver")
     p.add_argument("--reynolds", type=float, default=100.0)
     p.add_argument("--resolution", type=int, default=65)
@@ -630,6 +738,10 @@ def main(argv=None):
         return _cmd_matrix(args)
     if args.command == "problems":
         return _cmd_problems(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     if args.command in ("table1", "table2"):
         return _cmd_table(args, int(args.command[-1]))
     if args.command in ("ldc", "ar"):

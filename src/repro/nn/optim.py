@@ -142,6 +142,27 @@ class LBFGS(Optimizer):
         self._y = []   # gradient displacements
         self._last_flat_grad = None
 
+    def state_dict(self):
+        state = super().state_dict()
+        state["history"] = self.history
+        state["s"] = [s.copy() for s in self._s]
+        state["y"] = [y.copy() for y in self._y]
+        # None cannot ride in an .npz archive; omit the key instead
+        if self._last_flat_grad is not None:
+            state["last_flat_grad"] = self._last_flat_grad.copy()
+        return state
+
+    def load_state_dict(self, state):
+        super().load_state_dict(state)
+        self.history = int(state["history"])
+        self._s = [np.asarray(s, dtype=np.float64).copy()
+                   for s in state["s"]]
+        self._y = [np.asarray(y, dtype=np.float64).copy()
+                   for y in state["y"]]
+        last = state.get("last_flat_grad")
+        self._last_flat_grad = (None if last is None
+                                else np.asarray(last, dtype=np.float64).copy())
+
     # -- flat <-> per-parameter helpers ---------------------------------
     def _flatten(self, arrays):
         return np.concatenate([np.asarray(a).ravel() for a in arrays])

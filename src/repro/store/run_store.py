@@ -212,7 +212,7 @@ class RunRecord:
         if not directory.is_dir():
             return []
         found = []
-        for entry in directory.iterdir():
+        for entry in sorted(directory.iterdir()):
             name = entry.name
             if name.startswith(_CKPT_PREFIX) and name.endswith(".npz"):
                 found.append((int(name[len(_CKPT_PREFIX):-4]), entry))

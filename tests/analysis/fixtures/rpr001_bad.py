@@ -1,0 +1,13 @@
+"""RPR001 fixture: hidden-global-state randomness (never imported)."""
+import random
+
+import numpy as np
+from numpy.random import normal
+
+
+def jitter(points):
+    noise = np.random.rand(len(points))
+    shift = np.random.normal(0.0, 1.0, size=len(points))
+    pick = random.choice(points)
+    random.shuffle(points)
+    return points + noise + shift + pick + normal()

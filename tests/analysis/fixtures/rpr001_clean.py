@@ -1,0 +1,12 @@
+"""RPR001 clean counterpart: every draw comes from a seeded Generator."""
+import numpy as np
+from numpy.random import default_rng
+
+
+def jitter(points, seed):
+    rng = np.random.default_rng(seed)
+    other = default_rng(np.random.SeedSequence(seed))
+    noise = rng.random(len(points))
+    shift = other.normal(0.0, 1.0, size=len(points))
+    pick = rng.choice(points)
+    return points + noise + shift + pick

@@ -1,0 +1,10 @@
+"""RPR002 fixture: wall-clock reads (linted under a training/ relpath)."""
+import time
+from datetime import datetime
+
+
+def train_step(step):
+    started = time.time()
+    stamp = datetime.now().isoformat()
+    nanos = time.time_ns()
+    return started, stamp, nanos

@@ -1,0 +1,11 @@
+"""RPR003 fixture: unordered set iteration leaking into results."""
+
+
+def place(names, extras):
+    order = []
+    for name in {n.lower() for n in names}:
+        order.append(name)
+    ranked = [name for name in set(names)]
+    merged = list(set(names) | set(extras))
+    pairs = list(enumerate(frozenset(extras)))
+    return order, ranked, merged, pairs

@@ -1,0 +1,12 @@
+"""RPR003 clean counterpart: sets are sorted before iteration."""
+
+
+def place(names, extras):
+    order = []
+    for name in sorted({n.lower() for n in names}):
+        order.append(name)
+    seen = set(names)
+    present = "x" in seen            # membership tests are order-free
+    ranked = [name for name in sorted(seen)]
+    merged = sorted(set(names) | set(extras))
+    return order, present, ranked, merged

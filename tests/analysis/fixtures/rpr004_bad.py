@@ -1,0 +1,16 @@
+"""RPR004 fixture: unpicklable callables handed to a process pool."""
+
+
+def launch(pool, executor, items):
+    futures = [pool.submit(lambda item: item * 2, item) for item in items]
+
+    def local_task(item):
+        return item * 2
+
+    futures.append(pool.submit(local_task, items[0]))
+
+    doubler = lambda item: item * 2          # noqa: E731 (fixture)
+    futures.append(pool.submit(doubler, items[0]))
+
+    results = executor.map(lambda item: item + 1, items)
+    return futures, list(results)

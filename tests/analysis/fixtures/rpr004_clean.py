@@ -1,0 +1,12 @@
+"""RPR004 clean counterpart: module-level tasks, plain picklable args."""
+
+
+def double(item):
+    return item * 2
+
+
+def launch(pool, items):
+    futures = [pool.submit(double, item) for item in items]
+    mapped = pool.map(double, items)
+    renamed = [s.map(str.lower) for s in items]   # not a pool receiver
+    return futures, list(mapped), renamed

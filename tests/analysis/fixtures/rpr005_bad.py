@@ -1,0 +1,13 @@
+"""RPR005 fixture: a problem module importing a sibling problem module.
+
+The test pre-scans this directory, so ``rpr005_clean`` (which also defines a
+``build_*_problem``) is a sibling problem module from this file's view.
+"""
+from . import rpr005_clean
+from .rpr005_clean import build_demo_problem
+import rpr005_clean as sibling
+
+
+def build_other_problem(config, n_interior, rng):
+    return {"base": build_demo_problem(config, n_interior, rng),
+            "module": rpr005_clean, "alias": sibling}

@@ -1,0 +1,7 @@
+"""RPR005 clean counterpart: a problem module using only shared layers."""
+import numpy as np
+
+
+def build_demo_problem(config, n_interior, rng):
+    points = rng.random((n_interior, 2))
+    return {"points": np.asarray(points), "config": config}

@@ -1,0 +1,16 @@
+"""RPR006 fixture: mutable default arguments."""
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def index(key, table={}, *, tags=set()):
+    table[key] = tags
+    return table
+
+
+def gather(rows, pool=list(), seen=dict()):
+    pool.extend(rows)
+    return pool, seen

@@ -1,0 +1,13 @@
+"""RPR006 clean counterpart: None defaults, containers built per call."""
+
+
+def collect(item, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(item)
+    return bucket
+
+
+def index(key, table=None, *, tags=(), limit=10, label="row"):
+    table = {} if table is None else table
+    table[key] = tuple(tags)
+    return table

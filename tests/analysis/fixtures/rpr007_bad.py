@@ -1,0 +1,37 @@
+"""RPR007 fixture: checkpointable classes losing array state on resume."""
+import numpy as np
+
+
+class Sampler:
+    """Base class whose subclasses inherit the round-trip."""
+
+    def __init__(self, n):
+        self.n = n
+
+    def state_dict(self):
+        return {"n": self.n}
+
+    def load_state_dict(self, state):
+        self.n = int(state["n"])
+
+
+class LeakySampler:
+    def __init__(self, n):
+        self.weights = np.ones(n)        # never round-tripped: flagged
+        self.offsets = np.arange(n)      # covered by the string key below
+
+    def state_dict(self):
+        return {"offsets": self.offsets.copy()}
+
+    def load_state_dict(self, state):
+        self.offsets = np.asarray(state["offsets"])
+
+
+class GrowingSampler(Sampler):
+    def __init__(self, n):
+        super().__init__(n)
+        self.history = []                # grown in refresh(): flagged
+
+    def refresh(self, losses):
+        self.history.append(losses.mean())
+        self.scores = np.zeros(len(losses))   # inherited dict misses this

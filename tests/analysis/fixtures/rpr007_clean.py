@@ -1,0 +1,38 @@
+"""RPR007 clean counterpart: every array attribute round-trips."""
+import numpy as np
+
+
+class CoveredSampler:
+    def __init__(self, n):
+        self.weights = np.ones(n)
+        self.scratch = []                # only filled here, never grown later
+        self.scratch.append(n)
+
+    def state_dict(self):
+        return {"weights": self.weights.copy()}
+
+    def load_state_dict(self, state):
+        self.weights = np.asarray(state["weights"])
+
+
+class Momentum:
+    def __init__(self, params):
+        self._velocity = [np.zeros_like(p) for p in params]
+
+    def step(self, grads):
+        for v, g in zip(self._velocity, grads):
+            v += g
+
+    def state_dict(self):
+        # string key matches the attribute modulo the leading underscore
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state):
+        self._velocity = [np.asarray(v) for v in state["velocity"]]
+
+
+class PlainHelper:
+    """Not checkpointable at all: array attrs are fine without a dict."""
+
+    def __init__(self, n):
+        self.table = np.zeros(n)

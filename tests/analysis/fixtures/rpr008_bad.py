@@ -1,0 +1,15 @@
+"""RPR008 fixture: OS-ordered directory listings feeding iteration."""
+import glob
+import os
+from pathlib import Path
+
+
+def scan(root):
+    found = []
+    for entry in Path(root).iterdir():
+        found.append(entry.name)
+    names = [name for name in os.listdir(root)]
+    matches = list(glob.glob(str(Path(root) / "*.npz")))
+    for path in Path(root).rglob("*.json"):
+        found.append(path.name)
+    return found, names, matches

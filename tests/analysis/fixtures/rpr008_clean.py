@@ -1,0 +1,13 @@
+"""RPR008 clean counterpart: listings are sorted (or merely counted)."""
+import os
+from pathlib import Path
+
+
+def scan(root):
+    found = []
+    for entry in sorted(Path(root).iterdir()):
+        found.append(entry.name)
+    names = [name for name in sorted(os.listdir(root))]
+    # order-insensitive aggregation over a generator stays quiet
+    total = sum(1 for _ in Path(root).rglob("*.json"))
+    return found, names, total

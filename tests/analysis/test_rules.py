@@ -1,0 +1,124 @@
+"""Fixture-backed tests for every shipped lint rule + the framework.
+
+Each rule has a ``<id>_bad.py`` fixture it must fire on and a
+``<id>_clean.py`` counterpart it must stay silent on.  Fixtures are parsed,
+never imported.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import available_rules, lint_file, lint_source, rule_catalog
+from repro.analysis.project import lint_paths, prescan
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: relpath override per rule (RPR002 is scoped to hot-path subsystems)
+RELPATHS = {"RPR002": "repro/training/{name}"}
+
+RULE_IDS = ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+            "RPR007", "RPR008"]
+
+
+def run_fixture(rule_id, kind):
+    name = f"{rule_id.lower()}_{kind}.py"
+    path = FIXTURES / name
+    relpath = RELPATHS.get(rule_id, "repro/{name}").format(name=name)
+    # per-file prescan: RPR005/RPR007 need problem-module / base-class facts
+    project = prescan(sorted(FIXTURES.glob("rpr*.py")))
+    return [v for v in lint_file(path, relpath=relpath, project=project)
+            if v.rule_id == rule_id]
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_rule_fires_on_bad_fixture(rule_id):
+    violations = run_fixture(rule_id, "bad")
+    assert violations, f"{rule_id} found nothing in its bad fixture"
+    for violation in violations:
+        assert violation.rule_id == rule_id
+        assert violation.line > 0
+        assert violation.hint
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_rule_silent_on_clean_fixture(rule_id):
+    violations = run_fixture(rule_id, "clean")
+    assert violations == [], [v.format() for v in violations]
+
+
+def test_expected_bad_fixture_counts():
+    # pin the per-fixture finding counts so a rule that silently loses a
+    # code path (or over-fires) is caught, not just total silence
+    counts = {rule_id: len(run_fixture(rule_id, "bad"))
+              for rule_id in RULE_IDS}
+    assert counts == {"RPR001": 5, "RPR002": 3, "RPR003": 4, "RPR004": 4,
+                      "RPR005": 3, "RPR006": 5, "RPR007": 3, "RPR008": 4}
+
+
+# ----------------------------------------------------------------------
+# Framework behaviour
+# ----------------------------------------------------------------------
+def test_catalog_lists_at_least_the_shipped_rules():
+    ids = [rule.id for rule in available_rules()]
+    assert ids == sorted(ids)
+    assert set(RULE_IDS) <= set(ids)
+    for entry in rule_catalog():
+        assert entry["title"] and entry["hint"] and entry["rationale"]
+        assert entry["severity"] in ("error", "warning")
+
+
+def test_bare_noqa_suppresses_everything_on_the_line():
+    source = "def f(a, b=[]):  # repro: noqa\n    return b\n"
+    assert lint_source(source) == []
+
+
+def test_targeted_noqa_suppresses_only_named_rules():
+    suppressed = "def f(a, b=[]):  # repro: noqa RPR006\n    return b\n"
+    assert lint_source(suppressed) == []
+    other = "def f(a, b=[]):  # repro: noqa RPR001,RPR003\n    return b\n"
+    violations = lint_source(other)
+    assert [v.rule_id for v in violations] == ["RPR006"]
+
+
+def test_noqa_inside_string_literal_does_not_suppress():
+    source = ('def f(a, b=[]):\n'
+              '    return "# repro: noqa"\n')
+    assert [v.rule_id for v in lint_source(source)] == ["RPR006"]
+
+
+def test_syntax_error_reports_rpr000():
+    violations = lint_source("def broken(:\n", path="x.py")
+    assert [v.rule_id for v in violations] == ["RPR000"]
+    assert violations[0].severity == "error"
+
+
+def test_select_restricts_rules():
+    source = ("import numpy as np\n"
+              "def f(xs=[]):\n"
+              "    return np.random.rand(3)\n")
+    assert {v.rule_id for v in lint_source(source)} == {"RPR001", "RPR006"}
+    only = lint_source(source, select=["RPR001"])
+    assert {v.rule_id for v in only} == {"RPR001"}
+
+
+def test_lint_paths_prescans_and_sorts(tmp_path):
+    # two problem modules importing each other: the pre-scan must discover
+    # both and RPR005 must fire in both directions
+    (tmp_path / "alpha.py").write_text(
+        "import beta\n\ndef build_alpha_problem(c, n, rng):\n    return c\n")
+    (tmp_path / "beta.py").write_text(
+        "import alpha\n\ndef build_beta_problem(c, n, rng):\n    return c\n")
+    violations = lint_paths([tmp_path], select=["RPR005"])
+    assert len(violations) == 2
+    assert [Path(v.path).name for v in violations] == ["alpha.py", "beta.py"]
+
+
+def test_api_build_problem_is_not_a_problem_module(tmp_path):
+    # the registry front-door defines build_problem (no middle name): it
+    # must not be fenced off from importing the real problem modules
+    (tmp_path / "gamma.py").write_text(
+        "def build_gamma_problem(c, n, rng):\n    return c\n")
+    (tmp_path / "front.py").write_text(
+        "import gamma\n\ndef build_problem(name):\n    return name\n")
+    assert lint_paths([tmp_path], select=["RPR005"]) == []

@@ -99,3 +99,49 @@ def test_refines_network_after_adam():
     for _ in range(30):
         final = opt.step_closure(closure)
     assert final < adam_loss
+
+
+def test_state_dict_round_trip_resumes_bit_identically():
+    # curvature pairs are the optimizer's memory: a resumed L-BFGS must
+    # walk the exact trajectory an uninterrupted one would
+    target = np.array([1.0, -2.0, 3.0])
+    scale = np.array([100.0, 1.0, 0.01])
+
+    p_full = Parameter(np.zeros(3))
+    opt_full = LBFGS([p_full], lr=1.0, history=5)
+    closure_full = quadratic_closure(p_full, target, scale)
+    for _ in range(6):
+        opt_full.step_closure(closure_full)
+
+    p_half = Parameter(np.zeros(3))
+    opt_half = LBFGS([p_half], lr=1.0, history=5)
+    closure_half = quadratic_closure(p_half, target, scale)
+    for _ in range(3):
+        opt_half.step_closure(closure_half)
+    state = opt_half.state_dict()
+
+    p_resumed = Parameter(p_half.data.copy())
+    opt_resumed = LBFGS([p_resumed], lr=1.0, history=5)
+    opt_resumed.load_state_dict(state)
+    closure_resumed = quadratic_closure(p_resumed, target, scale)
+    for _ in range(3):
+        opt_resumed.step_closure(closure_resumed)
+
+    assert opt_resumed.step_count == opt_full.step_count
+    np.testing.assert_array_equal(p_resumed.data, p_full.data)
+    assert len(opt_resumed._s) == len(opt_full._s)
+    for s_resumed, s_full in zip(opt_resumed._s, opt_full._s):
+        np.testing.assert_array_equal(s_resumed, s_full)
+
+
+def test_state_dict_before_first_step_omits_last_grad():
+    p = Parameter(np.zeros(2))
+    opt = LBFGS([p], history=4)
+    state = opt.state_dict()
+    assert "last_flat_grad" not in state
+    assert state["s"] == [] and state["y"] == []
+
+    fresh = LBFGS([Parameter(np.zeros(2))], history=4)
+    fresh.load_state_dict(state)
+    assert fresh._last_flat_grad is None
+    assert fresh._s == [] and fresh._y == []

@@ -57,3 +57,26 @@ def test_saturation_stops_growth():
     for step in range(11):
         sampler.batch_indices(step, 8)
     assert len(sampler.active) == 60
+
+
+def test_state_dict_round_trip_preserves_active_set():
+    # the grown active set is the sampler's whole point: a resume that
+    # reset it to the initial fraction would silently undo refinement
+    sampler = make()
+    for step in range(11):
+        sampler.batch_indices(step, 16)
+    state = sampler.state_dict()
+
+    losses = np.linspace(0.0, 1.0, 400)
+    restored = RARSampler(400, initial_fraction=0.25, add_per_refresh=50,
+                          candidate_pool=100, tau_e=10, seed=0)
+    restored.bind_probes(probe_loss=lambda i: losses[i])
+    restored.load_state_dict(state)
+
+    np.testing.assert_array_equal(restored.active, sampler.active)
+    assert restored._active_set == sampler._active_set
+    # identical RNG + active set: the next batches match exactly
+    for step in range(11, 25):
+        np.testing.assert_array_equal(restored.batch_indices(step, 16),
+                                      sampler.batch_indices(step, 16))
+    np.testing.assert_array_equal(restored.active, sampler.active)

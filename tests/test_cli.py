@@ -377,3 +377,53 @@ def test_train_smoke_ldc(capsys):
 def test_solve_ldc_tiny(capsys):
     assert main(["solve-ldc", "--reynolds", "50", "--resolution", "17"]) == 0
     assert "residual" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# `repro lint` / `repro analyze`
+# ----------------------------------------------------------------------
+def test_lint_repo_is_clean(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_lint_json_on_violating_file(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import numpy as np\n"
+                   "def f(xs=[]):\n"
+                   "    return np.random.rand(3)\n")
+    assert main(["lint", str(bad), "--format", "json"]) == 1
+    import json
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 2
+    assert {v["rule"] for v in payload["violations"]} == {"RPR001", "RPR006"}
+    assert payload["errors"] == 1 and payload["warnings"] == 1
+
+    assert main(["lint", str(bad), "--select", "RPR001"]) == 1
+    out = capsys.readouterr().out
+    assert "RPR006" not in out and "RPR001" in out
+
+
+def test_lint_rules_catalog(capsys):
+    assert main(["lint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+                    "RPR006", "RPR007", "RPR008"):
+        assert rule_id in out
+
+
+def test_analyze_tape_burgers_json(capsys):
+    assert main(["analyze", "tape", "--problem", "burgers",
+                 "--format", "json"]) == 0
+    import json
+    payload = json.loads(capsys.readouterr().out)
+    (report,) = payload["reports"]
+    assert report["problem"] == "burgers"
+    assert report["shape_consistent"] is True
+    assert report["op_counts"]["matmul"] == 22
+
+
+def test_analyze_tape_unknown_problem(capsys):
+    assert main(["analyze", "tape", "--problem", "nope"]) == 2
+    assert "unknown problem" in capsys.readouterr().out

@@ -8,6 +8,9 @@ Checks
 2. Every relative markdown link in ``docs/*.md`` and ``README.md``
    resolves to an existing file (fragments are stripped; absolute URLs
    and pure anchors are skipped).
+3. Every shipped lint rule has a ``### `RPRxxx```-style section in
+   ``docs/analysis.md`` (so a new rule cannot ship undocumented), and the
+   page documents no rule ids that do not exist.
 
 Usage::
 
@@ -65,14 +68,39 @@ def check_relative_links():
     return errors
 
 
+def check_rule_catalog():
+    """Every shipped lint rule needs a ``### `RPRxxx``` catalog section."""
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.analysis import available_rules
+
+    page = DOCS / "analysis.md"
+    if not page.exists():
+        return [f"missing {page.relative_to(REPO)}"]
+    text = page.read_text(encoding="utf-8")
+    documented = set(re.findall(r"^###\s+`(RPR\d+)`", text,
+                                flags=re.MULTILINE))
+    shipped = {rule.id for rule in available_rules()}
+    errors = []
+    for rule_id in sorted(shipped - documented):
+        errors.append(f"docs/analysis.md: no catalog section for shipped "
+                      f"rule {rule_id} (add a '### `{rule_id}` — ...' "
+                      f"heading)")
+    for rule_id in sorted(documented - shipped):
+        errors.append(f"docs/analysis.md: documents rule {rule_id}, which "
+                      f"is not shipped (remove the section or restore the "
+                      f"rule)")
+    return errors
+
+
 def main():
-    errors = check_workload_sections() + check_relative_links()
+    errors = (check_workload_sections() + check_relative_links()
+              + check_rule_catalog())
     for error in errors:
         print(f"error: {error}")
     if errors:
         return 1
-    print("docs check passed: every registered problem is documented and "
-          "all relative links resolve")
+    print("docs check passed: every registered problem and lint rule is "
+          "documented and all relative links resolve")
     return 0
 
 
