@@ -1,0 +1,107 @@
+"""End-to-end training throughput: eager graphs vs compiled-tape replay.
+
+``repro.autodiff.replay`` promises a faster *whole training step* — not a
+faster kernel — so this benchmark times ``Trainer.train`` itself, per
+registered problem, in both modes.  Replay timing deliberately includes
+the two trace steps and tape compilation: the reported speedup is what a
+user actually observes for a run of ``--steps`` steps, amortization and
+all.
+
+Run standalone (the CI `bench-autodiff` job does)::
+
+    PYTHONPATH=src python benchmarks/bench_train_steps.py \
+        --json BENCH_train.json
+
+Exits nonzero if replay is slower than eager on burgers — the ROADMAP's
+hot-path compile refactor must never regress below its baseline.  Every
+problem's mode is recorded (``trainer.compile_info()``), so a cell that
+silently fell back to eager is visible in the artifact, but only the
+burgers cell gates CI: smoke-scale wall times on shared runners are too
+noisy to gate all seven.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+import repro.api.problems  # noqa: F401  (populate the registry)
+from repro.api.registry import list_problems
+from repro.api.session import Session, _wire_training
+
+GATE_PROBLEM = "burgers"
+
+
+def _timed_train(problem, sampler, steps, compile):
+    """Wire a fresh smoke-scale trainer and time ``steps`` optimizer steps.
+
+    Construction (mesh, kNN graph, network init) is excluded; validation
+    and history recording are pushed past the horizon so the loop is pure
+    step work, matching what replay compiles.
+    """
+    session = Session(problem, scale="smoke").sampler(sampler)
+    prob = session.build()
+    trainer, _ = _wire_training(prob, session._config, sampler,
+                                session._config.batch_small,
+                                session._config.seed, [])
+    started = time.perf_counter()
+    trainer.train(steps, validate_every=10**6, record_every=10**6,
+                  compile=compile)
+    elapsed = time.perf_counter() - started
+    return steps / elapsed, trainer.compile_info()
+
+
+def bench_problem(problem, sampler="sgm", steps=400):
+    """``{eager_steps_per_sec, replay_steps_per_sec, speedup, mode}``."""
+    eager_rate, _ = _timed_train(problem, sampler, steps, compile=False)
+    replay_rate, mode = _timed_train(problem, sampler, steps, compile=True)
+    return {
+        "sampler": sampler,
+        "steps": steps,
+        "eager_steps_per_sec": round(eager_rate, 2),
+        "replay_steps_per_sec": round(replay_rate, 2),
+        "speedup": round(replay_rate / eager_rate, 3),
+        "mode": mode,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default="BENCH_train.json",
+                        help="output path for the benchmark artifact")
+    parser.add_argument("--problems", default="all",
+                        help="comma list of problems (default: all)")
+    parser.add_argument("--sampler", default="sgm")
+    parser.add_argument("--steps", type=int, default=400)
+    args = parser.parse_args(argv)
+
+    names = (list_problems() if args.problems == "all"
+             else [p.strip() for p in args.problems.split(",") if p.strip()])
+    results = {}
+    for name in names:
+        results[name] = bench_problem(name, args.sampler, args.steps)
+        cell = results[name]
+        print(f"{name:>20}: eager {cell['eager_steps_per_sec']:7.1f} "
+              f"replay {cell['replay_steps_per_sec']:7.1f} steps/s "
+              f"(x{cell['speedup']:.2f}, {cell['mode']})")
+
+    with open(args.json, "w") as fh:
+        json.dump({"scale": "smoke", "results": results}, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.json}")
+
+    gate = results.get(GATE_PROBLEM)
+    if gate is not None:
+        if gate["mode"] != "replay":
+            print(f"FAIL: {GATE_PROBLEM} did not compile "
+                  f"(mode={gate['mode']!r})", file=sys.stderr)
+            return 1
+        if gate["speedup"] < 1.0:
+            print(f"FAIL: replay slower than eager on {GATE_PROBLEM} "
+                  f"(x{gate['speedup']:.2f})", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

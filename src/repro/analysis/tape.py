@@ -18,10 +18,14 @@ exactly the graph :meth:`Trainer._step_loss` builds, through the same wiring
   more than once within one step (same op, same inputs), i.e. common
   subexpressions a record-once/replay-many representation would share.
 
-The per-problem report is the gating artifact for the ROADMAP item
-*“compile the autodiff hot path”*: it quantifies, per problem, exactly the
-waste a compiled tape eliminates, and its empty ``shape_issues`` list is the
-invariant that must hold before and after that refactor.
+The per-problem report is the gating artifact for the record-once/
+replay-many engine in :mod:`repro.autodiff.replay`: it quantifies, per
+problem, exactly the waste a compiled tape eliminates, its empty
+``shape_issues`` list is the invariant the compiler's shape gate enforces
+(a shape-inconsistent graph is refused, not compiled), and the
+``replay_ready`` field reports whether an actual compile of the problem's
+step succeeds — including the compiler's own bit-identical
+self-verification against two recorded traces.
 """
 
 from __future__ import annotations
@@ -234,12 +238,20 @@ class TapeReport:
     duplicate_nodes: int = 0
     duplicate_ops: dict = field(default_factory=dict)
     gradient_issues: list = field(default_factory=list)
-    #: parameters whose gradient arrives wider than the parameter dtype —
-    #: numerically safe (the optimizer downcasts in place) but the whole
-    #: backward pass then runs in the wider dtype; a compiled tape pinning
-    #: the parameter dtype end-to-end reclaims that bandwidth
+    #: parameters whose gradient arrives wider than the parameter dtype.
+    #: Historically the backward masks of ``maximum``/``minimum``/``where``
+    #: hardcoded float64 and upcast whole float32 backward passes; the masks
+    #: now adopt the operand dtype, so this should be 0 for every problem —
+    #: a nonzero count flags a new upcast leaking into the backward pass
     upcast_gradients: int = 0
     n_params: int = 0
+    #: whether :func:`repro.autodiff.replay.compile_step` accepts this
+    #: problem's training step (including bit-identical self-verification)
+    replay_ready: bool = False
+    #: the compiler's refusal message when ``replay_ready`` is False
+    replay_refusal: str = None
+    #: the compiled program's optimisation counters when ready
+    replay_stats: dict = field(default_factory=dict)
 
     @property
     def shape_consistent(self):
@@ -265,6 +277,9 @@ class TapeReport:
             "duplicate_ops": dict(sorted(self.duplicate_ops.items())),
             "upcast_gradients": self.upcast_gradients,
             "params": self.n_params,
+            "replay_ready": self.replay_ready,
+            "replay_refusal": self.replay_refusal,
+            "replay_stats": dict(self.replay_stats),
         }
 
     def format(self):
@@ -295,6 +310,14 @@ class TapeReport:
             lines.append(f"  precision: {self.upcast_gradients}/"
                          f"{self.n_params} gradients arrive wider than "
                          f"their parameter dtype")
+        if self.replay_ready:
+            stats = self.replay_stats
+            lines.append(f"  replay: READY "
+                         f"({stats.get('instructions', 0)} instructions "
+                         f"from {stats.get('recorded', 0)} recorded "
+                         f"tensors, {stats.get('cse_hits', 0)} shared)")
+        else:
+            lines.append(f"  replay: REFUSED — {self.replay_refusal}")
         return "\n".join(lines)
 
 
@@ -340,8 +363,9 @@ def analyze_tape(problem, *, sampler="uniform", scale="smoke", n_interior=64,
                  "detail": f"gradient shape {list(grad.data.shape)} != "
                            f"parameter shape {list(param.data.shape)}"})
         elif grad.data.dtype != param.data.dtype:
-            # widening (float32 param, float64 grad) is numerically safe and
-            # golden-pinned for some problems; only narrowing loses precision
+            # widening (float32 param, float64 grad) is numerically safe but
+            # counted: since the backward masks adopt operand dtypes it
+            # indicates a fresh upcast leak; narrowing loses precision
             if (np.result_type(grad.data.dtype, param.data.dtype)
                     == param.data.dtype):
                 report.gradient_issues.append(
@@ -375,4 +399,40 @@ def analyze_tape(problem, *, sampler="uniform", scale="smoke", n_interior=64,
         name = op_name(nodes[0])
         report.duplicate_ops[name] = (
             report.duplicate_ops.get(name, 0) + len(nodes) - 1)
+
+    (report.replay_ready, report.replay_refusal,
+     report.replay_stats) = _replay_readiness(trainer)
     return report
+
+
+def _replay_readiness(trainer, steps=(2, 3)):
+    """Attempt an actual replay compile of the trainer's step.
+
+    Traces two fresh steps with provenance (steps 2/3 — the analyzer's own
+    traces consumed the samplers' step-0/1 draws), verifies the constraints'
+    ``replay_inputs`` mirror the recorded externals, and runs
+    :func:`repro.autodiff.replay.compile_step` including its bit-identical
+    self-verification.  Parameters are left untouched (no optimizer step),
+    which the compiler accepts — both traces just see identical weights.
+
+    Returns ``(ready, refusal_message, program_stats)``.
+    """
+    from ..autodiff.replay import ReplayRefused, StepTrace, compile_step
+
+    traces = []
+    for step in steps:
+        batches, weights = trainer._step_batches(step)
+        param_data = [p.data.copy() for p in trainer.params]
+        with record_tape(provenance=True) as tape:
+            loss = trainer._assemble_loss(batches, weights)
+            grads = gradients(loss, trainer.params)
+        mismatch = trainer._verify_replay_externals(tape, batches)
+        if mismatch is not None:
+            return False, mismatch, {}
+        traces.append(StepTrace(tape, loss, grads, param_data,
+                                trainer._weight_list(weights)))
+    try:
+        program = compile_step(traces[0], traces[1], trainer.params)
+    except ReplayRefused as exc:
+        return False, str(exc), {}
+    return True, None, dict(program.stats)

@@ -72,7 +72,7 @@ def _wire_training(prob, config, sampler, batch_size, seed, validators):
 def run_problem(prob, config, sampler="uniform", batch_size=None,
                 seed=None, steps=None, label=None, validators=None,
                 store=None, run_id=None, checkpoint_every=None,
-                resume=False, step_hooks=()):
+                resume=False, step_hooks=(), compile=False):
     """Train one :class:`Problem` with a registered sampler.
 
     Parameters
@@ -104,6 +104,11 @@ def run_problem(prob, config, sampler="uniform", batch_size=None,
     step_hooks:
         Extra per-step callbacks forwarded to the trainer (testing /
         instrumentation).
+    compile:
+        Trace the first optimizer steps and replay a compiled tape for the
+        rest (see :meth:`repro.training.Trainer.train`); loss/error
+        trajectories stay bit-identical to eager execution, and any graph
+        the replay engine refuses falls back to eager automatically.
 
     Returns
     -------
@@ -153,7 +158,8 @@ def run_problem(prob, config, sampler="uniform", batch_size=None,
                                 record_every=config.record_every,
                                 label=label, clock=clock,
                                 start_step=start_step, history=history,
-                                last_errors=last_errors, step_hooks=hooks)
+                                last_errors=last_errors, step_hooks=hooks,
+                                compile=compile)
     except BaseException as exc:
         if recorder is not None:
             recorder.mark_stopped(exc)
@@ -216,6 +222,7 @@ class Session:
         self._batch_size = None
         self._steps = None
         self._validators = None
+        self._compile = False
 
     # ------------------------------------------------------------------
     @property
@@ -268,6 +275,16 @@ class Session:
         self._validators = list(validators)
         return self
 
+    def compile(self, enabled=True):
+        """Replay a compiled tape after tracing the first steps.
+
+        Bit-identical to eager execution; graphs the replay engine refuses
+        fall back to eager automatically (``repro analyze tape`` reports
+        readiness per problem).
+        """
+        self._compile = bool(enabled)
+        return self
+
     # ------------------------------------------------------------------
     def build(self, rng=None):
         """Build and return the :class:`~repro.api.Problem` (no training)."""
@@ -289,7 +306,8 @@ class Session:
             batch_size=self._batch_size, seed=self._seed,
             steps=steps if steps is not None else self._steps,
             label=label, validators=self._validators, store=store,
-            run_id=run_id, checkpoint_every=checkpoint_every)
+            run_id=run_id, checkpoint_every=checkpoint_every,
+            compile=self._compile)
 
     def suite(self, samplers=None, *, executor="serial", max_workers=None,
               steps=None, verbose=False, store=None, checkpoint_every=None):
@@ -315,7 +333,8 @@ class Session:
                          steps=steps if steps is not None else self._steps,
                          config=self._config, validators=self._validators,
                          verbose=verbose, store=store,
-                         checkpoint_every=checkpoint_every)
+                         checkpoint_every=checkpoint_every,
+                         compile=self._compile)
 
     def matrix(self, problems=None, samplers=None, *, executor="serial",
                max_workers=None, steps=None, verbose=False, store=None,
@@ -343,7 +362,8 @@ class Session:
                           n_interior=self._n_interior,
                           batch_size=self._batch_size,
                           validators=self._validators, verbose=verbose,
-                          store=store, checkpoint_every=checkpoint_every)
+                          store=store, checkpoint_every=checkpoint_every,
+                          compile=self._compile)
 
     def __repr__(self):
         return (f"Session(problem={self.name!r}, scale={self._scale!r}, "

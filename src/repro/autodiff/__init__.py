@@ -10,6 +10,9 @@ from .tensor import Tensor, as_tensor
 from .functional import gradients, grad
 from .check import gradcheck, numeric_gradient
 from .introspect import Tape, iter_graph, op_name, record_tape
+from .replay import (
+    ReplayProgram, ReplayRefused, ReplayStale, StepTrace, compile_step,
+)
 from . import ops
 from .ops import (
     add, sub, mul, div, neg, power, matmul,
@@ -23,6 +26,8 @@ from .ops import (
 __all__ = [
     "Tensor", "as_tensor", "gradients", "grad", "gradcheck", "numeric_gradient",
     "Tape", "iter_graph", "op_name", "record_tape",
+    "ReplayProgram", "ReplayRefused", "ReplayStale", "StepTrace",
+    "compile_step",
     "ops",
     "add", "sub", "mul", "div", "neg", "power", "matmul",
     "exp", "log", "sqrt", "square", "sin", "cos", "tanh",

@@ -25,9 +25,10 @@ during normal training.
 
 from __future__ import annotations
 
+import sys
 from contextlib import contextmanager
 
-from . import ops
+from . import ops, tensor as tensor_module
 from .tensor import Tensor
 
 __all__ = ["Tape", "iter_graph", "op_name", "record_tape"]
@@ -68,11 +69,28 @@ class Tape:
         coercions from Python literals, pruned-subgraph results, ...).
         Pre-existing leaves — parameters, input features — are *not* logged;
         they were created before recording started.
+    externals:
+        Tensors built through ``Tensor.__init__`` inside the region — the
+        per-step *inputs* (batch coordinate columns, boundary targets,
+        measurement batches).  Only populated under ``provenance=True``.
+    order:
+        Every logged tensor in global creation order (nodes, constants, and
+        externals interleaved) — the replay compiler aligns two traces
+        position by position on this list.
+    info:
+        ``id(tensor) -> provenance`` captured from the creating op's stack
+        frame under ``provenance=True``: the op name, its local variables
+        (operand tensors plus static arguments such as ``axes`` or
+        ``index``), and whether the logged leaf is the op's pruned *result*
+        (as opposed to an auxiliary mask like relu's).
     """
 
     def __init__(self):
         self.nodes = []
         self.constants = []
+        self.externals = []
+        self.order = []
+        self.info = {}
 
     def __len__(self):
         return len(self.nodes)
@@ -81,6 +99,7 @@ class Tape:
         """``id()`` set of every tensor created during the region."""
         ids = {id(t) for t in self.nodes}
         ids.update(id(t) for t in self.constants)
+        ids.update(id(t) for t in self.externals)
         return ids
 
     def __repr__(self):
@@ -89,7 +108,7 @@ class Tape:
 
 
 @contextmanager
-def record_tape():
+def record_tape(provenance=False):
     """Log every tensor the ops module creates inside the ``with`` block.
 
     Works by swapping the module-level ``_node``/``_leaf`` constructors in
@@ -99,28 +118,75 @@ def record_tape():
     reentrant and not thread-safe; it is an offline-analysis tool, not a
     training facility.
 
+    Parameters
+    ----------
+    provenance:
+        When ``True`` (the replay compiler's mode) each logged tensor also
+        captures the creating op's stack-frame locals into ``tape.info`` —
+        recovering static arguments and, crucially, the operands of *pruned*
+        constant-folded subgraphs, which the ``_leaf`` fast path otherwise
+        discards — and tensors built through ``Tensor.__init__`` (the
+        per-step batch inputs) are logged into ``tape.externals``.  Frame
+        capture is too slow for the analyzer's bulk sweeps, hence opt-in.
+
     Yields
     ------
     :class:`Tape`
     """
     tape = Tape()
     original_node, original_leaf = ops._node, ops._leaf
+    original_hook = tensor_module._creation_hook
 
-    def recording_node(data, node_parents, vjp):
-        tensor = original_node(data, node_parents, vjp)
-        tape.nodes.append(tensor)
-        return tensor
+    if provenance:
+        def _capture(tensor, data):
+            frame = sys._getframe(2)
+            local = dict(frame.f_locals)
+            tape.info[id(tensor)] = {
+                "op": frame.f_code.co_name,
+                "locals": local,
+                # the leaf IS the op's (pruned) result, as opposed to an
+                # auxiliary leaf such as relu's mask or absolute's sign
+                "is_result": local.get("data") is data,
+            }
 
-    def recording_leaf(data):
-        tensor = original_leaf(data)
-        tape.constants.append(tensor)
-        return tensor
+        def recording_node(data, node_parents, vjp):
+            tensor = original_node(data, node_parents, vjp)
+            tape.nodes.append(tensor)
+            tape.order.append(tensor)
+            _capture(tensor, data)
+            return tensor
+
+        def recording_leaf(data):
+            tensor = original_leaf(data)
+            tape.constants.append(tensor)
+            tape.order.append(tensor)
+            _capture(tensor, data)
+            return tensor
+
+        def external_hook(tensor):
+            tape.externals.append(tensor)
+            tape.order.append(tensor)
+
+        tensor_module._creation_hook = external_hook
+    else:
+        def recording_node(data, node_parents, vjp):
+            tensor = original_node(data, node_parents, vjp)
+            tape.nodes.append(tensor)
+            tape.order.append(tensor)
+            return tensor
+
+        def recording_leaf(data):
+            tensor = original_leaf(data)
+            tape.constants.append(tensor)
+            tape.order.append(tensor)
+            return tensor
 
     ops._node, ops._leaf = recording_node, recording_leaf
     try:
         yield tape
     finally:
         ops._node, ops._leaf = original_node, original_leaf
+        tensor_module._creation_hook = original_hook
 
 
 def iter_graph(outputs):

@@ -61,22 +61,33 @@ def _coerce(value):
     return _leaf(np.asarray(value))
 
 
-def _pair(a, b):
-    """Coerce a binary-op operand pair.
+def _peer(value, peer_dtype):
+    """Array for ``value`` as the peer operand of a tensor of ``peer_dtype``.
 
-    Python scalars adopt the other operand's dtype so float32 graphs are not
-    silently promoted to float64 by literals like ``x * 2.0``.
+    Scalars adopt the tensor's dtype so float32 graphs are not silently
+    promoted to float64 by literals like ``x * 2.0`` — whether the literal is
+    a Python ``int``/``float``, a numpy scalar (``np.float64(2.0)``), or a
+    0-d array.  Arrays with at least one dimension keep their own dtype: they
+    carry data, not a literal, and a caller-supplied dtype stays meaningful.
     """
+    if isinstance(value, (int, float)):
+        return np.asarray(value, dtype=peer_dtype)
+    arr = np.asarray(value)
+    if arr.ndim == 0 and np.issubdtype(arr.dtype, np.number):
+        return arr.astype(peer_dtype)
+    return arr
+
+
+def _pair(a, b):
+    """Coerce a binary-op operand pair (scalars adopt the peer dtype)."""
     a_is = isinstance(a, Tensor)
     b_is = isinstance(b, Tensor)
     if a_is and b_is:
         return a, b
     if a_is:
-        dtype = a.data.dtype if isinstance(b, (int, float)) else None
-        return a, _leaf(np.asarray(b, dtype=dtype))
+        return a, _leaf(_peer(b, a.data.dtype))
     if b_is:
-        dtype = b.data.dtype if isinstance(a, (int, float)) else None
-        return _leaf(np.asarray(a, dtype=dtype)), b
+        return _leaf(_peer(a, b.data.dtype)), b
     return _coerce(a), _coerce(b)
 
 
@@ -304,10 +315,13 @@ def silu(a):
 def relu(a):
     """Rectified linear unit."""
     a = _coerce(a)
-    mask = (a.data > 0).astype(a.data.dtype)
-    data = a.data * mask
+    mask_data = (a.data > 0).astype(a.data.dtype)
+    data = a.data * mask_data
     if not a.requires_grad:
         return _leaf(data)
+    # the mask is wrapped as a constant leaf (not closed over as a raw
+    # array) so the replay compiler can spot it and re-derive it per step
+    mask = _leaf(mask_data)
 
     def vjp(g):
         return (mul(g, mask),)
@@ -331,10 +345,10 @@ def softplus(a):
 def absolute(a):
     """Elementwise absolute value (subgradient 0 at the origin is sign(0)=0)."""
     a = _coerce(a)
-    sign = np.sign(a.data)
     data = np.abs(a.data)
     if not a.requires_grad:
         return _leaf(data)
+    sign = _leaf(np.sign(a.data))
 
     def vjp(g):
         return (mul(g, sign),)
@@ -345,15 +359,18 @@ def absolute(a):
 def maximum(a, b):
     """Elementwise maximum; ties send the full gradient to ``a``."""
     a, b = _pair(a, b)
-    take_a = (a.data >= b.data).astype(np.float64)
     data = np.maximum(a.data, b.data)
     if not (a.requires_grad or b.requires_grad):
         return _leaf(data)
+    # the selection mask carries the *result* dtype (not a hardcoded
+    # float64, which silently upcast every float32 backward pass) and is a
+    # constant leaf so the replay compiler can re-derive it per step
+    take_a = _leaf((a.data >= b.data).astype(data.dtype))
     a_shape, b_shape = a.data.shape, b.data.shape
 
     def vjp(g):
         ga = _unbroadcast(mul(g, take_a), a_shape)
-        gb = _unbroadcast(mul(g, 1.0 - take_a), b_shape)
+        gb = _unbroadcast(mul(g, sub(1.0, take_a)), b_shape)
         return ga, gb
 
     return _node(data, (a, b), vjp)
@@ -362,15 +379,15 @@ def maximum(a, b):
 def minimum(a, b):
     """Elementwise minimum; ties send the full gradient to ``a``."""
     a, b = _pair(a, b)
-    take_a = (a.data <= b.data).astype(np.float64)
     data = np.minimum(a.data, b.data)
     if not (a.requires_grad or b.requires_grad):
         return _leaf(data)
+    take_a = _leaf((a.data <= b.data).astype(data.dtype))
     a_shape, b_shape = a.data.shape, b.data.shape
 
     def vjp(g):
         ga = _unbroadcast(mul(g, take_a), a_shape)
-        gb = _unbroadcast(mul(g, 1.0 - take_a), b_shape)
+        gb = _unbroadcast(mul(g, sub(1.0, take_a)), b_shape)
         return ga, gb
 
     return _node(data, (a, b), vjp)
@@ -380,15 +397,15 @@ def where(condition, a, b):
     """Select from ``a`` where ``condition`` (a constant bool array) else ``b``."""
     cond = np.asarray(condition, dtype=bool)
     a, b = _coerce(a), _coerce(b)
-    mask = cond.astype(np.float64)
     data = np.where(cond, a.data, b.data)
     if not (a.requires_grad or b.requires_grad):
         return _leaf(data)
+    mask = _leaf(cond.astype(data.dtype))
     a_shape, b_shape = a.data.shape, b.data.shape
 
     def vjp(g):
         ga = _unbroadcast(mul(g, mask), a_shape)
-        gb = _unbroadcast(mul(g, 1.0 - mask), b_shape)
+        gb = _unbroadcast(mul(g, sub(1.0, mask)), b_shape)
         return ga, gb
 
     return _node(data, (a, b), vjp)

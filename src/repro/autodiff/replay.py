@@ -1,0 +1,750 @@
+"""Record-once/replay-many execution of the per-step autodiff graph.
+
+Dynamic tape construction dominates small-batch PINN steps: every iteration
+re-builds thousands of :class:`Tensor` nodes, VJP closures, and a topological
+sort whose *structure* is identical step to step — only the batch data
+changes.  This module compiles two provenance-recorded traces of one training
+step (see :func:`repro.autodiff.introspect.record_tape`) into a
+:class:`ReplayProgram`: a flat list of numpy instructions over preallocated
+buffers that reproduces the recorded loss and parameter gradients
+**bit-identically** while skipping all Python graph reconstruction.
+
+Compilation pipeline
+--------------------
+1. **Alignment** — the two traces must match position-by-position in op,
+   shape, dtype, and parent wiring; any structural difference between
+   consecutive steps means the graph is data-dependent and compilation is
+   refused (:class:`ReplayRefused`).
+2. **Leaf classification** — every leaf of the live graph becomes a
+   parameter slot (matched by object identity), a baked constant (bitwise
+   stable across both traces), an external input slot (per-step tensors the
+   trainer rebuilds from batch indices), a per-constraint weight slot
+   (matched by array identity against the arrays the trainer multiplied into
+   the loss), or a *recomputed* constant: provenance recovers the operands of
+   graph subtrees the ops module constant-folded away (e.g. the mixing-length
+   ``min`` over the non-differentiable SDF batch) so they replay as ordinary
+   instructions.
+3. **Shape gate** — the analyzer's per-op shape/dtype rules
+   (:func:`repro.analysis.tape._verify_node`) run over every live node; a
+   shape-inconsistent graph is refused rather than compiled.
+4. **Emission** — dead nodes are dropped, duplicate subgraphs are emitted
+   once (structural CSE), elementwise/matmul/reduction outputs write into
+   preallocated buffers via ``out=``, and pure reindexings (reshape,
+   transpose, basic slicing) stay views.
+5. **Self-verification** — the program is run against both recorded traces
+   (with each trace's parameter snapshot) and must reproduce the recorded
+   loss and every gradient byte-for-byte, otherwise it is refused.
+
+At run time :meth:`ReplayProgram.run` validates the per-step inputs against
+the recorded slot layout and raises :class:`ReplayStale` on any mismatch
+(changed batch size, dtype drift, a sampler that starts emitting weights),
+letting the trainer fall back to eager execution permanently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["ReplayProgram", "ReplayRefused", "ReplayStale", "StepTrace",
+           "compile_step"]
+
+
+class ReplayRefused(RuntimeError):
+    """The recorded step cannot be compiled; the trainer stays eager."""
+
+
+class ReplayStale(RuntimeError):
+    """Per-step inputs no longer match the compiled tape's layout."""
+
+
+class StepTrace:
+    """One provenance-recorded training step: tape + outputs + context.
+
+    Parameters
+    ----------
+    tape:
+        The :class:`~repro.autodiff.introspect.Tape` recorded with
+        ``provenance=True`` around loss assembly and ``gradients``.
+    loss, grads:
+        The recorded scalar loss tensor and per-parameter gradient tensors.
+    param_data:
+        Copies of every parameter array *as the traced step saw them* (taken
+        before the optimizer update), so the compiler can re-run the trace.
+    weight_arrays:
+        Per-constraint combined sample×importance weight arrays (or ``None``)
+        exactly as multiplied into the loss — matched by array identity to
+        the constant leaves that wrap them.
+    """
+
+    __slots__ = ("tape", "loss", "grads", "param_data", "weight_arrays")
+
+    def __init__(self, tape, loss, grads, param_data, weight_arrays):
+        self.tape = tape
+        self.loss = loss
+        self.grads = grads
+        self.param_data = param_data
+        self.weight_arrays = weight_arrays
+
+
+# ----------------------------------------------------------------------
+# Provenance decoding: op frame locals -> (operand tensors, static args)
+# ----------------------------------------------------------------------
+#: ops whose pruned results / live nodes we know how to re-execute
+_BINARY = {"add", "sub", "mul", "div", "maximum", "minimum", "matmul"}
+_UNARY = {"neg", "exp", "log", "sin", "cos", "tanh", "softplus", "absolute",
+          "sigmoid"}
+#: ops that create an auxiliary mask leaf next to their result
+_MASK_OPS = {"relu", "absolute", "maximum", "minimum", "where"}
+
+
+def _decode(op, local, result):
+    """``(operand tensors, statics)`` for an op's recorded frame locals.
+
+    ``result`` is the created tensor (used for result-shape statics).
+    Returns ``None`` when the op is not replayable.
+    """
+    if op in _BINARY:
+        return (local["a"], local["b"]), {}
+    if op == "relu":
+        return (local["a"], local["mask"]), {}
+    if op in _UNARY:
+        return (local["a"],), {}
+    if op == "power":
+        return (local["a"],), {"exponent": local["exponent"]}
+    if op == "where":
+        return (local["a"], local["b"]), {"cond": local["cond"]}
+    if op == "sum_":
+        return (local["a"],), {"axes": local["axes"],
+                               "keepdims": local["keepdims"]}
+    if op == "reshape":
+        return (local["a"],), {"shape": result.data.shape}
+    if op == "transpose":
+        return (local["a"],), {"axes": local["axes"]}
+    if op == "broadcast_to":
+        return (local["a"],), {"shape": result.data.shape}
+    if op == "concat":
+        return tuple(local["tensors"]), {"axis": local["axis_"]}
+    if op == "getitem":
+        return (local["a"],), {"index": local["index"]}
+    if op == "_scatter":
+        return (local["g"],), {"shape": local["shape"],
+                               "index": local["index"]}
+    return None
+
+
+def _decode_mask(op, local, mask):
+    """Recompute spec for an auxiliary mask leaf (relu/abs/max/min)."""
+    dtype = mask.data.dtype
+    if op == "relu":
+        return "mask_gt0", (local["a"],), {"dtype": dtype}
+    if op == "absolute":
+        return "mask_sign", (local["a"],), {}
+    if op == "maximum":
+        return "mask_ge", (local["a"], local["b"]), {"dtype": dtype}
+    if op == "minimum":
+        return "mask_le", (local["a"], local["b"]), {"dtype": dtype}
+    return None
+
+
+def _digest(value):
+    """Hashable, comparison-stable key for a static argument."""
+    if isinstance(value, np.ndarray):
+        return ("nd", value.shape, str(value.dtype), value.tobytes())
+    if isinstance(value, np.dtype):
+        return ("dt", str(value))
+    if isinstance(value, (tuple, list)):
+        return ("seq", tuple(_digest(v) for v in value))
+    if isinstance(value, slice):
+        return ("slice", value.start, value.stop, value.step)
+    if isinstance(value, np.generic):
+        return ("np", value.item())
+    return value
+
+
+def _stable(a, b):
+    """Bitwise equality of two arrays (shape, dtype, and bytes)."""
+    return (a.shape == b.shape and a.dtype == b.dtype
+            and a.tobytes() == b.tobytes())
+
+
+# ----------------------------------------------------------------------
+# Instruction emitters
+# ----------------------------------------------------------------------
+#: ufunc-style ops that write into a preallocated buffer
+_OUT_UFUNCS = {
+    "add": np.add, "sub": np.subtract, "mul": np.multiply, "div": np.divide,
+    "neg": np.negative, "exp": np.exp, "log": np.log, "sin": np.sin,
+    "cos": np.cos, "tanh": np.tanh, "maximum": np.maximum,
+    "minimum": np.minimum,
+}
+
+
+def _build_instruction(op, out, ins, st, bufs, alloc):
+    """Return a zero-argument callable executing one replayed op.
+
+    ``bufs`` is the shared buffer list; ``alloc`` the preallocated output
+    array (already bound to ``bufs[out]``) for ops that support ``out=``,
+    else ``None`` and the instruction rebinds ``bufs[out]`` per run.  Every
+    expression mirrors the eager op in :mod:`repro.autodiff.ops` exactly, so
+    replayed values are bit-identical.
+    """
+    ufunc = _OUT_UFUNCS.get(op)
+    if ufunc is not None:
+        if len(ins) == 1:
+            a, = ins
+            return lambda: ufunc(bufs[a], out=alloc)
+        a, b = ins
+        return lambda: ufunc(bufs[a], bufs[b], out=alloc)
+    if op == "matmul":
+        a, b = ins
+        return lambda: np.matmul(bufs[a], bufs[b], out=alloc)
+    if op == "relu":
+        a, m = ins
+        return lambda: np.multiply(bufs[a], bufs[m], out=alloc)
+    if op == "absolute":
+        a, = ins
+        return lambda: np.abs(bufs[a], out=alloc)
+    if op == "softplus":
+        a, = ins
+        return lambda: np.logaddexp(0.0, bufs[a], out=alloc)
+    if op == "sigmoid":
+        a, = ins
+
+        def _sigmoid():
+            x = np.clip(bufs[a], -60.0, 60.0)
+            bufs[out] = 1.0 / (1.0 + np.exp(-x))
+        return _sigmoid
+    if op == "power":
+        # ``**`` keeps numpy's special-cased exponents (0.5 -> sqrt, 2 ->
+        # square) whose results differ in the last ulp from np.power
+        a, = ins
+        exponent = st["exponent"]
+
+        def _power():
+            bufs[out] = bufs[a] ** exponent
+        return _power
+    if op == "where":
+        a, b = ins
+        cond = st["cond"]
+
+        def _where():
+            bufs[out] = np.where(cond, bufs[a], bufs[b])
+        return _where
+    if op == "sum_":
+        a, = ins
+        axes, keepdims = st["axes"], st["keepdims"]
+        return lambda: np.sum(bufs[a], axis=axes, keepdims=keepdims,
+                              out=alloc)
+    if op == "reshape":
+        a, = ins
+        shape = st["shape"]
+
+        def _reshape():
+            bufs[out] = bufs[a].reshape(shape)
+        return _reshape
+    if op == "transpose":
+        a, = ins
+        axes = st["axes"]
+
+        def _transpose():
+            bufs[out] = np.transpose(bufs[a], axes)
+        return _transpose
+    if op == "broadcast_to":
+        a, = ins
+        return lambda: np.copyto(alloc, bufs[a])
+    if op == "concat":
+        axis = st["axis"]
+        parts = list(ins)
+        return lambda: np.concatenate([bufs[i] for i in parts], axis=axis,
+                                      out=alloc)
+    if op == "getitem":
+        a, = ins
+        index = st["index"]
+
+        def _getitem():
+            bufs[out] = bufs[a][index]
+        return _getitem
+    if op == "_scatter":
+        g, = ins
+        index = st["index"]
+        from .ops import _index_has_int_array
+        if _index_has_int_array(index):
+            def _scatter():
+                alloc.fill(0)
+                np.add.at(alloc, index, bufs[g])
+        else:
+            def _scatter():
+                alloc.fill(0)
+                alloc[index] = bufs[g]
+        return _scatter
+    if op == "detach":
+        # pure aliasing: the detached leaf shares its source's array
+        a, = ins
+
+        def _detach():
+            bufs[out] = bufs[a]
+        return _detach
+    if op == "mask_gt0":
+        a, = ins
+        dtype = st["dtype"]
+
+        def _mask_gt0():
+            bufs[out] = (bufs[a] > 0).astype(dtype)
+        return _mask_gt0
+    if op == "mask_sign":
+        a, = ins
+
+        def _mask_sign():
+            bufs[out] = np.sign(bufs[a])
+        return _mask_sign
+    if op == "mask_ge":
+        a, b = ins
+        dtype = st["dtype"]
+
+        def _mask_ge():
+            bufs[out] = (bufs[a] >= bufs[b]).astype(dtype)
+        return _mask_ge
+    if op == "mask_le":
+        a, b = ins
+        dtype = st["dtype"]
+
+        def _mask_le():
+            bufs[out] = (bufs[a] <= bufs[b]).astype(dtype)
+        return _mask_le
+    return None
+
+
+#: ops whose output buffer is preallocated and written via ``out=``
+_ALLOC_OPS = (set(_OUT_UFUNCS) | {"matmul", "relu", "absolute", "softplus",
+                                  "sum_", "broadcast_to", "concat",
+                                  "_scatter"})
+
+
+# ----------------------------------------------------------------------
+# The compiled program
+# ----------------------------------------------------------------------
+class ReplayProgram:
+    """A compiled training step: flat numpy instructions over buffers.
+
+    Built by :func:`compile_step`; execute with :meth:`run`.  A program is
+    specific to one (problem, sampler, batch-size, dtype) configuration —
+    any drift raises :class:`ReplayStale` instead of silently replaying a
+    wrong graph.
+    """
+
+    def __init__(self, params):
+        self.params = list(params)
+        self.bufs = []
+        self.instructions = []
+        #: (slot, param index) — refreshed from ``param.data`` every run
+        self.param_slots = []
+        #: (slot, external index, shape, dtype) for live external inputs
+        self.external_slots = []
+        self.n_externals = 0
+        #: (slot, weight index, shape, dtype) for live weight inputs
+        self.weight_slots = []
+        #: per-weight-position: None or (shape, dtype) — the full layout
+        self.weight_layout = []
+        self.loss_slot = None
+        self.grad_slots = []
+        #: diagnostics: how many recorded tensors each optimisation removed
+        self.stats = {}
+
+    def run(self, externals, weights, param_data=None):
+        """Execute one step; returns ``(loss_array, gradient_arrays)``.
+
+        Parameters
+        ----------
+        externals:
+            Per-step input arrays, one per recorded external tensor, in
+            creation order (``Trainer`` rebuilds them from batch indices via
+            ``Constraint.replay_inputs``).
+        weights:
+            Per-constraint combined weight arrays (``None`` entries where
+            the recorded step had none).
+        param_data:
+            Optional parameter-array override (compile-time verification
+            re-runs the recorded traces under their own snapshots); defaults
+            to the live ``param.data`` arrays.
+
+        Raises
+        ------
+        ReplayStale
+            When any input's presence, shape, or dtype differs from the
+            recorded layout.
+        """
+        bufs = self.bufs
+        if len(externals) != self.n_externals:
+            raise ReplayStale(f"expected {self.n_externals} external inputs, "
+                              f"got {len(externals)}")
+        if len(weights) != len(self.weight_layout):
+            raise ReplayStale(f"expected {len(self.weight_layout)} weight "
+                              f"entries, got {len(weights)}")
+        for position, spec in enumerate(self.weight_layout):
+            weight = weights[position]
+            if (spec is None) != (weight is None):
+                raise ReplayStale(f"weight {position} "
+                                  f"{'appeared' if spec is None else 'vanished'}"
+                                  f" relative to the recorded step")
+        for slot, position, shape, dtype in self.external_slots:
+            array = externals[position]
+            if array.shape != shape or array.dtype != dtype:
+                raise ReplayStale(
+                    f"external input {position}: got {array.shape} "
+                    f"{array.dtype}, recorded {shape} {dtype}")
+            bufs[slot] = array
+        for slot, position, shape, dtype in self.weight_slots:
+            array = weights[position]
+            if array.shape != shape or array.dtype != dtype:
+                raise ReplayStale(
+                    f"weight {position}: got {array.shape} {array.dtype}, "
+                    f"recorded {shape} {dtype}")
+            bufs[slot] = array
+        if param_data is None:
+            for slot, index in self.param_slots:
+                bufs[slot] = self.params[index].data
+        else:
+            for slot, index in self.param_slots:
+                bufs[slot] = param_data[index]
+        for instruction in self.instructions:
+            instruction()
+        return bufs[self.loss_slot], [bufs[s] for s in self.grad_slots]
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+def _op_label(tape, tensor):
+    info = tape.info.get(id(tensor))
+    return info["op"] if info else None
+
+
+def _align(trace0, trace1):
+    """Verify the two traces are structurally identical; map id -> position."""
+    order0, order1 = trace0.tape.order, trace1.tape.order
+    if len(order0) != len(order1):
+        raise ReplayRefused(
+            f"graph size changed between consecutive steps "
+            f"({len(order0)} vs {len(order1)} tensors) — data-dependent "
+            f"structure cannot be replayed")
+    pos0 = {id(t): i for i, t in enumerate(order0)}
+    pos1 = {id(t): i for i, t in enumerate(order1)}
+    ext0 = {id(t) for t in trace0.tape.externals}
+    ext1 = {id(t) for t in trace1.tape.externals}
+    for i, (a, b) in enumerate(zip(order0, order1)):
+        if (id(a) in ext0) != (id(b) in ext1):
+            raise ReplayRefused(f"tensor {i} changed kind between steps")
+        if a.data.shape != b.data.shape or a.data.dtype != b.data.dtype:
+            raise ReplayRefused(
+                f"tensor {i} changed shape/dtype between steps: "
+                f"{a.data.shape}/{a.data.dtype} vs "
+                f"{b.data.shape}/{b.data.dtype}")
+        if len(a._parents) != len(b._parents):
+            raise ReplayRefused(f"tensor {i} changed arity between steps")
+        label0 = _op_label(trace0.tape, a)
+        label1 = _op_label(trace1.tape, b)
+        if label0 != label1:
+            raise ReplayRefused(f"tensor {i} changed op between steps: "
+                                f"{label0} vs {label1}")
+        for p, q in zip(a._parents, b._parents):
+            i0, i1 = pos0.get(id(p)), pos1.get(id(q))
+            if i0 is None and i1 is None:
+                if p is not q:
+                    raise ReplayRefused(
+                        f"tensor {i} reads different pre-existing tensors "
+                        f"in consecutive steps")
+            elif i0 != i1:
+                raise ReplayRefused(
+                    f"tensor {i} re-wired its inputs between steps")
+    return pos0, pos1
+
+
+def _operands_of(trace, tensor):
+    """Dependency tensors for the live-set walk (nodes and pruned leaves)."""
+    if tensor._parents:
+        deps = list(tensor._parents)
+        # relu keeps its mask leaf out of ``_parents`` (gradients must not
+        # flow into it) but the forward replay multiplies by it
+        info = trace.tape.info.get(id(tensor))
+        if info and info["op"] == "relu":
+            deps.append(info["locals"]["mask"])
+        return deps
+    info = trace.tape.info.get(id(tensor))
+    if info is None:
+        return ()
+    if info["op"] == "detach":
+        return (info["locals"]["self"],)
+    if info["is_result"]:
+        decoded = _decode(info["op"], info["locals"], tensor)
+        return decoded[0] if decoded else ()
+    decoded = _decode_mask(info["op"], info["locals"], tensor)
+    return decoded[1] if decoded else ()
+
+
+def compile_step(trace0, trace1, params):
+    """Compile two consecutive step traces into a :class:`ReplayProgram`.
+
+    Raises :class:`ReplayRefused` whenever the recorded step cannot be
+    replayed exactly; the caller is expected to fall back to eager
+    execution.
+    """
+    # imported here: analysis sits above autodiff in the layer order, and
+    # its shape/dtype rules gate compilation (ISSUE: refuse to compile a
+    # shape-inconsistent graph) without making autodiff depend on it at
+    # import time
+    from ..analysis.tape import _verify_node
+
+    tape0 = trace0.tape
+    pos0, _ = _align(trace0, trace1)
+    order0, order1 = tape0.order, trace1.tape.order
+
+    param_index = {id(p): i for i, p in enumerate(params)}
+    external_index = {id(t): i for i, t in enumerate(tape0.externals)}
+    weight_index = {}
+    for w, array in enumerate(trace0.weight_arrays):
+        if array is not None:
+            weight_index[id(array)] = w
+
+    loss, grads = trace0.loss, trace0.grads
+    if not isinstance(loss, Tensor) or loss.data.size != 1:
+        raise ReplayRefused("recorded loss is not a scalar tensor")
+
+    # ------------------------------------------------------------------
+    # Live set: everything the loss + gradients depend on, transitively,
+    # following provenance through pruned (constant-folded) subgraphs.
+    # ------------------------------------------------------------------
+    live = {}
+    stack = [loss] + list(grads)
+    while stack:
+        tensor = stack.pop()
+        if id(tensor) in live:
+            continue
+        live[id(tensor)] = tensor
+        stack.extend(_operands_of(trace0, tensor))
+
+    # ------------------------------------------------------------------
+    # Shape gate: the analyzer's per-op rules must hold on every live node.
+    # ------------------------------------------------------------------
+    issues = []
+    for tensor in live.values():
+        if tensor._parents:
+            _verify_node(tensor, issues)
+    if issues:
+        first = issues[0]
+        raise ReplayRefused(
+            f"shape-inconsistent graph: {len(issues)} issue(s), first: "
+            f"{first['kind']} mismatch in {first['op']} "
+            f"({first['parents']} -> {first['actual']})")
+
+    program = ReplayProgram(params)
+    bufs = program.bufs
+    slot_of = {}
+    cse = {}
+    key_of = {}
+    interned = {}
+
+    def intern(key):
+        # canonical small id per structural key: parents build their CSE
+        # keys from operand *ids*, not nested subtree keys — nesting makes
+        # key hashing quadratic in graph depth (and drags every baked
+        # constant's tobytes() into each ancestor's key)
+        return interned.setdefault(key, len(interned))
+    stats = {"recorded": len(order0), "live": 0, "dead": 0, "baked": 0,
+             "recomputed_folds": 0, "cse_hits": 0, "instructions": 0}
+
+    def new_slot(value=None):
+        bufs.append(value)
+        return len(bufs) - 1
+
+    def bake(tensor):
+        key = ("baked", tensor.data.shape, str(tensor.data.dtype),
+               tensor.data.tobytes())
+        slot = cse.get(key)
+        if slot is None:
+            slot = new_slot(tensor.data)
+            cse[key] = slot
+            stats["baked"] += 1
+        else:
+            stats["cse_hits"] += 1
+        return slot, intern(key)
+
+    def emit(op, tensor, operand_tensors, statics, statics1):
+        """CSE-aware instruction emission; returns the output slot."""
+        if _digest(tuple(statics.values())) != _digest(tuple(statics1.values())):
+            raise ReplayRefused(
+                f"{op} static arguments changed between steps")
+        try:
+            in_slots = tuple(slot_of[id(t)] for t in operand_tensors)
+        except KeyError:
+            raise ReplayRefused(
+                f"{op} reads a tensor created out of order")
+        key = (op, tuple(key_of[id(t)] for t in operand_tensors),
+               _digest(tuple(sorted((k, _digest(v))
+                                    for k, v in statics.items()))))
+        slot = cse.get(key)
+        if slot is not None:
+            stats["cse_hits"] += 1
+            return slot, intern(key)
+        alloc = None
+        if op in _ALLOC_OPS:
+            alloc = np.empty(tensor.data.shape, tensor.data.dtype)
+        slot = new_slot(alloc)
+        instruction = _build_instruction(op, slot, in_slots, statics, bufs,
+                                         alloc)
+        if instruction is None:
+            raise ReplayRefused(f"op {op!r} has no replay rule")
+        program.instructions.append(instruction)
+        stats["instructions"] += 1
+        cse[key] = slot
+        return slot, intern(key)
+
+    # ------------------------------------------------------------------
+    # Pre-existing tensors (parameters, build-time constants like Fourier
+    # frequency matrices) referenced by live nodes but created before
+    # recording started get their slots first: the creation-order walk
+    # resolves operand slots at emission time.
+    # ------------------------------------------------------------------
+    for tensor in live.values():
+        if id(tensor) in pos0:
+            continue
+        index = param_index.get(id(tensor))
+        if index is not None:
+            slot = new_slot()
+            program.param_slots.append((slot, index))
+            slot_of[id(tensor)] = slot
+            key_of[id(tensor)] = intern(("param", index))
+        else:
+            slot_of[id(tensor)], key_of[id(tensor)] = bake(tensor)
+
+    # ------------------------------------------------------------------
+    # Walk the recorded order; classify and emit every live tensor.
+    # ------------------------------------------------------------------
+    for position, tensor in enumerate(order0):
+        if id(tensor) not in live:
+            stats["dead"] += 1
+            continue
+        stats["live"] += 1
+        mirror = order1[position]
+        info = tape0.info.get(id(tensor))
+
+        if tensor._parents:                      # a graph node
+            op = info["op"] if info else None
+            decoded = op and _decode(op, info["locals"], tensor)
+            if not decoded:
+                raise ReplayRefused(f"node {position} ({op!r}) is not "
+                                    f"replayable")
+            operand_tensors, statics = decoded
+            info1 = trace1.tape.info[id(mirror)]
+            _, statics1 = _decode(op, info1["locals"], mirror)
+            slot_of[id(tensor)], key_of[id(tensor)] = emit(
+                op, tensor, operand_tensors, statics, statics1)
+            continue
+
+        if id(tensor) in external_index:         # per-step trainer input
+            index = external_index[id(tensor)]
+            slot = new_slot()
+            program.external_slots.append(
+                (slot, index, tensor.data.shape, tensor.data.dtype))
+            slot_of[id(tensor)] = slot
+            key_of[id(tensor)] = intern(("ext", index))
+            continue
+
+        if id(tensor) in param_index:            # shouldn't happen: params
+            raise ReplayRefused("a parameter was re-created inside the "
+                                "recorded region")
+
+        if id(tensor.data) in weight_index:
+            # constant leaf wrapping a trainer-supplied weight array —
+            # matched by array identity, NOT by value stability: importance
+            # weights can be bitwise-equal for many steps (MIS pre-refresh
+            # emits exact ones) and still must stay per-step inputs
+            index = weight_index[id(tensor.data)]
+            if trace1.weight_arrays[index] is not mirror.data:
+                raise ReplayRefused("weight arrays bind to different "
+                                    "constraints in consecutive steps")
+            key = ("weight", index)
+            slot = cse.get(key)
+            if slot is None:
+                slot = new_slot()
+                cse[key] = slot
+                program.weight_slots.append(
+                    (slot, index, tensor.data.shape, tensor.data.dtype))
+            slot_of[id(tensor)] = slot
+            key_of[id(tensor)] = intern(key)
+            continue
+
+        op = info["op"] if info else None
+        if op == "detach":
+            # a gradient-stopped alias of a graph value (frozen-viscosity
+            # diffusion); replays as a buffer rebind
+            slot_of[id(tensor)], key_of[id(tensor)] = emit(
+                "detach", tensor, (info["locals"]["self"],), {}, {})
+            stats["recomputed_folds"] += 1
+            continue
+        if info and info["is_result"] and op and \
+                _decode(op, info["locals"], tensor):
+            # a constant-folded subgraph result (all operands non-grad):
+            # provenance recovered its operands, replay it as a normal
+            # instruction so per-step values (e.g. SDF-derived mixing
+            # lengths) stay exact
+            operand_tensors, statics = _decode(op, info["locals"], tensor)
+            info1 = trace1.tape.info[id(mirror)]
+            _, statics1 = _decode(op, info1["locals"], mirror)
+            slot_of[id(tensor)], key_of[id(tensor)] = emit(
+                op, tensor, operand_tensors, statics, statics1)
+            stats["recomputed_folds"] += 1
+            continue
+
+        if info and not info["is_result"] and op in _MASK_OPS:
+            decoded = _decode_mask(op, info["locals"], tensor)
+            if decoded is not None:
+                mask_op, operand_tensors, statics = decoded
+                slot_of[id(tensor)], key_of[id(tensor)] = emit(
+                    mask_op, tensor, operand_tensors, statics, statics)
+                continue
+            # ``where`` masks derive from a static condition array: baked
+            # below if stable, refused otherwise
+
+        if _stable(tensor.data, mirror.data):    # step-invariant constant
+            slot_of[id(tensor)], key_of[id(tensor)] = bake(tensor)
+            continue
+
+        raise ReplayRefused(
+            f"constant {position} ({op or 'raw'}) varies between steps "
+            f"with no recoverable provenance")
+
+    program.n_externals = len(tape0.externals)
+    program.weight_layout = [
+        None if a is None else (a.shape, a.dtype)
+        for a in trace0.weight_arrays]
+    missing = [t for t in [loss] + list(grads) if id(t) not in slot_of]
+    if missing:
+        raise ReplayRefused("an output tensor was not assigned a slot")
+    program.loss_slot = slot_of[id(loss)]
+    program.grad_slots = [slot_of[id(g)] for g in grads]
+    program.stats = stats
+
+    _self_verify(program, trace0)
+    _self_verify(program, trace1)
+    return program
+
+
+def _self_verify(program, trace):
+    """Re-run the compiled program against a recorded trace, bit-for-bit."""
+    externals = [t.data for t in trace.tape.externals]
+    try:
+        loss_value, grads = program.run(externals, trace.weight_arrays,
+                                        param_data=trace.param_data)
+    except ReplayStale as exc:
+        raise ReplayRefused(f"self-verification could not run: {exc}")
+    if not _stable(np.asarray(loss_value), trace.loss.data):
+        raise ReplayRefused(
+            f"self-verification failed: replayed loss "
+            f"{np.asarray(loss_value)} != recorded {trace.loss.data}")
+    for index, (replayed, recorded) in enumerate(zip(grads, trace.grads)):
+        if not _stable(replayed, recorded.data):
+            raise ReplayRefused(
+                f"self-verification failed: gradient {index} diverges from "
+                f"the recorded trace")

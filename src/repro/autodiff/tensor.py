@@ -18,6 +18,13 @@ import numpy as np
 
 __all__ = ["Tensor", "as_tensor"]
 
+#: optional callback invoked with every tensor built through ``Tensor.__init__``
+#: (NOT the ops-module fast constructors).  ``record_tape(provenance=True)``
+#: installs it to log per-step *external* inputs — batch coordinate columns,
+#: boundary targets, measurement data — which the replay compiler turns into
+#: input slots.  ``None`` (the default) costs one global load per construction.
+_creation_hook = None
+
 
 class Tensor:
     """A numpy-backed array node in a dynamically built computation graph.
@@ -50,6 +57,9 @@ class Tensor:
         self._parents = tuple(parents)
         self._vjp = vjp
         self.name = name
+        hook = _creation_hook
+        if hook is not None:
+            hook(self)
 
     # ------------------------------------------------------------------
     # Array-like introspection
@@ -92,8 +102,12 @@ class Tensor:
 
         Gradients do not flow through the returned tensor; use it to stop
         gradient propagation (e.g. for loss normalisation constants).
+        Routed through the ops module's leaf constructor so a recording
+        tape sees the detached leaf as graph-derived (operand recoverable
+        from provenance), not as a per-step external input.
         """
-        return Tensor(self.data, requires_grad=False)
+        from . import ops
+        return ops._leaf(self.data)
 
     def __len__(self):
         return len(self.data)

@@ -187,6 +187,8 @@ def _cmd_run(args):
                 session.n_interior(args.n_interior)
             if args.batch_size is not None:
                 session.batch_size(args.batch_size)
+            if args.compile:
+                session.compile()
             result = session.train(steps=steps, store=store,
                                    checkpoint_every=checkpoint_every)
     except (KeyError, ValueError) as exc:
@@ -243,7 +245,7 @@ def _cmd_suite(args):
         suite = run_suite(problem, methods, executor=executor,
                           max_workers=max_workers, seed=seed,
                           steps=steps, scale=args.scale, config=config,
-                          verbose=True, store=store)
+                          verbose=True, store=store, compile=args.compile)
     except (KeyError, ValueError) as exc:
         # registry lookups and method resolution name the problem themselves
         print(f"error: {exc.args[0]}")
@@ -269,7 +271,7 @@ def _cmd_matrix(args):
             executor="process" if args.parallel else "serial",
             max_workers=args.max_workers, seed=args.seed, steps=args.steps,
             scale=args.scale, verbose=True, store=args.store,
-            checkpoint_every=args.checkpoint_every)
+            checkpoint_every=args.checkpoint_every, compile=args.compile)
     except (KeyError, ValueError) as exc:
         # registry lookups and grid resolution name the problem themselves
         print(f"error: {exc.args[0]}")
@@ -586,6 +588,10 @@ def build_parser():
                    help="full-state checkpoint cadence in steps")
     p.add_argument("--resume", default=None, metavar="RUN_ID",
                    help="continue a stored run from its newest checkpoint")
+    p.add_argument("--compile", action="store_true",
+                   help="replay a compiled autodiff tape after tracing the "
+                        "first steps (bit-identical; falls back to eager "
+                        "if the graph refuses to compile)")
 
     p = sub.add_parser("runs", help="inspect the persistent run store")
     p.add_argument("--store", default=None, metavar="DIR",
@@ -654,6 +660,9 @@ def build_parser():
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--store", default=None, metavar="DIR",
                    help="record every method into this run store")
+    p.add_argument("--compile", action="store_true",
+                   help="train every method with compiled-tape replay "
+                        "(bit-identical; per-cell eager fallback)")
 
     p = sub.add_parser("matrix", help="cross-problem benchmark matrix: "
                        "problems x samplers cells on one shared pool")
@@ -673,6 +682,9 @@ def build_parser():
                    help="record every cell into this single run store")
     p.add_argument("--checkpoint-every", type=int, default=None,
                    help="full-state checkpoint cadence in steps")
+    p.add_argument("--compile", action="store_true",
+                   help="train every cell with compiled-tape replay "
+                        "(bit-identical; per-cell eager fallback)")
 
     for n in (1, 2):
         p = sub.add_parser(f"table{n}", help=f"regenerate Table {n}")

@@ -78,7 +78,8 @@ def build_inverse_burgers_problem(config, n_interior, rng):
     measurements = inverse_burgers_exact(config, sensor_coords[:, 0],
                                          sensor_coords[:, 1])
 
-    nu = TrainableCoefficient(config.nu_initial, positive=True, name="nu")
+    nu = TrainableCoefficient(config.nu_initial, positive=True, name="nu",
+                              dtype=config.network.dtype)
     constraints = [
         InteriorConstraint("interior", interior, Burgers1D(nu=nu),
                            batch_size=0, sdf_weighting=False,

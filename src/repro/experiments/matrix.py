@@ -130,7 +130,7 @@ def run_matrix(problems=None, methods=None, *, executor="process",
                max_workers=None, seed=None, steps=None, scale="repro",
                configs=None, n_interior=None, batch_size=None,
                validators=None, verbose=False, store=None,
-               checkpoint_every=None):
+               checkpoint_every=None, compile=False):
     """Train a problems × samplers benchmark matrix on one shared pool.
 
     Parameters
@@ -165,6 +165,9 @@ def run_matrix(problems=None, methods=None, *, executor="process",
         Optional :class:`repro.store.RunStore` (or root path): every cell
         — including each process-pool worker — records its own durable
         run into this single store.
+    compile:
+        Train every cell with record-once/replay-many tape execution
+        (bit-identical to eager; automatic per-cell eager fallback).
 
     Returns
     -------
@@ -203,7 +206,7 @@ def run_matrix(problems=None, methods=None, *, executor="process",
             tasks.append(_make_task(entry.name, config, spec, cell_seed,
                                     steps, validators,
                                     verbose and executor == "serial",
-                                    store_root, checkpoint_every))
+                                    store_root, checkpoint_every, compile))
             labels.append(f"{entry.name}:{config.scale}:{spec.label}")
 
     started = time.perf_counter()

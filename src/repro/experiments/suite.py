@@ -37,7 +37,7 @@ __all__ = [
 
 
 def _make_task(problem, config, spec, seed, steps, validators, verbose,
-               store_root, checkpoint_every):
+               store_root, checkpoint_every, compile=False):
     """The picklable work unit :func:`_train_method` consumes.
 
     Built here (and only here) so :func:`run_suite` and the cross-problem
@@ -45,7 +45,7 @@ def _make_task(problem, config, spec, seed, steps, validators, verbose,
     makes a matrix cell bit-identical to the standalone suite cell.
     """
     return (problem, config, spec, seed, steps, validators, verbose,
-            store_root, checkpoint_every)
+            store_root, checkpoint_every, compile)
 
 EXECUTORS = ("serial", "process")
 
@@ -229,7 +229,7 @@ def _train_method(task):
     randomness derives from ``(config, seed)``, never from worker state.
     """
     (name, config, spec, seed, steps, validators, verbose, store_root,
-     checkpoint_every) = task
+     checkpoint_every, compile) = task
     from ..api.problems import build_problem
     from ..api.session import run_problem
     store = None
@@ -247,7 +247,8 @@ def _train_method(task):
     result = run_problem(prob, config, sampler=spec.kind,
                          batch_size=spec.batch_size, seed=seed, steps=steps,
                          label=spec.label, validators=validators,
-                         store=store, checkpoint_every=checkpoint_every)
+                         store=store, checkpoint_every=checkpoint_every,
+                         compile=compile)
     wall = time.perf_counter() - started
 
     sampler = result.sampler
@@ -326,7 +327,7 @@ def _execute_tasks(tasks, labels, *, executor, max_workers=None,
 def run_suite(problem, methods=None, *, executor="process", max_workers=None,
               seed=None, steps=None, config=None, scale="repro",
               validators=None, verbose=False, store=None,
-              checkpoint_every=None):
+              checkpoint_every=None, compile=False):
     """Train a method sweep on any registered problem.
 
     Parameters
@@ -358,6 +359,9 @@ def run_suite(problem, methods=None, *, executor="process", max_workers=None,
         Optional :class:`repro.store.RunStore` (or root path).  Every
         method — including each process-pool worker — records its own
         durable run into the store; :attr:`MethodResult.run_id` names it.
+    compile:
+        Train every cell with record-once/replay-many tape execution
+        (bit-identical to eager; automatic per-cell eager fallback).
 
     Returns
     -------
@@ -385,7 +389,7 @@ def run_suite(problem, methods=None, *, executor="process", max_workers=None,
         store_root = str(RunStore.coerce(store).root)
     tasks = [_make_task(entry.name, config, spec, seed, steps, validators,
                         verbose and executor == "serial", store_root,
-                        checkpoint_every) for spec in specs]
+                        checkpoint_every, compile) for spec in specs]
     labels = [f"{entry.name}:{config.scale}:{spec.label}" for spec in specs]
 
     started = time.perf_counter()

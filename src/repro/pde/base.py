@@ -23,3 +23,14 @@ class PDE:
     def residual_names(self):
         """Names of the residuals produced (defaults to one evaluation)."""
         raise NotImplementedError
+
+    def replay_arrays(self, columns):
+        """Per-batch constant arrays :meth:`residuals` wraps as tensors.
+
+        ``columns`` maps coordinate names to the batch's ``(n, 1)`` feature
+        columns.  PDEs that materialize batch-dependent constants inside
+        :meth:`residuals` (e.g. an evaluated source term) override this to
+        rebuild the same arrays, in creation order, so the replay engine can
+        feed a compiled tape without re-running the graph code.
+        """
+        return ()

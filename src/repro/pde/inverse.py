@@ -30,9 +30,13 @@ class TrainableCoefficient(Module):
         reparameterization (viscosities, diffusivities, densities).
     name:
         Label for diagnostics.
+    dtype:
+        Parameter dtype.  Pass the network's working precision so the
+        coefficient does not upcast a float32 loss graph to float64.
     """
 
-    def __init__(self, initial, positive=True, name="coefficient"):
+    def __init__(self, initial, positive=True, name="coefficient",
+                 dtype=np.float64):
         initial = float(initial)
         self.positive = bool(positive)
         self.coeff_name = name
@@ -43,7 +47,7 @@ class TrainableCoefficient(Module):
             raw = np.log(np.expm1(initial))
         else:
             raw = initial
-        self.raw = Parameter(np.array([[raw]]), name=name)
+        self.raw = Parameter(np.array([[raw]], dtype=dtype), name=name)
 
     def tensor(self):
         """The coefficient as a (1, 1) tensor in the autodiff graph."""

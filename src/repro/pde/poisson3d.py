@@ -30,3 +30,9 @@ class Poisson3D(PDE):
         z = fields.get("z").numpy()
         f = Tensor(np.asarray(self.source(x, y, z)).reshape(-1, 1))
         return {"poisson": lap - f}
+
+    def replay_arrays(self, columns):
+        if self.source is None:
+            return ()
+        return (np.asarray(self.source(columns["x"], columns["y"],
+                                       columns["z"])).reshape(-1, 1),)

@@ -76,6 +76,37 @@ class Constraint:
         """Return ``(dict name -> (n,1) residual tensor, per-sample weight)``."""
         raise NotImplementedError
 
+    def sample_weight_for(self, indices):
+        """Per-sample loss weight array for a batch (``None`` = uniform).
+
+        The single source of truth for both the eager loss assembly and the
+        replay engine's per-step weight inputs; subclasses with weighting
+        (SDF-weighted interiors) override it and :meth:`residuals` calls it.
+        """
+        return None
+
+    def replay_inputs(self, indices):
+        """Per-step input arrays, in the order :meth:`residuals` wraps them.
+
+        The replay compiler binds each array created while tracing a step —
+        batch coordinate columns, source fields, SDF batches, targets — to
+        an input slot; this method rebuilds the same arrays for a new batch
+        so a compiled tape can be re-run without touching the graph code.
+        Order and bitwise content must mirror :meth:`build_fields` (and the
+        subclass's :meth:`residuals`) exactly; the trainer verifies that at
+        trace time and refuses to compile on any mismatch.
+        """
+        batch = self._features[indices]
+        names = tuple(self.spatial_names) + tuple(self.cloud.param_names)
+        arrays = [batch[:, i:i + 1].copy() for i in range(len(names))]
+        for name, source in self.field_sources.items():
+            arrays.append(np.asarray(source(self.cloud.coords[indices],
+                                            self.cloud.params[indices]),
+                                     dtype=self.dtype).reshape(-1, 1))
+        if self.cloud.sdf is not None:
+            arrays.append(self.cloud.sdf[indices].astype(self.dtype))
+        return arrays
+
 
 class InteriorConstraint(Constraint):
     """PDE residuals on interior collocation points.
@@ -108,10 +139,23 @@ class InteriorConstraint(Constraint):
         for name, tensor in raw.items():
             factor = self.residual_weights.get(name, 1.0)
             scaled[name] = tensor if factor == 1.0 else tensor * factor
-        sample_weight = None
-        if self.sdf_weighting:
-            sample_weight = np.maximum(self.cloud.sdf[indices], 0.0)
-        return scaled, sample_weight
+        return scaled, self.sample_weight_for(indices)
+
+    def sample_weight_for(self, indices):
+        if not self.sdf_weighting:
+            return None
+        # cast to the constraint's working precision: the raw sdf is
+        # float64 and would silently upcast a float32 loss graph
+        return np.maximum(self.cloud.sdf[indices],
+                          0.0).astype(self.dtype, copy=False)
+
+    def replay_inputs(self, indices):
+        arrays = super().replay_inputs(indices)
+        batch = self._features[indices]
+        names = tuple(self.spatial_names) + tuple(self.cloud.param_names)
+        columns = {name: batch[:, i:i + 1] for i, name in enumerate(names)}
+        arrays.extend(self.pde.replay_arrays(columns))
+        return arrays
 
 
 class BoundaryConstraint(Constraint):
@@ -147,6 +191,19 @@ class BoundaryConstraint(Constraint):
                                 dtype=self.dtype)
             out[f"{self.name}_{var}"] = fields.get(var) - Tensor(value)
         return out, None
+
+    def replay_inputs(self, indices):
+        arrays = super().replay_inputs(indices)
+        coords = self.cloud.coords[indices]
+        params = self.cloud.params[indices]
+        for target in self.targets.values():
+            if callable(target):
+                arrays.append(np.asarray(target(coords, params),
+                                         dtype=self.dtype).reshape(-1, 1))
+            else:
+                arrays.append(np.full((len(coords), 1), float(target),
+                                      dtype=self.dtype))
+        return arrays
 
 
 class DataConstraint(Constraint):
@@ -186,3 +243,9 @@ class DataConstraint(Constraint):
             target = Tensor(array[indices].astype(self.dtype))
             out[f"{self.name}_{var}"] = fields.get(var) - target
         return out, None
+
+    def replay_inputs(self, indices):
+        arrays = super().replay_inputs(indices)
+        for array in self.values.values():
+            arrays.append(array[indices].astype(self.dtype))
+        return arrays

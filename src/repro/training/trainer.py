@@ -17,11 +17,27 @@ from __future__ import annotations
 import numpy as np
 
 from ..autodiff import gradients
+from ..autodiff.introspect import record_tape
+from ..autodiff.replay import (
+    ReplayRefused, ReplayStale, StepTrace, compile_step,
+)
 from ..sampling import UniformSampler
 from ..utils import TrainingClock
 from .history import History
 
 __all__ = ["Trainer"]
+
+
+class _ReplayState:
+    """Compile-mode bookkeeping: traced steps, compiled program, fallback."""
+
+    __slots__ = ("traces", "program", "disabled", "refusal")
+
+    def __init__(self):
+        self.traces = []
+        self.program = None
+        self.disabled = False
+        self.refusal = None
 
 
 class Trainer:
@@ -137,19 +153,40 @@ class Trainer:
             probe_grad_norm=lambda idx: self._chunked(grad_norm_chunk, idx))
 
     # ------------------------------------------------------------------
-    def _step_loss(self, step):
-        total = None
+    # One optimizer step, split into the batch/weight phase (samplers,
+    # probe refreshes, raw numpy — everything the replay engine re-runs
+    # eagerly) and the pure graph-building phase (the recorded region).
+    # ------------------------------------------------------------------
+    def _step_batches(self, step):
+        """Draw every constraint's batch and combined per-sample weights.
+
+        Importance refreshes (probe forward passes) fire inside
+        ``batch_indices``, so they stay *outside* the recorded/replayed
+        region; ``batch_weights`` is a pure lookup on every sampler.
+        Returns ``(batches, weights)`` dicts keyed by constraint name, the
+        weight being the final sample×importance product multiplied into
+        the loss (or ``None``).
+        """
+        batches, weights = {}, {}
         for constraint in self.constraints:
             sampler = self.samplers[constraint.name]
             indices = sampler.batch_indices(step, constraint.batch_size)
-            residuals, sample_weight = constraint.residuals(self.net, indices)
+            batches[constraint.name] = indices
+            weight = constraint.sample_weight_for(indices)
             importance = sampler.batch_weights(indices)
-            weight = None
-            if sample_weight is not None:
-                weight = sample_weight
             if importance is not None:
                 imp = importance.reshape(-1, 1)
                 weight = imp if weight is None else weight * imp
+            weights[constraint.name] = weight
+        return batches, weights
+
+    def _assemble_loss(self, batches, weights):
+        """Build the aggregate loss graph for pre-drawn batches (eq. 4)."""
+        total = None
+        for constraint in self.constraints:
+            residuals, _ = constraint.residuals(self.net,
+                                                batches[constraint.name])
+            weight = weights[constraint.name]
             for tensor in residuals.values():
                 squared = tensor * tensor
                 if weight is not None:
@@ -157,6 +194,117 @@ class Trainer:
                 term = squared.mean() * constraint.weight
                 total = term if total is None else total + term
         return total
+
+    def _step_loss(self, step):
+        batches, weights = self._step_batches(step)
+        return self._assemble_loss(batches, weights)
+
+    # ------------------------------------------------------------------
+    # Record-once/replay-many execution (``train(compile=True)``)
+    # ------------------------------------------------------------------
+    #: consecutive training steps traced before compiling a replay program
+    TRACE_STEPS = 2
+
+    def _replay_externals(self, batches):
+        """Flat per-step input-array list, in recorded creation order."""
+        arrays = []
+        for constraint in self.constraints:
+            arrays.extend(constraint.replay_inputs(batches[constraint.name]))
+        return arrays
+
+    def _weight_list(self, weights):
+        return [weights[c.name] for c in self.constraints]
+
+    def _run_step(self, step, replay):
+        """Execute one optimizer step eagerly, traced, or replayed."""
+        batches, weights = self._step_batches(step)
+        if replay is not None and replay.program is not None:
+            try:
+                loss_value, grads = replay.program.run(
+                    self._replay_externals(batches),
+                    self._weight_list(weights))
+            except ReplayStale as exc:
+                # a retrace-invalidating change (batch size, dtype, weight
+                # layout) — permanently fall back to eager execution rather
+                # than replaying a wrong graph
+                replay.program = None
+                replay.disabled = True
+                replay.refusal = f"stale tape: {exc}"
+            else:
+                self.optimizer.step(grads)
+                return float(np.asarray(loss_value).item())
+        if replay is not None and not replay.disabled:
+            return self._traced_step(step, replay, batches, weights)
+        loss = self._assemble_loss(batches, weights)
+        grads = gradients(loss, self.params)
+        self.optimizer.step(grads)
+        return loss.item()
+
+    def _traced_step(self, step, replay, batches, weights):
+        """One eager step recorded with provenance; compile after two."""
+        param_data = [p.data.copy() for p in self.params]
+        with record_tape(provenance=True) as tape:
+            loss = self._assemble_loss(batches, weights)
+            grads = gradients(loss, self.params)
+        mismatch = self._verify_replay_externals(tape, batches)
+        if mismatch is not None:
+            replay.disabled = True
+            replay.refusal = mismatch
+            replay.traces = []
+        else:
+            replay.traces.append(StepTrace(tape, loss, grads, param_data,
+                                           self._weight_list(weights)))
+            if len(replay.traces) == self.TRACE_STEPS:
+                try:
+                    replay.program = compile_step(replay.traces[0],
+                                                  replay.traces[1],
+                                                  self.params)
+                except ReplayRefused as exc:
+                    replay.disabled = True
+                    replay.refusal = str(exc)
+                replay.traces = []
+        self.optimizer.step(grads)
+        return loss.item()
+
+    def _verify_replay_externals(self, tape, batches):
+        """Check ``replay_inputs`` mirrors the recorded externals bitwise.
+
+        The per-step input arrays the constraints rebuild for replay must
+        match — in count, order, and bytes — the tensors the traced step
+        actually wrapped; any drift between the two code paths disables
+        compilation instead of feeding a compiled tape wrong inputs.
+        """
+        arrays = self._replay_externals(batches)
+        if len(arrays) != len(tape.externals):
+            return (f"replay_inputs rebuilt {len(arrays)} arrays but the "
+                    f"traced step created {len(tape.externals)} input "
+                    f"tensors")
+        for position, (array, tensor) in enumerate(zip(arrays,
+                                                       tape.externals)):
+            array = np.asarray(array)
+            if (array.shape != tensor.data.shape
+                    or array.dtype != tensor.data.dtype
+                    or array.tobytes() != tensor.data.tobytes()):
+                return (f"replay input {position} diverges from the traced "
+                        f"step's tensor (shape {array.shape} vs "
+                        f"{tensor.data.shape})")
+        return None
+
+    def compile_info(self):
+        """Execution-mode summary of the last ``train`` call (diagnostics).
+
+        One of ``"eager"``, ``"tracing"``, ``"replay"`` or
+        ``"eager (refused: ...)"`` / ``"eager (stale: ...)"`` when the
+        compile attempt fell back.
+        """
+        replay = getattr(self, "replay_state", None)
+        if replay is None:
+            return "eager"
+        if replay.program is not None:
+            return "replay"
+        if replay.disabled:
+            return f"eager (refused: {replay.refusal})"
+        return "tracing"
 
     def validate(self):
         """Average each variable's relative L2 across validators."""
@@ -175,7 +323,7 @@ class Trainer:
     # ------------------------------------------------------------------
     def train(self, steps, validate_every=200, record_every=50, label="run",
               clock=None, start_step=0, history=None, last_errors=None,
-              step_hooks=()):
+              step_hooks=(), compile=False):
         """Run optimizer iterations ``start_step .. steps-1``; return history.
 
         Parameters beyond the recording cadence support resumable runs:
@@ -196,6 +344,16 @@ class Trainer:
             Callables invoked as ``hook(step=, trainer=, clock=, errors=)``
             after each completed iteration (and its recording) — the run
             store uses this to write periodic checkpoints.
+        compile:
+            Record the first :attr:`TRACE_STEPS` iterations' autodiff tapes
+            and compile them into a
+            :class:`~repro.autodiff.replay.ReplayProgram`; every later step
+            replays the compiled tape bit-identically.  Falls back to eager
+            execution — permanently, with the reason kept on
+            :meth:`compile_info` — if the graph refuses to compile or a
+            retrace-invalidating change (batch size, dtype, weight layout)
+            is detected mid-run.  Ignored for closure-driven optimizers
+            (L-BFGS re-evaluates the graph inside the closure).
         """
         history = history if history is not None else History(label=label)
         clock = clock if clock is not None else TrainingClock()
@@ -207,15 +365,14 @@ class Trainer:
         credited = sum(s.rebuild_seconds for s in self.samplers.values())
 
         use_closure = hasattr(self.optimizer, "step_closure")
+        self.replay_state = (_ReplayState()
+                             if compile and not use_closure else None)
         last_errors = dict(last_errors or {})
         for step in range(start_step, steps):
             if use_closure:
                 loss_value = self._closure_step(step)
             else:
-                loss = self._step_loss(step)
-                grads = gradients(loss, self.params)
-                self.optimizer.step(grads)
-                loss_value = loss.item()
+                loss_value = self._run_step(step, self.replay_state)
             if self.scheduler is not None:
                 self.scheduler.step()
 

@@ -243,3 +243,54 @@ class TestTensorBasics:
     def test_gradients_through_operator_sugar(self):
         gradcheck(lambda a, b: ((a - b) ** 2.0 / 2.0 + (-a) * b).sum(),
                   [rand(3), rand(3)])
+
+
+class TestDtypeDiscipline:
+    """float32 graphs must stay float32 through forward AND backward.
+
+    The backward masks of maximum/minimum/where historically hardcoded
+    ``.astype(np.float64)`` and silently upcast every downstream gradient;
+    they now adopt the operand dtype.  Scalar peers (Python literals, numpy
+    scalars, 0-d arrays) adopt the tensor's dtype; real data arrays keep
+    their own.
+    """
+
+    def _f32(self, *shape):
+        return rand(*shape).astype(np.float32)
+
+    def test_maximum_gradient_keeps_float32(self):
+        a = Tensor(self._f32(5), requires_grad=True)
+        b = Tensor(self._f32(5), requires_grad=True)
+        ga, gb = gradients(ad.maximum(a, b).sum(), [a, b])
+        assert ga.dtype == np.float32
+        assert gb.dtype == np.float32
+
+    def test_minimum_gradient_keeps_float32(self):
+        a = Tensor(self._f32(5), requires_grad=True)
+        b = Tensor(self._f32(5), requires_grad=True)
+        ga, gb = gradients(ad.minimum(a, b).sum(), [a, b])
+        assert ga.dtype == np.float32
+        assert gb.dtype == np.float32
+
+    def test_where_gradient_keeps_float32(self):
+        cond = rand(5) > 0.0
+        a = Tensor(self._f32(5), requires_grad=True)
+        b = Tensor(self._f32(5), requires_grad=True)
+        ga, gb = gradients(ad.where(cond, a, b).sum(), [a, b])
+        assert ga.dtype == np.float32
+        assert gb.dtype == np.float32
+
+    def test_numpy_scalar_peer_adopts_tensor_dtype(self):
+        x = Tensor(self._f32(3), requires_grad=True)
+        for scalar in (2.0, np.float64(2.0), np.array(2.0)):
+            y = x * scalar
+            assert y.dtype == np.float32, f"promoted by {scalar!r}"
+            (g,) = gradients(y.sum(), [x])
+            assert g.dtype == np.float32, f"gradient promoted by {scalar!r}"
+
+    def test_data_array_peer_keeps_its_dtype(self):
+        # a 1-d float64 array carries data, not a literal: promotion is
+        # the caller's explicit choice and must be preserved
+        x = Tensor(self._f32(3), requires_grad=True)
+        y = x * np.ones(3, dtype=np.float64)
+        assert y.dtype == np.float64

@@ -33,9 +33,13 @@ LEGACY_PROBLEMS = ("advection_diffusion", "annular_ring", "burgers", "ldc",
                    "poisson3d")
 LEGACY_KEYS = tuple(f"{p}:{s}" for p in LEGACY_PROBLEMS
                     for s in ("mis", "sgm", "sgm_s", "uniform"))
-#: sha256 of the canonical JSON of the 20 legacy entries as pinned in PR 2-4
-LEGACY_SHA256 = ("aaa9ac63c28625d5f6291e77f3ad16273a1d135e26ce77fe"
-                 "67ae04479db7a5d2")
+#: sha256 of the canonical JSON of the 20 legacy entries.  Re-pinned once
+#: when the float64 gradient-upcast fix (mask dtypes, sdf sample weights,
+#: coefficient dtype) intentionally moved the ldc/annular_ring entries onto
+#: float32-exact trajectories; the other 12 legacy entries stayed
+#: byte-identical to the PR 2-4 pin.
+LEGACY_SHA256 = ("b49dadd898ac79d3f995da25398b49921a0ff68917c7f25c"
+                 "56e6604da7c1a4c0")
 
 
 def _pairs():

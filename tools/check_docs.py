@@ -11,6 +11,8 @@ Checks
 3. Every shipped lint rule has a ``### `RPRxxx```-style section in
    ``docs/analysis.md`` (so a new rule cannot ship undocumented), and the
    page documents no rule ids that do not exist.
+4. Every ``--flag`` the CLI defines is at least mentioned in
+   ``docs/cli.md`` (so a new flag cannot ship undocumented).
 
 Usage::
 
@@ -92,15 +94,32 @@ def check_rule_catalog():
     return errors
 
 
+def check_cli_flags():
+    """Every ``--flag`` defined by the CLI must appear in docs/cli.md."""
+    cli = REPO / "src" / "repro" / "cli.py"
+    page = DOCS / "cli.md"
+    if not page.exists():
+        return [f"missing {page.relative_to(REPO)}"]
+    flags = set(re.findall(r'"(--[a-z][a-z0-9-]*)"',
+                           cli.read_text(encoding="utf-8")))
+    text = page.read_text(encoding="utf-8")
+    errors = []
+    for flag in sorted(flags):
+        if flag not in text:
+            errors.append(f"docs/cli.md: CLI flag {flag} is undocumented "
+                          f"(mention it under the owning subcommand)")
+    return errors
+
+
 def main():
     errors = (check_workload_sections() + check_relative_links()
-              + check_rule_catalog())
+              + check_rule_catalog() + check_cli_flags())
     for error in errors:
         print(f"error: {error}")
     if errors:
         return 1
-    print("docs check passed: every registered problem and lint rule is "
-          "documented and all relative links resolve")
+    print("docs check passed: every registered problem, lint rule, and "
+          "CLI flag is documented and all relative links resolve")
     return 0
 
 
