@@ -1,0 +1,112 @@
+"""Tracing overhead gate: ``--trace`` must cost less than a few percent.
+
+``repro.obs`` promises near-zero cost when disabled and a small, bounded
+cost when enabled, so this benchmark trains the same burgers x SGM smoke
+run with tracing off and on and compares wall time.  Loss trajectories
+must be *identical* — tracing that perturbs results would invalidate the
+golden-trajectory harness — and the traced run may be at most
+``--max-overhead`` percent slower (best-of-``--repeats`` on both sides,
+which filters shared-runner noise).
+
+Run standalone (the CI `obs-overhead` job does)::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \
+        --json BENCH_obs.json
+
+Exits nonzero on overhead above the bound or any trajectory divergence.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.api.problems import build_problem
+from repro.api.registry import problem_registry
+from repro.api.session import run_problem
+
+
+def _run(problem, config, sampler, steps, trace):
+    """Train one fresh run; returns (wall_seconds, losses, span_count)."""
+    prob = build_problem(problem, config,
+                         rng=np.random.default_rng(config.seed))
+    started = time.perf_counter()
+    result = run_problem(prob, config, sampler=sampler,
+                         batch_size=config.batch_small, seed=config.seed,
+                         steps=steps, validators=[], trace=trace)
+    elapsed = time.perf_counter() - started
+    spans = len(result.obs["spans"]) if result.obs else 0
+    return elapsed, list(result.history.losses), spans
+
+
+def bench(problem="burgers", sampler="sgm", steps=150, repeats=3):
+    """Best-of-``repeats`` disabled vs enabled wall times + parity check."""
+    config = problem_registry.get(problem).config_factory("smoke")
+    plain, traced = [], []
+    baseline_losses = None
+    for _ in range(repeats):
+        wall, losses, _ = _run(problem, config, sampler, steps, trace=False)
+        plain.append(wall)
+        wall, traced_losses, spans = _run(problem, config, sampler, steps,
+                                          trace=True)
+        traced.append(wall)
+        if baseline_losses is None:
+            baseline_losses = losses
+        identical = (losses == baseline_losses
+                     and traced_losses == baseline_losses)
+        if not identical:
+            raise AssertionError(
+                "tracing changed the loss trajectory — obs must be "
+                "observation-only")
+    best_plain, best_traced = min(plain), min(traced)
+    return {
+        "problem": problem,
+        "sampler": sampler,
+        "steps": steps,
+        "repeats": repeats,
+        "disabled_seconds": round(best_plain, 4),
+        "enabled_seconds": round(best_traced, 4),
+        "overhead_percent": round(100 * (best_traced / best_plain - 1), 2),
+        "spans_recorded": spans,
+        "losses_identical": True,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default="BENCH_obs.json",
+                        help="output path for the benchmark artifact")
+    parser.add_argument("--problem", default="burgers")
+    parser.add_argument("--sampler", default="sgm")
+    parser.add_argument("--steps", type=int, default=150)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--max-overhead", type=float, default=5.0,
+                        help="max traced slowdown in percent (default 5)")
+    args = parser.parse_args(argv)
+
+    result = bench(args.problem, args.sampler, args.steps, args.repeats)
+    print(f"{args.problem} x {args.sampler}, {args.steps} steps "
+          f"(best of {args.repeats}): "
+          f"disabled {result['disabled_seconds']:.3f}s, "
+          f"enabled {result['enabled_seconds']:.3f}s "
+          f"-> {result['overhead_percent']:+.2f}% "
+          f"({result['spans_recorded']} spans)")
+
+    with open(args.json, "w") as fh:
+        json.dump({"scale": "smoke", "max_overhead_percent":
+                   args.max_overhead, "result": result}, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.json}")
+
+    if result["overhead_percent"] > args.max_overhead:
+        print(f"FAIL: tracing overhead {result['overhead_percent']:.2f}% "
+              f"exceeds the {args.max_overhead:.1f}% bound",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

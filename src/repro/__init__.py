@@ -17,6 +17,7 @@ The public entry point is the registry-backed :mod:`repro.api` layer::
 
 __version__ = "0.2.0"
 
+from . import obs
 from . import autodiff
 from . import nn
 from . import geometry
@@ -36,8 +37,8 @@ from .api import (
 )
 
 __all__ = [
-    "autodiff", "nn", "geometry", "pde", "graph", "stability", "sampling",
-    "solvers", "training", "experiments", "utils", "api", "store",
+    "obs", "autodiff", "nn", "geometry", "pde", "graph", "stability",
+    "sampling", "solvers", "training", "experiments", "utils", "api", "store",
     "Problem", "RunResult", "Session", "problem",
     "register_problem", "register_sampler", "list_problems", "list_samplers",
     "__version__",

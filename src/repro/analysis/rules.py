@@ -1,4 +1,4 @@
-"""The shipped lint rules (``RPR001`` .. ``RPR008``).
+"""The shipped lint rules (``RPR001`` .. ``RPR009``).
 
 Each rule machine-enforces one invariant the reproduction's guarantees rest
 on — serial/process bit-identical runs, resumable bit-identical checkpoints,
@@ -20,7 +20,7 @@ from .core import Rule
 __all__ = [
     "GlobalNumpyRandom", "WallClockInHotPath", "SetIteration",
     "UnpicklablePoolTask", "ExperimentCrossImport", "MutableDefaultArg",
-    "StateDictCompleteness", "UnsortedFsIteration",
+    "StateDictCompleteness", "UnsortedFsIteration", "RawTimerInHotPath",
 ]
 
 
@@ -519,4 +519,48 @@ class UnsortedFsIteration(Rule):
                 and node.func.id in ("list", "tuple", "enumerate")
                 and node.args):
             self._check(node.args[0], f"{node.func.id}()")
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+class RawTimerInHotPath(Rule):
+    """RPR009 — instrumented hot paths must time through ``repro.obs``."""
+
+    id = "RPR009"
+    title = "raw timer in an instrumented hot path"
+    severity = "warning"
+    hint = ("time through repro.obs — span() for traced sections, "
+            "timed_span() for functional durations, stopwatch() for plain "
+            "wall timing — or mark a deliberate exception with "
+            "# repro: noqa RPR009")
+    rationale = ("training/, sampling/, autodiff/, and experiments/ are "
+                 "instrumented with repro.obs spans; an ad-hoc "
+                 "time.perf_counter() or Timer there produces durations the "
+                 "profiler cannot see, so `repro runs profile` under-reports "
+                 "exactly the code someone bothered to time.")
+
+    #: subsystems whose timings must flow through the span tracer
+    HOT_PATHS = ("training/", "sampling/", "autodiff/", "experiments/")
+    BANNED_CLOCKS = frozenset({"perf_counter", "perf_counter_ns",
+                               "monotonic", "monotonic_ns"})
+
+    def applies_to(self, context):
+        path = context.scope_path().replace("\\", "/")
+        return any(part in path for part in self.HOT_PATHS)
+
+    def visit_Call(self, node):
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+                and func.attr in self.BANNED_CLOCKS):
+            self.report(node, f"time.{func.attr}() bypasses the repro.obs "
+                              f"tracer in an instrumented hot path")
+        elif (isinstance(func, ast.Name)
+                and func.id in self.BANNED_CLOCKS):
+            self.report(node, f"{func.id}() bypasses the repro.obs tracer "
+                              f"in an instrumented hot path")
+        elif isinstance(func, ast.Name) and func.id == "Timer":
+            self.report(node, "Timer() bypasses the repro.obs tracer in an "
+                              "instrumented hot path")
         self.generic_visit(node)

@@ -15,9 +15,11 @@ hardcoded per workload.
 from __future__ import annotations
 
 import dataclasses
+from contextlib import ExitStack
 
 import numpy as np
 
+from .. import obs
 from ..nn import Adam, ExponentialDecayLR, FullyConnected
 from ..training import Trainer
 from ..utils import TrainingClock
@@ -72,7 +74,7 @@ def _wire_training(prob, config, sampler, batch_size, seed, validators):
 def run_problem(prob, config, sampler="uniform", batch_size=None,
                 seed=None, steps=None, label=None, validators=None,
                 store=None, run_id=None, checkpoint_every=None,
-                resume=False, step_hooks=(), compile=False):
+                resume=False, step_hooks=(), compile=False, trace=False):
     """Train one :class:`Problem` with a registered sampler.
 
     Parameters
@@ -109,6 +111,13 @@ def run_problem(prob, config, sampler="uniform", batch_size=None,
         rest (see :meth:`repro.training.Trainer.train`); loss/error
         trajectories stay bit-identical to eager execution, and any graph
         the replay engine refuses falls back to eager automatically.
+    trace:
+        Install a fresh :mod:`repro.obs` tracer around this run.  Spans
+        and metric snapshots are returned on ``RunResult.obs`` and — when
+        ``store`` is given — streamed to ``spans.jsonl`` /
+        ``metrics.jsonl`` beside the record's ``history.jsonl`` (appended
+        on resume), for ``repro runs profile``.  Loss/error trajectories
+        are unaffected: spans never touch RNG or numerics.
 
     Returns
     -------
@@ -152,18 +161,30 @@ def run_problem(prob, config, sampler="uniform", batch_size=None,
             history = recorder.streaming_history(label)
         hooks.append(recorder.checkpoint_hook(trainer))
 
-    try:
-        history = trainer.train(steps,
-                                validate_every=config.validate_every,
-                                record_every=config.record_every,
-                                label=label, clock=clock,
-                                start_step=start_step, history=history,
-                                last_errors=last_errors, step_hooks=hooks,
-                                compile=compile)
-    except BaseException as exc:
-        if recorder is not None:
-            recorder.mark_stopped(exc)
-        raise
+    run_tracer = None
+    with ExitStack() as stack:
+        if trace:
+            # a fresh per-run tracer, even when an ambient (suite/matrix)
+            # tracer is installed: the suite adopts the exported spans
+            # afterwards, identically for serial and process executors
+            stream = metrics_stream = None
+            if recorder is not None:
+                stream = recorder.path / "spans.jsonl"
+                metrics_stream = recorder.path / "metrics.jsonl"
+            run_tracer = stack.enter_context(
+                obs.tracing(stream=stream, metrics_stream=metrics_stream))
+        try:
+            history = trainer.train(steps,
+                                    validate_every=config.validate_every,
+                                    record_every=config.record_every,
+                                    label=label, clock=clock,
+                                    start_step=start_step, history=history,
+                                    last_errors=last_errors,
+                                    step_hooks=hooks, compile=compile)
+        except BaseException as exc:
+            if recorder is not None:
+                recorder.mark_stopped(exc)
+            raise
     if recorder is not None:
         recorder.finish(history, sampler_obj)
     coefficients = {name: module.value()
@@ -172,7 +193,8 @@ def run_problem(prob, config, sampler="uniform", batch_size=None,
     return RunResult(label=label, history=history, net=trainer.net,
                      sampler=sampler_obj, config=config,
                      run_id=None if recorder is None else recorder.run_id,
-                     coefficients=coefficients)
+                     coefficients=coefficients,
+                     obs=None if run_tracer is None else run_tracer.export())
 
 
 class Session:
@@ -223,6 +245,7 @@ class Session:
         self._steps = None
         self._validators = None
         self._compile = False
+        self._trace = False
 
     # ------------------------------------------------------------------
     @property
@@ -285,6 +308,17 @@ class Session:
         self._compile = bool(enabled)
         return self
 
+    def trace(self, enabled=True):
+        """Record :mod:`repro.obs` spans/metrics for the run.
+
+        The trained result carries the exported data on ``result.obs``;
+        with a ``store`` the record also gains ``spans.jsonl`` /
+        ``metrics.jsonl`` for ``repro runs profile``.  Trajectories are
+        unaffected (tracing never touches RNG or numerics).
+        """
+        self._trace = bool(enabled)
+        return self
+
     # ------------------------------------------------------------------
     def build(self, rng=None):
         """Build and return the :class:`~repro.api.Problem` (no training)."""
@@ -307,7 +341,7 @@ class Session:
             steps=steps if steps is not None else self._steps,
             label=label, validators=self._validators, store=store,
             run_id=run_id, checkpoint_every=checkpoint_every,
-            compile=self._compile)
+            compile=self._compile, trace=self._trace)
 
     def suite(self, samplers=None, *, executor="serial", max_workers=None,
               steps=None, verbose=False, store=None, checkpoint_every=None):
@@ -334,7 +368,7 @@ class Session:
                          config=self._config, validators=self._validators,
                          verbose=verbose, store=store,
                          checkpoint_every=checkpoint_every,
-                         compile=self._compile)
+                         compile=self._compile, trace=self._trace)
 
     def matrix(self, problems=None, samplers=None, *, executor="serial",
                max_workers=None, steps=None, verbose=False, store=None,
@@ -363,7 +397,7 @@ class Session:
                           batch_size=self._batch_size,
                           validators=self._validators, verbose=verbose,
                           store=store, checkpoint_every=checkpoint_every,
-                          compile=self._compile)
+                          compile=self._compile, trace=self._trace)
 
     def __repr__(self):
         return (f"Session(problem={self.name!r}, scale={self._scale!r}, "

@@ -28,7 +28,10 @@ class RunResult:
     ``run_id`` is set when the run recorded into a
     :class:`repro.store.RunStore` (else ``None``).  ``coefficients`` maps
     each trainable PDE coefficient (inverse problems) to its recovered
-    value — empty for forward problems.
+    value — empty for forward problems.  ``obs`` is the run's exported
+    span/metric data (``Tracer.export()`` dict) when tracing was enabled,
+    else ``None``; it is plain picklable data, so process-pool workers
+    ship it back with the result.
     """
 
     label: str
@@ -38,3 +41,4 @@ class RunResult:
     config: object = field(repr=False, default=None)
     run_id: str = None
     coefficients: dict = field(default_factory=dict)
+    obs: dict = field(repr=False, default=None)

@@ -14,8 +14,10 @@ Commands
     Inspect the run store: ``list``, ``show``, ``compare`` (Table-1-style
     speedup rows from stored records, grouped per problem), ``plot``
     (convergence-vs-time figures rendered from stored records alone),
-    ``resume`` (continue a killed run bit-identically from its newest
-    checkpoint), ``gc``.
+    ``profile`` (span tree + per-step phase table + sampler-overhead
+    ratio from a traced run's ``spans.jsonl``; ``--format chrome``
+    exports a Perfetto-loadable trace), ``resume`` (continue a killed
+    run bit-identically from its newest checkpoint), ``gc``.
 ``suite``
     Method sweep: train any registered problem under several registered
     samplers (``--samplers a,b,c``), optionally sharded over a process
@@ -165,7 +167,8 @@ def _cmd_run(args):
                       f"--steps and --checkpoint-every may")
                 return 2
             result = resume_run(store, args.resume, steps=args.steps,
-                                checkpoint_every=checkpoint_every)
+                                checkpoint_every=checkpoint_every,
+                                trace=args.trace)
         else:
             if run_config is not None:
                 # CLI flags override the experiment file's [run] values
@@ -189,6 +192,8 @@ def _cmd_run(args):
                 session.batch_size(args.batch_size)
             if args.compile:
                 session.compile()
+            if args.trace:
+                session.trace()
             result = session.train(steps=steps, store=store,
                                    checkpoint_every=checkpoint_every)
     except (KeyError, ValueError) as exc:
@@ -198,7 +203,25 @@ def _cmd_run(args):
     _print_run_summary(result)
     if result.run_id is not None:
         print(f"recorded as {result.run_id} in {store.root}")
+        if args.trace:
+            print(f"profile with: repro runs --store {store.root} "
+                  f"profile {result.run_id}")
     return 0
+
+
+def _print_cell_utilization(obs_data, total_seconds):
+    """Per-cell wall time vs sweep wall, from adopted ``suite.cell`` spans."""
+    cells = [s for s in (obs_data or {}).get("spans", [])
+             if s.get("name") == "suite.cell" and s.get("end") is not None]
+    if not cells:
+        return
+    print("\nper-cell utilization (traced):")
+    for cell in sorted(cells, key=lambda s: s["start"]):
+        label = (cell.get("attrs") or {}).get("label", "?")
+        seconds = cell["end"] - cell["start"]
+        share = seconds / total_seconds if total_seconds else 0.0
+        print(f"  {label:<44} {seconds:>8.2f}s  {share * 100:>5.1f}% of "
+              f"sweep wall")
 
 
 def _cmd_suite(args):
@@ -245,7 +268,8 @@ def _cmd_suite(args):
         suite = run_suite(problem, methods, executor=executor,
                           max_workers=max_workers, seed=seed,
                           steps=steps, scale=args.scale, config=config,
-                          verbose=True, store=store, compile=args.compile)
+                          verbose=True, store=store, compile=args.compile,
+                          trace=args.trace)
     except (KeyError, ValueError) as exc:
         # registry lookups and method resolution name the problem themselves
         print(f"error: {exc.args[0]}")
@@ -254,6 +278,8 @@ def _cmd_suite(args):
     print(suite_table(suite))
     print(f"\nsweep total: {suite.total_seconds:.1f}s "
           f"({suite.executor} executor, {len(suite)} methods)")
+    if args.trace:
+        _print_cell_utilization(suite.obs, suite.total_seconds)
     if store is not None:
         recorded = [m.run_id for m in suite if m.run_id]
         print(f"recorded {len(recorded)} runs in {store}")
@@ -271,7 +297,8 @@ def _cmd_matrix(args):
             executor="process" if args.parallel else "serial",
             max_workers=args.max_workers, seed=args.seed, steps=args.steps,
             scale=args.scale, verbose=True, store=args.store,
-            checkpoint_every=args.checkpoint_every, compile=args.compile)
+            checkpoint_every=args.checkpoint_every, compile=args.compile,
+            trace=args.trace)
     except (KeyError, ValueError) as exc:
         # registry lookups and grid resolution name the problem themselves
         print(f"error: {exc.args[0]}")
@@ -281,6 +308,8 @@ def _cmd_matrix(args):
     print(f"\nmatrix total: {matrix.total_seconds:.1f}s "
           f"({matrix.executor} executor, {len(matrix.problems)} problems, "
           f"{matrix.n_cells} cells)")
+    if args.trace:
+        _print_cell_utilization(matrix.obs, matrix.total_seconds)
     if args.store is not None:
         recorded = matrix.run_ids()
         print(f"recorded {len(recorded)} runs in {args.store}")
@@ -339,6 +368,69 @@ def _cmd_runs_show(store, args):
               f"(probes={stats.get('probe_points')}, "
               f"refreshes={stats.get('refresh_count')}, "
               f"rebuilds={stats.get('rebuild_count')})")
+    from repro.obs import format_metrics_summary, metrics_summary
+    summary = format_metrics_summary(
+        metrics_summary(record.metrics_snapshots()))
+    if summary is not None:
+        print(f"{'metrics':<18} {summary}")
+    return 0
+
+
+def _cmd_runs_profile(store, args):
+    import json as _json
+
+    from repro import obs
+    if args.run_id == "latest":
+        records = store.runs()
+        if not records:
+            print(f"no runs in {store.root}")
+            return 2
+        record = records[0]
+    else:
+        record = store.open(args.run_id)
+    spans = record.spans()
+    if not spans:
+        print(f"error: run {record.run_id} recorded no spans; train it "
+              f"with --trace (or Session.trace()) to profile it")
+        return 2
+    snapshots = record.metrics_snapshots()
+
+    if args.format == "chrome":
+        text = _json.dumps(obs.chrome_trace(spans))
+        if args.out is not None:
+            from pathlib import Path
+            Path(args.out).write_text(text, encoding="utf-8")
+            print(f"chrome trace for {record.run_id} written to "
+                  f"{args.out} (open in Perfetto / chrome://tracing)")
+        else:
+            print(text)
+        return 0
+
+    lines = [f"profile of {record.run_id} ({record.label})", "",
+             obs.render_tree(spans)]
+    table = obs.phase_table(spans)
+    if table["steps"]:
+        lines += ["", "per-step phase breakdown:",
+                  obs.render_phase_table(table)]
+    overhead = obs.sampler_overhead(spans, snapshots)
+    lines += ["",
+              f"sampler overhead: {overhead['overhead_seconds']:.3f}s "
+              f"(rebuild {overhead['rebuild_seconds']:.3f}s + refresh "
+              f"{overhead['refresh_seconds']:.3f}s) vs "
+              f"{overhead['train_seconds']:.3f}s training -> "
+              f"{overhead['ratio'] * 100:.1f}%"]
+    if overhead["probe_points"] is not None:
+        lines.append(f"probe points: {overhead['probe_points']:.0f}")
+    summary = obs.format_metrics_summary(obs.metrics_summary(snapshots))
+    if summary is not None:
+        lines.append(f"metrics: {summary}")
+    text = "\n".join(lines)
+    if args.out is not None:
+        from pathlib import Path
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+        print(f"profile written to {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -388,7 +480,8 @@ def _cmd_runs_plot(store, args):
 
 def _cmd_runs_resume(store, args):
     from repro.store import resume_run
-    result = resume_run(store, args.run_id, steps=args.steps)
+    result = resume_run(store, args.run_id, steps=args.steps,
+                        trace=args.trace)
     _print_run_summary(result)
     print(f"resumed {args.run_id} to completion in {store.root}")
     return 0
@@ -422,6 +515,7 @@ def _cmd_runs(args):
     store = RunStore(args.store)
     handlers = {"list": _cmd_runs_list, "show": _cmd_runs_show,
                 "compare": _cmd_runs_compare, "plot": _cmd_runs_plot,
+                "profile": _cmd_runs_profile,
                 "resume": _cmd_runs_resume, "gc": _cmd_runs_gc}
     try:
         return handlers[args.runs_command](store, args)
@@ -592,6 +686,10 @@ def build_parser():
                    help="replay a compiled autodiff tape after tracing the "
                         "first steps (bit-identical; falls back to eager "
                         "if the graph refuses to compile)")
+    p.add_argument("--trace", action="store_true",
+                   help="record repro.obs spans/metrics; with a store the "
+                        "record gains spans.jsonl + metrics.jsonl for "
+                        "`repro runs profile`")
 
     p = sub.add_parser("runs", help="inspect the persistent run store")
     p.add_argument("--store", default=None, metavar="DIR",
@@ -627,11 +725,24 @@ def build_parser():
                    help="also write the series as long-format CSV")
     q.add_argument("--width", type=int, default=72)
     q.add_argument("--height", type=int, default=18)
+    q = runs_sub.add_parser("profile", help="span tree, per-step phase "
+                            "table, and sampler-overhead ratio of a traced "
+                            "run")
+    q.add_argument("run_id",
+                   help="a stored run id, or 'latest' for the newest run")
+    q.add_argument("--format", default="text", choices=("text", "chrome"),
+                   help="'text' (default) or 'chrome' trace-event JSON "
+                        "loadable in Perfetto")
+    q.add_argument("--out", default=None, metavar="FILE",
+                   help="write the report/trace to FILE instead of stdout")
     q = runs_sub.add_parser("resume", help="continue a run from its newest "
                             "checkpoint (bit-identical trajectory)")
     q.add_argument("run_id")
     q.add_argument("--steps", type=int, default=None,
                    help="new total step count (default: as launched)")
+    q.add_argument("--trace", action="store_true",
+                   help="trace the continued stretch (appends to the "
+                   "record's spans.jsonl/metrics.jsonl)")
     q = runs_sub.add_parser("gc", help="delete failed/interrupted runs "
                             "that have no checkpoint to resume from")
     q.add_argument("--status", default=None,
@@ -663,6 +774,9 @@ def build_parser():
     p.add_argument("--compile", action="store_true",
                    help="train every method with compiled-tape replay "
                         "(bit-identical; per-cell eager fallback)")
+    p.add_argument("--trace", action="store_true",
+                   help="trace every cell (per-cell utilization; workers "
+                        "ship spans back across the pool)")
 
     p = sub.add_parser("matrix", help="cross-problem benchmark matrix: "
                        "problems x samplers cells on one shared pool")
@@ -685,6 +799,9 @@ def build_parser():
     p.add_argument("--compile", action="store_true",
                    help="train every cell with compiled-tape replay "
                         "(bit-identical; per-cell eager fallback)")
+    p.add_argument("--trace", action="store_true",
+                   help="trace every cell (per-cell utilization; workers "
+                        "ship spans back across the pool)")
 
     for n in (1, 2):
         p = sub.add_parser(f"table{n}", help=f"regenerate Table {n}")

@@ -20,11 +20,12 @@ cross-problem speedup rows without any live objects.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..api.registry import problem_registry
-from .suite import SuiteResult, _execute_tasks, _make_task, resolve_methods
+from .suite import (SuiteResult, _adopt_cells, _execute_tasks, _make_task,
+                    resolve_methods)
 from .tables import suite_table
 
 __all__ = ["MatrixResult", "matrix_table", "resolve_problems", "run_matrix"]
@@ -70,6 +71,9 @@ class MatrixResult:
     total_seconds: float
     scale: str = "repro"
     store_root: str = field(repr=False, default=None)
+    #: grid-level span/metric export (every cell adopted under a
+    #: ``suite.cell`` span) when the grid ran with ``trace=True``
+    obs: dict = field(repr=False, default=None)
 
     @property
     def problems(self):
@@ -130,7 +134,7 @@ def run_matrix(problems=None, methods=None, *, executor="process",
                max_workers=None, seed=None, steps=None, scale="repro",
                configs=None, n_interior=None, batch_size=None,
                validators=None, verbose=False, store=None,
-               checkpoint_every=None, compile=False):
+               checkpoint_every=None, compile=False, trace=False):
     """Train a problems × samplers benchmark matrix on one shared pool.
 
     Parameters
@@ -168,6 +172,12 @@ def run_matrix(problems=None, methods=None, *, executor="process",
     compile:
         Train every cell with record-once/replay-many tape execution
         (bit-identical to eager; automatic per-cell eager fallback).
+    trace:
+        Record :mod:`repro.obs` spans/metrics: every cell traces itself
+        (workers ship the data back), the grid adopts them under
+        ``suite.cell`` spans, and the merged export lands on
+        :attr:`MatrixResult.obs` — per-cell utilization for the shared
+        pool, plus per-run ``spans.jsonl`` when ``store`` is given.
 
     Returns
     -------
@@ -206,13 +216,23 @@ def run_matrix(problems=None, methods=None, *, executor="process",
             tasks.append(_make_task(entry.name, config, spec, cell_seed,
                                     steps, validators,
                                     verbose and executor == "serial",
-                                    store_root, checkpoint_every, compile))
+                                    store_root, checkpoint_every, compile,
+                                    trace))
             labels.append(f"{entry.name}:{config.scale}:{spec.label}")
 
-    started = time.perf_counter()
-    results = _execute_tasks(tasks, labels, executor=executor,
-                             max_workers=max_workers, verbose=verbose)
-    total = time.perf_counter() - started
+    matrix_tracer = obs.Tracer() if trace else None
+    with obs.stopwatch() as total_timer:
+        if matrix_tracer is None:
+            results = _execute_tasks(tasks, labels, executor=executor,
+                                     max_workers=max_workers,
+                                     verbose=verbose)
+        else:
+            with matrix_tracer.span("matrix.run", cells=len(tasks),
+                                    executor=executor) as root:
+                results = _execute_tasks(tasks, labels, executor=executor,
+                                         max_workers=max_workers,
+                                         verbose=verbose)
+                _adopt_cells(matrix_tracer, root.span_id, labels, results)
 
     suites = {}
     for name, config, specs, cell_seed, start in grid:
@@ -222,5 +242,7 @@ def run_matrix(problems=None, methods=None, *, executor="process",
             total_seconds=sum(m.wall_seconds for m in cells),
             seed=cell_seed, config=config)
     return MatrixResult(executor=executor, suites=suites,
-                        total_seconds=total, scale=scale,
-                        store_root=store_root)
+                        total_seconds=total_timer.seconds, scale=scale,
+                        store_root=store_root,
+                        obs=(None if matrix_tracer is None
+                             else matrix_tracer.export()))

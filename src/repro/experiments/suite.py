@@ -21,12 +21,12 @@ trainer objects.
 from __future__ import annotations
 
 import os
-import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..api.registry import problem_registry, sampler_registry
 from ..api.types import MethodSpec, RunResult
 
@@ -37,7 +37,7 @@ __all__ = [
 
 
 def _make_task(problem, config, spec, seed, steps, validators, verbose,
-               store_root, checkpoint_every, compile=False):
+               store_root, checkpoint_every, compile=False, trace=False):
     """The picklable work unit :func:`_train_method` consumes.
 
     Built here (and only here) so :func:`run_suite` and the cross-problem
@@ -45,7 +45,7 @@ def _make_task(problem, config, spec, seed, steps, validators, verbose,
     makes a matrix cell bit-identical to the standalone suite cell.
     """
     return (problem, config, spec, seed, steps, validators, verbose,
-            store_root, checkpoint_every, compile)
+            store_root, checkpoint_every, compile, trace)
 
 EXECUTORS = ("serial", "process")
 
@@ -147,6 +147,9 @@ class MethodResult:
     net_arch: dict = field(repr=False, default=None)
     net_state: dict = field(repr=False, default=None)
     run_id: str = None
+    #: the cell's exported span/metric data (``Tracer.export()`` dict) when
+    #: the sweep traced; plain picklable data that survives the pool
+    obs_data: dict = field(repr=False, default=None)
 
     @property
     def label(self):
@@ -189,6 +192,9 @@ class SuiteResult:
     total_seconds: float
     seed: int = 0
     config: object = field(repr=False, default=None)
+    #: sweep-level span/metric export (cells adopted under ``suite.cell``
+    #: spans) when the sweep ran with ``trace=True``; else ``None``
+    obs: dict = field(repr=False, default=None)
 
     @property
     def labels(self):
@@ -229,7 +235,7 @@ def _train_method(task):
     randomness derives from ``(config, seed)``, never from worker state.
     """
     (name, config, spec, seed, steps, validators, verbose, store_root,
-     checkpoint_every, compile) = task
+     checkpoint_every, compile, trace) = task
     from ..api.problems import build_problem
     from ..api.session import run_problem
     store = None
@@ -241,15 +247,19 @@ def _train_method(task):
     if verbose:
         print(f"[{name}:{config.scale}] training {spec.label} "
               f"(N={spec.n_interior}, batch={spec.batch_size})")
-    started = time.perf_counter()
-    prob = build_problem(name, config, spec.n_interior,
-                         np.random.default_rng(seed))
-    result = run_problem(prob, config, sampler=spec.kind,
-                         batch_size=spec.batch_size, seed=seed, steps=steps,
-                         label=spec.label, validators=validators,
-                         store=store, checkpoint_every=checkpoint_every,
-                         compile=compile)
-    wall = time.perf_counter() - started
+    # a stopwatch, not a span: the cell's spans come from run_problem's own
+    # tracer and are adopted by the sweep afterwards (identically for serial
+    # and process executors), so a span here would double-count the cell
+    with obs.stopwatch() as walltimer:
+        prob = build_problem(name, config, spec.n_interior,
+                             np.random.default_rng(seed))
+        result = run_problem(prob, config, sampler=spec.kind,
+                             batch_size=spec.batch_size, seed=seed,
+                             steps=steps, label=spec.label,
+                             validators=validators, store=store,
+                             checkpoint_every=checkpoint_every,
+                             compile=compile, trace=trace)
+    wall = walltimer.seconds
 
     sampler = result.sampler
     labels = getattr(sampler, "labels", None)
@@ -267,7 +277,21 @@ def _train_method(task):
     return MethodResult(spec=spec, seed=seed, history=result.history,
                         wall_seconds=wall, sampler_stats=stats,
                         net_arch=arch, net_state=result.net.state_dict(),
-                        run_id=result.run_id)
+                        run_id=result.run_id, obs_data=result.obs)
+
+
+def _adopt_cells(tracer, parent_id, labels, results):
+    """Graft each cell's exported spans under a ``suite.cell`` span.
+
+    One code path for both executors: the serial path's cells traced
+    in-process, the process path's cells were pickled back with their
+    results — either way each :class:`MethodResult` carries a plain
+    ``obs_data`` dict for :meth:`repro.obs.Tracer.adopt`.
+    """
+    for label, result in zip(labels, results):
+        if result is not None and result.obs_data:
+            tracer.adopt(result.obs_data, name="suite.cell", label=label,
+                         parent=parent_id)
 
 
 def _with_cell_label(exc, label):
@@ -327,7 +351,7 @@ def _execute_tasks(tasks, labels, *, executor, max_workers=None,
 def run_suite(problem, methods=None, *, executor="process", max_workers=None,
               seed=None, steps=None, config=None, scale="repro",
               validators=None, verbose=False, store=None,
-              checkpoint_every=None, compile=False):
+              checkpoint_every=None, compile=False, trace=False):
     """Train a method sweep on any registered problem.
 
     Parameters
@@ -362,6 +386,12 @@ def run_suite(problem, methods=None, *, executor="process", max_workers=None,
     compile:
         Train every cell with record-once/replay-many tape execution
         (bit-identical to eager; automatic per-cell eager fallback).
+    trace:
+        Record :mod:`repro.obs` spans/metrics.  Each cell traces itself
+        (workers ship the data back with their results), the sweep adopts
+        every cell under a ``suite.cell`` span, and the merged export lands
+        on :attr:`SuiteResult.obs`; per-run records additionally stream
+        ``spans.jsonl``/``metrics.jsonl`` when ``store`` is given.
 
     Returns
     -------
@@ -389,13 +419,24 @@ def run_suite(problem, methods=None, *, executor="process", max_workers=None,
         store_root = str(RunStore.coerce(store).root)
     tasks = [_make_task(entry.name, config, spec, seed, steps, validators,
                         verbose and executor == "serial", store_root,
-                        checkpoint_every, compile) for spec in specs]
+                        checkpoint_every, compile, trace) for spec in specs]
     labels = [f"{entry.name}:{config.scale}:{spec.label}" for spec in specs]
 
-    started = time.perf_counter()
-    results = _execute_tasks(tasks, labels, executor=executor,
-                             max_workers=max_workers, verbose=verbose)
-    total = time.perf_counter() - started
+    suite_tracer = obs.Tracer() if trace else None
+    with obs.stopwatch() as total_timer:
+        if suite_tracer is None:
+            results = _execute_tasks(tasks, labels, executor=executor,
+                                     max_workers=max_workers,
+                                     verbose=verbose)
+        else:
+            with suite_tracer.span("suite.run", problem=entry.name,
+                                   executor=executor) as root:
+                results = _execute_tasks(tasks, labels, executor=executor,
+                                         max_workers=max_workers,
+                                         verbose=verbose)
+                _adopt_cells(suite_tracer, root.span_id, labels, results)
     return SuiteResult(problem=entry.name, executor=executor,
-                       methods=results, total_seconds=total, seed=seed,
-                       config=config)
+                       methods=results, total_seconds=total_timer.seconds,
+                       seed=seed, config=config,
+                       obs=(None if suite_tracer is None
+                            else suite_tracer.export()))

@@ -1,0 +1,76 @@
+"""Counters and gauges with a closed-world name catalog.
+
+A :class:`MetricsRegistry` is a thread-safe bag of monotonic counters and
+last-value gauges.  Names must exist in :data:`repro.obs.names.METRICS`
+(extensions call :func:`repro.obs.names.register_metric` first), so typos
+surface as ``KeyError`` in the first test that exercises the path instead
+of quietly forking a new series.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .names import METRICS
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Thread-safe counters + gauges keyed by catalogued metric names."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters = {}
+        self._gauges = {}
+
+    @staticmethod
+    def _require(name, kind):
+        entry = METRICS.get(name)
+        if entry is None:
+            raise KeyError(
+                f"metric {name!r} is not in the repro.obs.names catalog; "
+                f"register_metric() it before emitting")
+        if entry[0] != kind:
+            raise KeyError(
+                f"metric {name!r} is a {entry[0]}, not a {kind}")
+
+    def inc(self, name, amount=1):
+        """Add ``amount`` (int or float seconds) to counter ``name``."""
+        self._require(name, "counter")
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name, value):
+        """Record the current level of gauge ``name``."""
+        self._require(name, "gauge")
+        with self._lock:
+            self._gauges[name] = value
+
+    def counter(self, name, default=0):
+        with self._lock:
+            return self._counters.get(name, default)
+
+    def gauge(self, name, default=None):
+        with self._lock:
+            return self._gauges.get(name, default)
+
+    def merge_counters(self, counters):
+        """Fold a plain ``{name: value}`` dict into this registry's counters.
+
+        Used when a parent tracer adopts spans/metrics shipped back from a
+        process-pool worker.
+        """
+        for name, value in counters.items():
+            self._require(name, "counter")
+        with self._lock:
+            for name, value in counters.items():
+                self._counters[name] = self._counters.get(name, 0) + value
+
+    def snapshot(self):
+        """``{"counters": {...}, "gauges": {...}}`` with sorted keys."""
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+            }

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from .base import Sampler, _scalar
 
 __all__ = ["MISSampler"]
@@ -59,19 +60,23 @@ class MISSampler(Sampler):
         if probe is None:
             raise RuntimeError("MIS sampler needs probe callbacks bound "
                                "before training starts")
-        all_points = np.arange(self.n_points)
-        values = np.asarray(probe(all_points), dtype=np.float64).ravel()
-        self.probe_points += self.n_points
-        values = np.maximum(values, 0.0)
-        total = values.sum()
-        if total <= 0.0:
-            importance = np.full(self.n_points, 1.0 / self.n_points)
-        else:
-            importance = values / total
-        floor = self.floor_fraction / self.n_points
-        self.probabilities = (1.0 - self.floor_fraction) * importance + floor
-        self.probabilities /= self.probabilities.sum()
-        self._refreshed_once = True
+        with obs.timed_span("sampler.refresh") as refresh_timer:
+            all_points = np.arange(self.n_points)
+            values = np.asarray(probe(all_points), dtype=np.float64).ravel()
+            self.probe_points += self.n_points
+            values = np.maximum(values, 0.0)
+            total = values.sum()
+            if total <= 0.0:
+                importance = np.full(self.n_points, 1.0 / self.n_points)
+            else:
+                importance = values / total
+            floor = self.floor_fraction / self.n_points
+            self.probabilities = ((1.0 - self.floor_fraction) * importance
+                                  + floor)
+            self.probabilities /= self.probabilities.sum()
+            self._refreshed_once = True
+        obs.inc("sampler.refresh_count")
+        obs.inc("sampler.refresh_seconds", refresh_timer.seconds)
 
     def batch_indices(self, step, batch_size):
         batch_size = int(batch_size)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from .base import Sampler
 
 __all__ = ["RARSampler"]
@@ -49,17 +50,22 @@ class RARSampler(Sampler):
     def _refresh(self):
         if self.probe_loss is None:
             raise RuntimeError("RAR sampler needs probe callbacks bound")
-        inactive = np.setdiff1d(np.arange(self.n_points), self.active,
-                                assume_unique=False)
-        if len(inactive) == 0:
-            return
-        pool = inactive if len(inactive) <= self.candidate_pool else \
-            self.rng.choice(inactive, size=self.candidate_pool, replace=False)
-        losses = np.asarray(self.probe_loss(pool), dtype=np.float64).ravel()
-        self.probe_points += len(pool)
-        worst = pool[np.argsort(losses)[::-1][:self.add_per_refresh]]
-        self.active = np.concatenate([self.active, worst])
-        self._active_set.update(worst.tolist())
+        with obs.timed_span("sampler.refresh") as refresh_timer:
+            inactive = np.setdiff1d(np.arange(self.n_points), self.active,
+                                    assume_unique=False)
+            if len(inactive) == 0:
+                return
+            pool = inactive if len(inactive) <= self.candidate_pool else \
+                self.rng.choice(inactive, size=self.candidate_pool,
+                                replace=False)
+            losses = np.asarray(self.probe_loss(pool),
+                                dtype=np.float64).ravel()
+            self.probe_points += len(pool)
+            worst = pool[np.argsort(losses)[::-1][:self.add_per_refresh]]
+            self.active = np.concatenate([self.active, worst])
+            self._active_set.update(worst.tolist())
+        obs.inc("sampler.refresh_count")
+        obs.inc("sampler.refresh_seconds", refresh_timer.seconds)
 
     def batch_indices(self, step, batch_size):
         if step > 0 and step % self.tau_e == 0:

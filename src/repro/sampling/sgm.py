@@ -21,10 +21,9 @@ charge it (synchronous) or hide it (the paper's background thread).
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from .. import obs
 from ..graph import knn_adjacency, lrd_decompose, parallel_lrd
 from ..stability import spade_scores
 from .base import Sampler, _scalar
@@ -144,25 +143,39 @@ class SGMSampler(Sampler):
             axis=1)
 
     def build_clusters(self):
-        """(Re)build the PGM and its LRD decomposition."""
-        started = time.perf_counter()
-        graph_features = self._graph_features()
-        if self.cells_per_dim > 1:
-            labels, _ = parallel_lrd(graph_features, k=self.k,
-                                     level=self.level,
-                                     cells_per_dim=self.cells_per_dim,
-                                     num_vectors=self.num_vectors,
-                                     seed=int(self.rng.integers(2 ** 31)))
-        else:
-            adjacency = knn_adjacency(graph_features, self.k,
-                                      backend=self.knn_backend)
-            result = lrd_decompose(adjacency, level=self.level,
-                                   num_vectors=self.num_vectors,
-                                   seed=int(self.rng.integers(2 ** 31)))
-            labels = result.labels
-        self._set_labels(labels)
-        self.rebuild_seconds += time.perf_counter() - started
+        """(Re)build the PGM and its LRD decomposition.
+
+        The wall time is measured through :class:`repro.obs.timed_span` so
+        it both feeds :attr:`rebuild_seconds` (TrainingClock's background
+        credit — functional, always on) and shows up as a
+        ``sampler.rebuild`` span when tracing is enabled.
+        """
+        with obs.timed_span("sampler.rebuild") as rebuild_timer:
+            graph_features = self._graph_features()
+            if self.cells_per_dim > 1:
+                # the partitioned path fuses kNN + LRD per grid cell, so a
+                # single cluster-update span covers both stages
+                with obs.span("sampler.cluster_update"):
+                    labels, _ = parallel_lrd(
+                        graph_features, k=self.k, level=self.level,
+                        cells_per_dim=self.cells_per_dim,
+                        num_vectors=self.num_vectors,
+                        seed=int(self.rng.integers(2 ** 31)))
+            else:
+                with obs.span("sampler.knn_build"):
+                    adjacency = knn_adjacency(graph_features, self.k,
+                                              backend=self.knn_backend)
+                with obs.span("sampler.cluster_update"):
+                    result = lrd_decompose(
+                        adjacency, level=self.level,
+                        num_vectors=self.num_vectors,
+                        seed=int(self.rng.integers(2 ** 31)))
+                    labels = result.labels
+            self._set_labels(labels)
+        self.rebuild_seconds += rebuild_timer.seconds
         self.rebuild_count += 1
+        obs.inc("sampler.rebuild_count")
+        obs.inc("sampler.rebuild_seconds", rebuild_timer.seconds)
 
     def _set_labels(self, labels):
         """Adopt cluster labels and derive the member lists (deterministic,
@@ -194,27 +207,32 @@ class SGMSampler(Sampler):
         if self.probe_loss is None:
             raise RuntimeError("SGM sampler needs probe callbacks bound "
                                "before training starts")
-        subsets = self._probe_subset()
-        flat = np.concatenate(subsets)
-        losses = np.asarray(self.probe_loss(flat), dtype=np.float64).ravel()
-        self.probe_points += len(flat)
+        with obs.timed_span("sampler.refresh") as refresh_timer:
+            subsets = self._probe_subset()
+            flat = np.concatenate(subsets)
+            losses = np.asarray(self.probe_loss(flat),
+                                dtype=np.float64).ravel()
+            self.probe_points += len(flat)
 
-        sizes = np.array([len(s) for s in subsets])
-        offsets = np.concatenate([[0], np.cumsum(sizes)])
-        cluster_loss = np.array([
-            losses[offsets[i]:offsets[i + 1]].mean()
-            for i in range(len(subsets))])
-        score = _minmax(cluster_loss)
+            sizes = np.array([len(s) for s in subsets])
+            offsets = np.concatenate([[0], np.cumsum(sizes)])
+            cluster_loss = np.array([
+                losses[offsets[i]:offsets[i + 1]].mean()
+                for i in range(len(subsets))])
+            score = _minmax(cluster_loss)
 
-        if self.use_isr:
-            score = score + self.isr_weight * self._isr_scores(flat, offsets)
+            if self.use_isr:
+                score = score + self.isr_weight * self._isr_scores(flat,
+                                                                   offsets)
 
-        self.cluster_scores = score
-        self.sampling_ratios = (self.ratio_min +
-                                (self.ratio_max - self.ratio_min) *
-                                _minmax(score))
-        self._build_epoch()
+            self.cluster_scores = score
+            self.sampling_ratios = (self.ratio_min +
+                                    (self.ratio_max - self.ratio_min) *
+                                    _minmax(score))
+            self._build_epoch()
         self.refresh_count += 1
+        obs.inc("sampler.refresh_count")
+        obs.inc("sampler.refresh_seconds", refresh_timer.seconds)
 
     def _isr_scores(self, flat, offsets):
         """Normalised per-cluster ISR from a SPADE pass on the probe subset."""

@@ -16,7 +16,8 @@ import numpy as np
 __all__ = ["resume_run"]
 
 
-def resume_run(store, run_id, steps=None, checkpoint_every=None):
+def resume_run(store, run_id, steps=None, checkpoint_every=None,
+               trace=False):
     """Continue ``run_id`` to its configured step count.
 
     Parameters
@@ -34,6 +35,11 @@ def resume_run(store, run_id, steps=None, checkpoint_every=None):
     checkpoint_every:
         Optional new checkpoint cadence for the continued stretch
         (default: the cadence recorded at launch).
+    trace:
+        Record :mod:`repro.obs` spans/metrics for the continued stretch;
+        appended to the record's existing ``spans.jsonl``/``metrics.jsonl``
+        (if any), so a run profiled across interruptions accumulates one
+        stream.
 
     Returns
     -------
@@ -61,4 +67,4 @@ def resume_run(store, run_id, steps=None, checkpoint_every=None):
         steps=int(steps) if steps is not None else meta["steps"],
         label=meta.get("label"), validators=validators,
         store=store, run_id=run_id, resume=True,
-        checkpoint_every=checkpoint_every)
+        checkpoint_every=checkpoint_every, trace=trace)

@@ -233,6 +233,25 @@ class RunRecord:
             return {}
         return json.loads(path.read_text(encoding="utf-8"))
 
+    def spans(self):
+        """Recorded ``spans.jsonl`` span dicts (``[]`` when not traced).
+
+        Torn-tail tolerant like :meth:`history`: a run killed mid-flush
+        still yields every complete line.
+        """
+        from ..obs import read_jsonl
+        return read_jsonl(self.path / "spans.jsonl")
+
+    def metrics_snapshots(self):
+        """Recorded ``metrics.jsonl`` snapshots (``[]`` when not traced)."""
+        from ..obs import read_jsonl
+        return read_jsonl(self.path / "metrics.jsonl")
+
+    def last_metrics(self):
+        """The final metrics snapshot, or ``None`` when not traced."""
+        snapshots = self.metrics_snapshots()
+        return snapshots[-1] if snapshots else None
+
     def size_bytes(self):
         return sum(f.stat().st_size for f in self.path.rglob("*")
                    if f.is_file())

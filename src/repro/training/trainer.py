@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..autodiff import gradients
 from ..autodiff.introspect import record_tape
 from ..autodiff.replay import (
@@ -217,12 +218,14 @@ class Trainer:
 
     def _run_step(self, step, replay):
         """Execute one optimizer step eagerly, traced, or replayed."""
-        batches, weights = self._step_batches(step)
+        with obs.span("train.sample"):
+            batches, weights = self._step_batches(step)
         if replay is not None and replay.program is not None:
             try:
-                loss_value, grads = replay.program.run(
-                    self._replay_externals(batches),
-                    self._weight_list(weights))
+                with obs.span("train.replay"):
+                    loss_value, grads = replay.program.run(
+                        self._replay_externals(batches),
+                        self._weight_list(weights))
             except ReplayStale as exc:
                 # a retrace-invalidating change (batch size, dtype, weight
                 # layout) — permanently fall back to eager execution rather
@@ -230,22 +233,29 @@ class Trainer:
                 replay.program = None
                 replay.disabled = True
                 replay.refusal = f"stale tape: {exc}"
+                obs.inc("replay.fallback_stale")
             else:
-                self.optimizer.step(grads)
+                with obs.span("train.optimizer"):
+                    self.optimizer.step(grads)
                 return float(np.asarray(loss_value).item())
         if replay is not None and not replay.disabled:
             return self._traced_step(step, replay, batches, weights)
-        loss = self._assemble_loss(batches, weights)
-        grads = gradients(loss, self.params)
-        self.optimizer.step(grads)
+        with obs.span("train.forward"):
+            loss = self._assemble_loss(batches, weights)
+        with obs.span("train.backward"):
+            grads = gradients(loss, self.params)
+        with obs.span("train.optimizer"):
+            self.optimizer.step(grads)
         return loss.item()
 
     def _traced_step(self, step, replay, batches, weights):
         """One eager step recorded with provenance; compile after two."""
         param_data = [p.data.copy() for p in self.params]
         with record_tape(provenance=True) as tape:
-            loss = self._assemble_loss(batches, weights)
-            grads = gradients(loss, self.params)
+            with obs.span("train.forward"):
+                loss = self._assemble_loss(batches, weights)
+            with obs.span("train.backward"):
+                grads = gradients(loss, self.params)
         mismatch = self._verify_replay_externals(tape, batches)
         if mismatch is not None:
             replay.disabled = True
@@ -256,14 +266,27 @@ class Trainer:
                                            self._weight_list(weights)))
             if len(replay.traces) == self.TRACE_STEPS:
                 try:
-                    replay.program = compile_step(replay.traces[0],
-                                                  replay.traces[1],
-                                                  self.params)
+                    with obs.timed_span("replay.compile") as compile_timer:
+                        replay.program = compile_step(replay.traces[0],
+                                                      replay.traces[1],
+                                                      self.params)
                 except ReplayRefused as exc:
                     replay.disabled = True
                     replay.refusal = str(exc)
+                    obs.inc("replay.fallback_refused")
+                else:
+                    obs.inc("replay.compile_count")
+                    obs.inc("replay.compile_seconds", compile_timer.seconds)
+                    if obs.enabled():
+                        stats = replay.program.stats
+                        obs.gauge("replay.instructions",
+                                  stats["instructions"])
+                        obs.gauge("replay.cse_hits", stats["cse_hits"])
+                        obs.gauge("replay.dead_pruned", stats["dead"])
+                        obs.gauge("replay.baked_constants", stats["baked"])
                 replay.traces = []
-        self.optimizer.step(grads)
+        with obs.span("train.optimizer"):
+            self.optimizer.step(grads)
         return loss.item()
 
     def _verify_replay_externals(self, tape, batches):
@@ -368,50 +391,70 @@ class Trainer:
         self.replay_state = (_ReplayState()
                              if compile and not use_closure else None)
         last_errors = dict(last_errors or {})
-        for step in range(start_step, steps):
-            if use_closure:
-                loss_value = self._closure_step(step)
-            else:
-                loss_value = self._run_step(step, self.replay_state)
-            if self.scheduler is not None:
-                self.scheduler.step()
+        with obs.span("train.run", label=label):
+            for step in range(start_step, steps):
+                with obs.span("train.step", step=step) as step_span:
+                    if use_closure:
+                        loss_value = self._closure_step(step)
+                    else:
+                        loss_value = self._run_step(step, self.replay_state)
+                    if self.scheduler is not None:
+                        self.scheduler.step()
 
-            if self.background_rebuild:
-                rebuilt = sum(s.rebuild_seconds
-                              for s in self.samplers.values())
-                if rebuilt > credited:
-                    clock.credit(rebuilt - credited)
-                    credited = rebuilt
+                    if self.background_rebuild:
+                        rebuilt = sum(s.rebuild_seconds
+                                      for s in self.samplers.values())
+                        if rebuilt > credited:
+                            clock.credit(rebuilt - credited)
+                            credited = rebuilt
 
-            is_last = step == steps - 1
-            if step % validate_every == 0 or is_last:
-                last_errors = self.validate()
-            if step % record_every == 0 or is_last:
-                history.record(step, clock.elapsed(), loss_value,
-                               errors=last_errors,
-                               probe_points=self.total_probe_points())
-            for hook in step_hooks:
-                hook(step=step, trainer=self, clock=clock,
-                     errors=last_errors)
+                    is_last = step == steps - 1
+                    if step % validate_every == 0 or is_last:
+                        with obs.span("train.validate"):
+                            last_errors = self.validate()
+                        obs.inc("train.validations")
+                    step_span.set(mode="closure" if use_closure
+                                  else self.compile_info())
+                obs.inc("train.steps")
+                if step % record_every == 0 or is_last:
+                    history.record(step, clock.elapsed(), loss_value,
+                                   errors=last_errors,
+                                   probe_points=self.total_probe_points())
+                    if obs.enabled():
+                        obs.gauge("train.loss", loss_value)
+                        obs.gauge("clock.raw_seconds", clock.raw_elapsed())
+                        obs.gauge("clock.credited_seconds", clock.credited)
+                        obs.gauge("clock.train_seconds", clock.elapsed())
+                        obs.gauge("sampler.probe_points",
+                                  self.total_probe_points())
+                        obs.snapshot_metrics(step=step,
+                                             wall_time=clock.elapsed())
+                for hook in step_hooks:
+                    hook(step=step, trainer=self, clock=clock,
+                         errors=last_errors)
         return history
 
     def _closure_step(self, step):
         """Drive a closure-based optimizer (L-BFGS) on one fixed batch."""
-        batches = {c.name: self.samplers[c.name].batch_indices(
-            step, c.batch_size) for c in self.constraints}
+        with obs.span("train.sample"):
+            batches = {c.name: self.samplers[c.name].batch_indices(
+                step, c.batch_size) for c in self.constraints}
 
         def closure():
             total = None
-            for constraint in self.constraints:
-                residuals, weight = constraint.residuals(
-                    self.net, batches[constraint.name])
-                for tensor in residuals.values():
-                    squared = tensor * tensor
-                    if weight is not None:
-                        squared = squared * weight
-                    term = squared.mean() * constraint.weight
-                    total = term if total is None else total + term
-            grads = gradients(total, self.params)
+            with obs.span("train.forward"):
+                for constraint in self.constraints:
+                    residuals, weight = constraint.residuals(
+                        self.net, batches[constraint.name])
+                    for tensor in residuals.values():
+                        squared = tensor * tensor
+                        if weight is not None:
+                            squared = squared * weight
+                        term = squared.mean() * constraint.weight
+                        total = term if total is None else total + term
+            with obs.span("train.backward"):
+                grads = gradients(total, self.params)
             return total.item(), [g.numpy() for g in grads]
 
-        return self.optimizer.step_closure(closure)
+        with obs.span("train.optimizer"):
+            return self.optimizer.step_closure(closure)

@@ -1,0 +1,14 @@
+"""RPR009 fixture: raw timers (linted under a training/ relpath)."""
+import time
+from time import perf_counter
+
+from repro.utils import Timer
+
+
+def train_step(step):
+    started = time.perf_counter()
+    bare = perf_counter()
+    tick = time.monotonic()
+    with Timer() as timer:
+        pass
+    return started, bare, tick, timer

@@ -1,0 +1,15 @@
+"""RPR009 clean counterpart: timings flow through repro.obs."""
+import time
+
+from repro import obs
+
+
+def train_step(step):
+    with obs.span("train.step", step=step):
+        with obs.timed_span("sampler.rebuild") as rebuild:
+            pass
+    with obs.stopwatch() as wall:
+        pass
+    # a deliberate raw read stays, but must be marked
+    drift = time.perf_counter()  # repro: noqa RPR009
+    return rebuild.seconds, wall.seconds, drift

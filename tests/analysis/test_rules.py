@@ -14,11 +14,12 @@ from repro.analysis.project import lint_paths, prescan
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
-#: relpath override per rule (RPR002 is scoped to hot-path subsystems)
-RELPATHS = {"RPR002": "repro/training/{name}"}
+#: relpath override per rule (RPR002/RPR009 are scoped to hot-path subsystems)
+RELPATHS = {"RPR002": "repro/training/{name}",
+            "RPR009": "repro/training/{name}"}
 
 RULE_IDS = ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
-            "RPR007", "RPR008"]
+            "RPR007", "RPR008", "RPR009"]
 
 
 def run_fixture(rule_id, kind):
@@ -53,7 +54,8 @@ def test_expected_bad_fixture_counts():
     counts = {rule_id: len(run_fixture(rule_id, "bad"))
               for rule_id in RULE_IDS}
     assert counts == {"RPR001": 5, "RPR002": 3, "RPR003": 4, "RPR004": 4,
-                      "RPR005": 3, "RPR006": 5, "RPR007": 3, "RPR008": 4}
+                      "RPR005": 3, "RPR006": 5, "RPR007": 3, "RPR008": 4,
+                      "RPR009": 4}
 
 
 # ----------------------------------------------------------------------

@@ -1,6 +1,7 @@
 """Interpolation, clocks, and ASCII plotting."""
 
 import time
+import warnings
 
 import numpy as np
 import pytest
@@ -63,8 +64,35 @@ class TestClocks:
 
     def test_elapsed_never_negative(self):
         clock = TrainingClock()
-        clock.credit(100.0)
+        with pytest.warns(RuntimeWarning, match="exceeds the wall clock"):
+            clock.credit(100.0)
         assert clock.elapsed() == 0.0
+
+    def test_raw_and_credited_tracked_separately(self):
+        clock = TrainingClock()
+        time.sleep(0.02)
+        clock.credit(0.005)
+        clock.credit(0.005)
+        assert clock.credited == pytest.approx(0.01)
+        raw = clock.raw_elapsed()
+        assert raw >= 0.02
+        assert clock.elapsed() == pytest.approx(raw - 0.01, abs=1e-3)
+        # crediting leaves the raw clock untouched
+        assert clock.raw_elapsed() >= raw
+
+    def test_offset_pre_ages_raw_clock(self):
+        clock = TrainingClock(offset=5.0)
+        assert clock.raw_elapsed() >= 5.0
+        assert clock.elapsed() >= 5.0
+
+    def test_overcredit_warns_once(self):
+        clock = TrainingClock()
+        with pytest.warns(RuntimeWarning, match="exceeds the wall clock"):
+            clock.credit(50.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            clock.credit(1.0)  # already warned; stays quiet
+        assert clock.credited == 51.0
 
 
 class TestAsciiPlot:

@@ -13,6 +13,9 @@ Checks
    page documents no rule ids that do not exist.
 4. Every ``--flag`` the CLI defines is at least mentioned in
    ``docs/cli.md`` (so a new flag cannot ship undocumented).
+5. Every metric in the :mod:`repro.obs` catalog has a table row in
+   ``docs/observability.md``, and the page lists no metric that does not
+   ship (so the metric catalog and its docs cannot drift).
 
 Usage::
 
@@ -111,15 +114,42 @@ def check_cli_flags():
     return errors
 
 
+def check_metric_catalog():
+    """Shipped obs metrics and docs/observability.md must agree exactly."""
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.obs import metric_catalog
+
+    page = DOCS / "observability.md"
+    if not page.exists():
+        return [f"missing {page.relative_to(REPO)}"]
+    text = page.read_text(encoding="utf-8")
+    documented = set(re.findall(
+        r"^\|\s*`([a-z][a-z0-9_.]*)`\s*\|\s*(?:counter|gauge)\s*\|", text,
+        flags=re.MULTILINE))
+    shipped = {entry["name"] for entry in metric_catalog()}
+    errors = []
+    for name in sorted(shipped - documented):
+        errors.append(f"docs/observability.md: no table row for shipped "
+                      f"metric {name!r} (add a '| `{name}` | <kind> | ...' "
+                      f"row)")
+    for name in sorted(documented - shipped):
+        errors.append(f"docs/observability.md: documents metric {name!r}, "
+                      f"which is not in the repro.obs catalog (remove the "
+                      f"row or register the metric)")
+    return errors
+
+
 def main():
     errors = (check_workload_sections() + check_relative_links()
-              + check_rule_catalog() + check_cli_flags())
+              + check_rule_catalog() + check_cli_flags()
+              + check_metric_catalog())
     for error in errors:
         print(f"error: {error}")
     if errors:
         return 1
-    print("docs check passed: every registered problem, lint rule, and "
-          "CLI flag is documented and all relative links resolve")
+    print("docs check passed: every registered problem, lint rule, CLI "
+          "flag, and obs metric is documented and all relative links "
+          "resolve")
     return 0
 
 
