@@ -1,0 +1,108 @@
+"""Execution-backend shoot-out: serial vs process pool vs durable queue.
+
+All three backends must produce bit-identical per-cell trajectories —
+they only decide *where* each cell trains — so the interesting number is
+pure placement overhead: pool fork/import cost for ``process``, enqueue +
+lease + poll cost for ``queue``, both measured against the in-process
+serial loop on the same smoke-scale matrix.
+
+Run standalone (the CI `exec-smoke` job does)::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py --json BENCH_exec.json
+
+Exits nonzero on any cross-backend trajectory divergence.
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments import run_matrix
+
+BACKENDS = ("serial", "process", "queue")
+
+
+def _sweep(backend, problems, samplers, steps, store_root):
+    started = time.perf_counter()
+    matrix = run_matrix(problems, samplers, backend=backend, scale="smoke",
+                        steps=steps,
+                        store=store_root if backend == "queue" else None)
+    return time.perf_counter() - started, matrix
+
+
+def _assert_parity(reference, other, backend):
+    for (problem, a), (_, b) in zip(reference.cells(), other.cells()):
+        if not np.array_equal(a.history.losses, b.history.losses):
+            raise AssertionError(
+                f"{backend} diverged from serial on {problem}:{a.label} — "
+                f"backends must only decide placement, never numerics")
+        for key in a.net_state:
+            if not np.array_equal(a.net_state[key], b.net_state[key]):
+                raise AssertionError(
+                    f"{backend} net state diverged on {problem}:{a.label} "
+                    f"({key})")
+
+
+def bench(problems, samplers, steps):
+    """Wall clock + overhead-vs-serial for every backend, parity-checked."""
+    walls, matrices = {}, {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for backend in BACKENDS:
+            store_root = Path(tmp) / f"store-{backend}"
+            walls[backend], matrices[backend] = _sweep(
+                backend, problems, samplers, steps, store_root)
+    for backend in ("process", "queue"):
+        _assert_parity(matrices["serial"], matrices[backend], backend)
+    serial = walls["serial"]
+    return {
+        "problems": list(problems),
+        "samplers": list(samplers),
+        "steps": steps,
+        "n_cells": matrices["serial"].n_cells,
+        "backends": {
+            backend: {
+                "wall_seconds": round(walls[backend], 4),
+                "overhead_vs_serial_seconds": round(walls[backend] - serial,
+                                                    4),
+            }
+            for backend in BACKENDS
+        },
+        "trajectories_identical": True,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default="BENCH_exec.json",
+                        help="output path for the benchmark artifact")
+    parser.add_argument("--problems", default="burgers,poisson3d",
+                        help="comma-separated registered problems")
+    parser.add_argument("--samplers", default="uniform,sgm",
+                        help="comma-separated registered samplers")
+    parser.add_argument("--steps", type=int, default=8)
+    args = parser.parse_args(argv)
+
+    problems = [p.strip() for p in args.problems.split(",") if p.strip()]
+    samplers = [s.strip() for s in args.samplers.split(",") if s.strip()]
+    result = bench(problems, samplers, args.steps)
+
+    for backend, numbers in result["backends"].items():
+        print(f"{backend:8s} {numbers['wall_seconds']:7.2f}s "
+              f"({numbers['overhead_vs_serial_seconds']:+.2f}s vs serial)")
+    print(f"{result['n_cells']} cells bit-identical across "
+          f"{', '.join(BACKENDS)}")
+
+    with open(args.json, "w") as fh:
+        json.dump({"scale": "smoke", "result": result}, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,7 @@
 Method sweeps are embarrassingly parallel (each column trains an
 independent network), so a ≥3-method sweep sharded over a process pool
 should beat the serial loop on any multi-core machine while producing
-bit-identical loss trajectories.  This benchmark measures both executors
+bit-identical loss trajectories.  This benchmark measures both backends
 on the same sweep and checks the parity invariant that makes the
 comparison meaningful.
 """
@@ -15,10 +15,10 @@ import numpy as np
 from repro.experiments import ldc_config, ldc_methods, run_suite
 
 
-def _sweep(executor):
+def _sweep(backend):
     config = ldc_config(os.environ.get("REPRO_BENCH_SCALE", "smoke"))
     methods = ldc_methods(config)          # 4 columns: U, U_large, MIS, SGM
-    return run_suite("ldc", methods, executor=executor, config=config)
+    return run_suite("ldc", methods, backend=backend, config=config)
 
 
 def test_suite_parallel_vs_serial(benchmark):

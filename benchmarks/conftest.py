@@ -3,7 +3,7 @@
 Benchmarks default to the ``smoke`` scale so ``pytest benchmarks/
 --benchmark-only`` finishes in minutes; set ``REPRO_BENCH_SCALE=repro`` to
 regenerate the paper's tables at the full reproduction scale (tens of
-minutes on a laptop CPU).  Set ``REPRO_BENCH_EXECUTOR=process`` to shard
+minutes on a laptop CPU).  Set ``REPRO_BENCH_BACKEND=process`` to shard
 the training sweeps over a process pool (identical trajectories, lower
 wall-clock on multi-core machines).
 
@@ -26,9 +26,9 @@ def bench_scale():
     return os.environ.get("REPRO_BENCH_SCALE", "smoke")
 
 
-def bench_executor():
-    """Suite executor for benchmark runs (env: REPRO_BENCH_EXECUTOR)."""
-    return os.environ.get("REPRO_BENCH_EXECUTOR", "serial")
+def bench_backend():
+    """Execution backend for benchmark runs (env: REPRO_BENCH_BACKEND)."""
+    return os.environ.get("REPRO_BENCH_BACKEND", "serial")
 
 
 @pytest.fixture(scope="session")
@@ -36,7 +36,7 @@ def ldc_suite_results():
     """Train the Table-1 methods once per session."""
     config = ldc_config(bench_scale())
     return config, run_ldc_suite(config, verbose=False,
-                                 executor=bench_executor())
+                                 backend=bench_backend())
 
 
 @pytest.fixture(scope="session")
@@ -44,4 +44,4 @@ def ar_suite_results():
     """Train the Table-2 (+ Figure-3) methods once per session."""
     config = annular_ring_config(bench_scale())
     return config, run_ar_suite(config, include_plain_sgm=True,
-                                verbose=False, executor=bench_executor())
+                                verbose=False, backend=bench_backend())

@@ -40,14 +40,14 @@ def main():
                       if s.strip()])
     store = RunStore(args.store)
     matrix = run_matrix(args.problems, samplers,
-                        executor="serial" if args.serial else "process",
+                        backend="serial" if args.serial else "process",
                         scale=args.scale, steps=args.steps, verbose=True,
                         store=store)
 
     print()
     print(matrix_table(matrix))
     print(f"\nmatrix total: {matrix.total_seconds:.1f}s "
-          f"({matrix.executor} executor, {matrix.n_cells} cells); "
+          f"({matrix.backend} backend, {matrix.n_cells} cells); "
           f"recorded {len(matrix.run_ids())} runs in {store.root}")
 
     # everything below reads only the persisted records — rerunnable any

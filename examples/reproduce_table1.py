@@ -36,8 +36,8 @@ def main():
     out.mkdir(parents=True, exist_ok=True)
     config = ldc_config(args.scale)
 
-    executor = "process" if args.parallel else "serial"
-    results = run_ldc_suite(config, executor=executor)
+    backend = "process" if args.parallel else "serial"
+    results = run_ldc_suite(config, backend=backend)
     histories = {label: r.history for label, r in results.items()}
 
     for label, history in histories.items():

@@ -39,7 +39,7 @@ def main():
 
     results = run_ar_suite(config,
                            include_plain_sgm=not args.skip_plain_sgm,
-                           executor="process" if args.parallel
+                           backend="process" if args.parallel
                            else "serial")
     histories = {label: r.history for label, r in results.items()}
     for label, history in histories.items():

@@ -4,7 +4,7 @@ Demonstrates the two suite entry points:
 
 * the fluent Session form —
   ``repro.problem("burgers").suite(["uniform", "sgm"])``;
-* the functional form — ``run_suite(problem, methods, executor=...)`` —
+* the functional form — ``run_suite(problem, methods, backend=...)`` —
   which also accepts explicit :class:`~repro.api.MethodSpec` columns.
 
 Usage::
@@ -35,13 +35,13 @@ def main():
     samplers = [s.strip() for s in args.samplers.split(",") if s.strip()]
     suite = (repro.problem(args.problem, scale=args.scale)
              .suite(samplers,
-                    executor="process" if args.parallel else "serial",
+                    backend="process" if args.parallel else "serial",
                     steps=args.steps, verbose=True))
 
     print()
     print(suite_table(suite))
     print(f"\nsweep total: {suite.total_seconds:.1f}s "
-          f"({suite.executor} executor, {len(suite)} methods)")
+          f"({suite.backend} backend, {len(suite)} methods)")
 
 
 if __name__ == "__main__":

@@ -1,4 +1,4 @@
-"""The shipped lint rules (``RPR001`` .. ``RPR009``).
+"""The shipped lint rules (``RPR001`` .. ``RPR010``).
 
 Each rule machine-enforces one invariant the reproduction's guarantees rest
 on — serial/process bit-identical runs, resumable bit-identical checkpoints,
@@ -21,6 +21,7 @@ __all__ = [
     "GlobalNumpyRandom", "WallClockInHotPath", "SetIteration",
     "UnpicklablePoolTask", "ExperimentCrossImport", "MutableDefaultArg",
     "StateDictCompleteness", "UnsortedFsIteration", "RawTimerInHotPath",
+    "UnimportableBackendTask",
 ]
 
 
@@ -249,6 +250,55 @@ class UnpicklablePoolTask(Rule):
                                       f"{task.id!r} passed to "
                                       f".{func.attr}() cannot be pickled "
                                       f"to a worker")
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+class UnimportableBackendTask(UnpicklablePoolTask):
+    """RPR010 — backend tasks must carry an importable module-level name."""
+
+    id = "RPR010"
+    title = "unimportable callable submitted to an execution backend"
+    severity = "error"
+    hint = ("submit a module-level function (the pattern _train_method "
+            "uses); backends ship the callable to other processes — the "
+            "queue backend by module:qualname re-import, the pool by pickle")
+    rationale = ("Execution backends serialize the task callable by "
+                 "qualified name: the process pool pickles it, and the "
+                 "queue backend records a module:qualname ref that a "
+                 "`repro worker` in a different process re-imports.  "
+                 "Lambdas, nested functions, and bound methods have no "
+                 "importable name, so submission fails at runtime — "
+                 "possibly on a worker, long after enqueue.")
+
+    #: receiver name fragments that mark an execution-backend object
+    RECEIVERS = ("backend", "queue")
+    METHODS = frozenset({"submit", "enqueue"})
+
+    def visit_Call(self, node):
+        func = node.func
+        if (isinstance(func, ast.Attribute) and node.args
+                and func.attr in self.METHODS):
+            receiver = (_trailing_name(func.value) or "").lower()
+            if any(part in receiver for part in self.RECEIVERS):
+                task = node.args[0]
+                if isinstance(task, ast.Lambda):
+                    self.report(task, f"lambda passed to .{func.attr}() has "
+                                      f"no importable name a worker could "
+                                      f"resolve")
+                elif (isinstance(task, ast.Name)
+                        and self._is_local_def(task.id)):
+                    self.report(task, f"locally-defined function "
+                                      f"{task.id!r} passed to "
+                                      f".{func.attr}() has no importable "
+                                      f"name a worker could resolve")
+                elif (isinstance(task, ast.Attribute)
+                        and isinstance(task.value, ast.Name)
+                        and task.value.id == "self"):
+                    self.report(task, f"bound method self.{task.attr} "
+                                      f"passed to .{func.attr}() drags its "
+                                      f"instance across the process "
+                                      f"boundary")
         self.generic_visit(node)
 
 

@@ -166,7 +166,7 @@ def run_problem(prob, config, sampler="uniform", batch_size=None,
         if trace:
             # a fresh per-run tracer, even when an ambient (suite/matrix)
             # tracer is installed: the suite adopts the exported spans
-            # afterwards, identically for serial and process executors
+            # afterwards, identically for every execution backend
             stream = metrics_stream = None
             if recorder is not None:
                 stream = recorder.path / "spans.jsonl"
@@ -343,36 +343,43 @@ class Session:
             run_id=run_id, checkpoint_every=checkpoint_every,
             compile=self._compile, trace=self._trace)
 
-    def suite(self, samplers=None, *, executor="serial", max_workers=None,
-              steps=None, verbose=False, store=None, checkpoint_every=None):
+    def suite(self, samplers=None, *, backend=None, executor=None,
+              max_workers=None, workers_external=False, steps=None,
+              verbose=False, store=None, checkpoint_every=None):
         """Train a method sweep on this problem; returns a ``SuiteResult``.
 
         ``samplers`` follows :func:`repro.experiments.resolve_methods`:
         ``None`` sweeps every registered sampler, or pass sampler names /
-        ``MethodSpec`` objects.  ``executor="process"`` shards the sweep
-        over a process pool; the session's ``seed``/``n_interior``/
+        ``MethodSpec`` objects.  ``backend="process"`` shards the sweep
+        over a process pool, ``"queue"`` feeds a ``repro worker`` fleet
+        through the store (default ``"serial"``; ``executor=`` is the
+        deprecated alias); the session's ``seed``/``n_interior``/
         ``batch_size``/``steps`` overrides apply to every method.  With
-        ``store`` each method (including each process-pool worker) writes
+        ``store`` each method (including each pool/queue worker) writes
         its own durable run record::
 
             repro.problem("ldc").suite(["uniform", "sgm"],
-                                       executor="process", store="runs")
+                                       backend="process", store="runs")
         """
-        from ..experiments.suite import resolve_methods, run_suite
+        from ..experiments.suite import (_backend_choice, resolve_methods,
+                                         run_suite)
+        backend = _backend_choice(backend, executor, "serial",
+                                  "Session.suite")
         methods = resolve_methods(self._config, samplers,
                                   n_interior=self._n_interior,
                                   batch_size=self._batch_size)
-        return run_suite(self.name, methods, executor=executor,
-                         max_workers=max_workers, seed=self._seed,
+        return run_suite(self.name, methods, backend=backend,
+                         max_workers=max_workers,
+                         workers_external=workers_external, seed=self._seed,
                          steps=steps if steps is not None else self._steps,
                          config=self._config, validators=self._validators,
                          verbose=verbose, store=store,
                          checkpoint_every=checkpoint_every,
                          compile=self._compile, trace=self._trace)
 
-    def matrix(self, problems=None, samplers=None, *, executor="serial",
-               max_workers=None, steps=None, verbose=False, store=None,
-               checkpoint_every=None):
+    def matrix(self, problems=None, samplers=None, *, backend=None,
+               executor=None, max_workers=None, workers_external=False,
+               steps=None, verbose=False, store=None, checkpoint_every=None):
         """Train a cross-problem benchmark matrix; returns a
         ``MatrixResult``.
 
@@ -382,15 +389,20 @@ class Session:
         customised) config applies to its own problem; other problems get
         their registered config factory at the session's scale.
         ``problems=None`` sweeps every registered problem; with
-        ``executor="process"`` all cells shard over one shared pool::
+        ``backend="process"`` all cells shard over one shared pool
+        (default ``"serial"``; ``executor=`` is the deprecated alias)::
 
             repro.problem("ldc", scale="smoke").matrix(
-                samplers=["uniform", "sgm"], executor="process",
+                samplers=["uniform", "sgm"], backend="process",
                 store="runs")
         """
         from ..experiments.matrix import run_matrix
-        return run_matrix(problems, samplers, executor=executor,
-                          max_workers=max_workers, seed=self._seed,
+        from ..experiments.suite import _backend_choice
+        backend = _backend_choice(backend, executor, "serial",
+                                  "Session.matrix")
+        return run_matrix(problems, samplers, backend=backend,
+                          max_workers=max_workers,
+                          workers_external=workers_external, seed=self._seed,
                           steps=steps if steps is not None else self._steps,
                           scale=self._scale, configs={self.name: self._config},
                           n_interior=self._n_interior,

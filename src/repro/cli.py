@@ -20,12 +20,19 @@ Commands
     run bit-identically from its newest checkpoint), ``gc``.
 ``suite``
     Method sweep: train any registered problem under several registered
-    samplers (``--samplers a,b,c``), optionally sharded over a process
-    pool (``--parallel``); ``--store`` records every method.
+    samplers (``--samplers a,b,c``) on any execution backend
+    (``--backend serial|process|queue``, ``--parallel`` as the process
+    shorthand); ``--store`` records every method.
 ``matrix``
     Cross-problem benchmark matrix: ``--problems all`` × ``--samplers``
-    cells sharded over one shared process pool (``--parallel``), every
-    cell recording into a single store (``--store``).
+    cells submitted to one shared execution backend (``--backend``,
+    ``--parallel``), every cell recording into a single store
+    (``--store``).
+``worker``
+    Queue-backend worker daemon: claim jobs a ``--backend queue`` sweep
+    enqueued in a run store (atomic lease files with heartbeat renewal;
+    a crashed worker's job is re-claimed by a surviving one after its
+    lease expires) and train them through the standard cell code path.
 ``problems``
     List the problem and sampler registries.
 ``lint``
@@ -74,6 +81,8 @@ def _cmd_info(args):
         ("training", "constraints, trainer, validators"),
         ("experiments", "Table 1/2 + Figures 2-4 harness, suites + "
                         "cross-problem benchmark matrix"),
+        ("exec", "pluggable sweep placement: serial, process pool, "
+                 "store-backed job queue + `repro worker` daemons"),
         ("store", "persistent run store: TOML configs, resumable "
                   "checkpointed runs, figures from records"),
         ("analysis", "project lint rules + autodiff tape analyzer "
@@ -85,12 +94,12 @@ def _cmd_info(args):
 
 
 def _cmd_table(args, which):
-    executor = "process" if args.parallel else "serial"
+    backend = "process" if args.parallel else "serial"
     if which == 1:
         from repro.experiments import (
             format_table, ldc_config, run_ldc_suite, table1_rows)
         config = ldc_config(args.scale)
-        results = run_ldc_suite(config, executor=executor)
+        results = run_ldc_suite(config, backend=backend)
         histories = {k: r.history for k, r in results.items()}
         columns, rows = table1_rows(histories)
         print(format_table(f"Table 1 (scale={args.scale})", columns, rows))
@@ -98,7 +107,7 @@ def _cmd_table(args, which):
         from repro.experiments import (
             annular_ring_config, format_table, run_ar_suite, table2_rows)
         config = annular_ring_config(args.scale)
-        results = run_ar_suite(config, executor=executor)
+        results = run_ar_suite(config, backend=backend)
         histories = {k: r.history for k, r in results.items()}
         columns, rows = table2_rows(histories)
         print(format_table(f"Table 2 (scale={args.scale})", columns, rows))
@@ -230,7 +239,10 @@ def _cmd_suite(args):
                 else [s.strip() for s in args.samplers.split(",") if s.strip()])
 
     problem, config, methods, store = args.problem, None, samplers, args.store
-    executor = "process" if args.parallel else "serial"
+    # precedence: --backend > --parallel shorthand > config file > serial
+    backend = args.backend
+    if backend is None and args.parallel:
+        backend = "process"
     seed, steps = args.seed, args.steps
     max_workers = args.max_workers
     if args.config is not None:
@@ -249,8 +261,8 @@ def _cmd_suite(args):
             return 2
         problem = rc.problem
         # flags override the file's [run]/[suite] values
-        if not args.parallel:
-            executor = rc.executor
+        if backend is None:
+            backend = rc.backend
         if max_workers is None:
             max_workers = rc.max_workers
         if seed is None:
@@ -263,10 +275,13 @@ def _cmd_suite(args):
         print("error: need a problem name or --config "
               "(see `repro problems`)")
         return 2
+    if backend is None:
+        backend = "serial"
 
     try:
-        suite = run_suite(problem, methods, executor=executor,
-                          max_workers=max_workers, seed=seed,
+        suite = run_suite(problem, methods, backend=backend,
+                          max_workers=max_workers,
+                          workers_external=args.workers_external, seed=seed,
                           steps=steps, scale=args.scale, config=config,
                           verbose=True, store=store, compile=args.compile,
                           trace=args.trace)
@@ -277,7 +292,7 @@ def _cmd_suite(args):
     print()
     print(suite_table(suite))
     print(f"\nsweep total: {suite.total_seconds:.1f}s "
-          f"({suite.executor} executor, {len(suite)} methods)")
+          f"({suite.backend} backend, {len(suite)} methods)")
     if args.trace:
         _print_cell_utilization(suite.obs, suite.total_seconds)
     if store is not None:
@@ -291,11 +306,15 @@ def _cmd_matrix(args):
     samplers = (None if args.samplers is None
                 else [s.strip() for s in args.samplers.split(",")
                       if s.strip()])
+    backend = args.backend
+    if backend is None:
+        backend = "process" if args.parallel else "serial"
     try:
         matrix = run_matrix(
-            args.problems, samplers,
-            executor="process" if args.parallel else "serial",
-            max_workers=args.max_workers, seed=args.seed, steps=args.steps,
+            args.problems, samplers, backend=backend,
+            max_workers=args.max_workers,
+            workers_external=args.workers_external,
+            seed=args.seed, steps=args.steps,
             scale=args.scale, verbose=True, store=args.store,
             checkpoint_every=args.checkpoint_every, compile=args.compile,
             trace=args.trace)
@@ -306,7 +325,7 @@ def _cmd_matrix(args):
     print()
     print(matrix_table(matrix))
     print(f"\nmatrix total: {matrix.total_seconds:.1f}s "
-          f"({matrix.executor} executor, {len(matrix.problems)} problems, "
+          f"({matrix.backend} backend, {len(matrix.problems)} problems, "
           f"{matrix.n_cells} cells)")
     if args.trace:
         _print_cell_utilization(matrix.obs, matrix.total_seconds)
@@ -489,6 +508,23 @@ def _cmd_runs_resume(store, args):
 
 def _cmd_runs_gc(store, args):
     removed = freed = 0
+    if args.keep_best is not None:
+        if args.all or args.status is not None:
+            print("error: --keep-best replaces the status-based policies; "
+                  "drop --all/--status")
+            return 2
+        from repro.store import keep_best_victims, run_score
+        for record in keep_best_victims(store, args.keep_best):
+            freed += record.size_bytes()
+            cell = f"{record.meta.get('problem', '?')}:{record.label}"
+            store.delete(record.run_id)
+            print(f"removed {record.run_id} ({cell}, "
+                  f"score {run_score(record):.4g})")
+            removed += 1
+        print(f"gc: kept the {args.keep_best} best completed run(s) per "
+              f"problem x label cell; removed {removed} run(s), freed "
+              f"{freed / 1024:.1f} KiB")
+        return 0
     for record in store.runs():
         if args.all:
             doomed = True
@@ -522,6 +558,25 @@ def _cmd_runs(args):
     except (KeyError, ValueError) as exc:
         print(f"error: {exc.args[0]}")
         return 2
+
+
+def _cmd_worker(args):
+    from repro.exec import run_worker
+    print(f"worker polling {args.store}/queue "
+          f"(lease {args.lease_seconds:g}s, poll {args.poll:g}s; "
+          f"ctrl-c to stop)")
+    try:
+        executed = run_worker(
+            args.store, worker_id=args.worker_id,
+            lease_seconds=args.lease_seconds, poll=args.poll,
+            max_tasks=args.max_tasks, exit_when_idle=args.exit_when_idle,
+            max_idle_seconds=args.max_idle_seconds, verbose=True)
+    except KeyboardInterrupt:
+        print("worker stopped (any leased job will be re-claimed after "
+              "its lease expires)")
+        return 130
+    print(f"worker exit: executed {executed} task(s)")
+    return 0
 
 
 def _cmd_problems(args):
@@ -751,20 +806,32 @@ def build_parser():
                         "(running runs may belong to a live process)")
     q.add_argument("--all", action="store_true",
                    help="delete every run in the store")
+    q.add_argument("--keep-best", type=int, default=None, metavar="N",
+                   help="retention for long sweeps: keep only the N "
+                        "best-error completed runs per problem x label "
+                        "cell, delete the other completed runs")
 
     p = sub.add_parser("suite", help="train a method sweep on any "
-                       "registered problem (serial or process-parallel)")
+                       "registered problem on any execution backend")
     p.add_argument("problem", metavar="problem", nargs="?", default=None,
                    help="a registered problem, e.g. ldc, annular_ring "
                         "(or use --config)")
     p.add_argument("--config", default=None, metavar="FILE",
                    help="TOML/JSON experiment file; its [suite] table sets "
-                        "samplers/executor/max_workers")
+                        "samplers/backend/max_workers")
     p.add_argument("--samplers", default=None,
                    help="comma-separated registered samplers "
                         "(default: all registered)")
+    p.add_argument("--backend", default=None,
+                   help="execution backend: serial (default), process, or "
+                        "queue (durable jobs in --store consumed by "
+                        "`repro worker` daemons)")
     p.add_argument("--parallel", action="store_true",
-                   help="shard methods over a process pool")
+                   help="shorthand for --backend process")
+    p.add_argument("--workers-external", action="store_true",
+                   help="queue backend: don't spawn a local worker fleet; "
+                        "wait for separately launched `repro worker` "
+                        "processes")
     p.add_argument("--max-workers", type=int, default=None)
     p.add_argument("--scale", default="smoke", choices=("smoke", "repro"))
     p.add_argument("--steps", type=int, default=None)
@@ -779,15 +846,23 @@ def build_parser():
                         "ship spans back across the pool)")
 
     p = sub.add_parser("matrix", help="cross-problem benchmark matrix: "
-                       "problems x samplers cells on one shared pool")
+                       "problems x samplers cells on one shared backend")
     p.add_argument("--problems", default="all",
                    help="comma-separated registered problems, or 'all' "
                         "(default)")
     p.add_argument("--samplers", default=None,
                    help="comma-separated registered samplers "
                         "(default: all registered)")
+    p.add_argument("--backend", default=None,
+                   help="execution backend: serial (default), process, or "
+                        "queue (durable jobs in --store consumed by "
+                        "`repro worker` daemons)")
     p.add_argument("--parallel", action="store_true",
-                   help="shard every cell over one shared process pool")
+                   help="shorthand for --backend process")
+    p.add_argument("--workers-external", action="store_true",
+                   help="queue backend: don't spawn a local worker fleet; "
+                        "wait for separately launched `repro worker` "
+                        "processes")
     p.add_argument("--max-workers", type=int, default=None)
     p.add_argument("--scale", default="smoke", choices=("smoke", "repro"))
     p.add_argument("--steps", type=int, default=None)
@@ -802,6 +877,30 @@ def build_parser():
     p.add_argument("--trace", action="store_true",
                    help="trace every cell (per-cell utilization; workers "
                         "ship spans back across the pool)")
+
+    p = sub.add_parser("worker", help="queue-backend worker daemon: claim "
+                       "and train jobs a `--backend queue` sweep enqueued "
+                       "in a run store")
+    p.add_argument("store", metavar="STORE",
+                   help="run-store root whose queue/ directory holds the "
+                        "job records")
+    p.add_argument("--worker-id", default=None,
+                   help="name recorded on claims and leases "
+                        "(default: worker-<pid>-<random>)")
+    p.add_argument("--lease-seconds", type=float, default=30.0,
+                   help="claim lifetime between heartbeats; a crashed "
+                        "worker's job is re-claimable this long after its "
+                        "last renewal (default: 30)")
+    p.add_argument("--poll", type=float, default=0.5,
+                   help="idle sleep between claim attempts (default: 0.5)")
+    p.add_argument("--max-tasks", type=int, default=None,
+                   help="exit after executing this many tasks "
+                        "(default: unlimited)")
+    p.add_argument("--exit-when-idle", action="store_true",
+                   help="exit once the queue holds no unfinished jobs")
+    p.add_argument("--max-idle-seconds", type=float, default=None,
+                   help="exit after this long without claiming anything "
+                        "(default: wait forever)")
 
     for n in (1, 2):
         p = sub.add_parser(f"table{n}", help=f"regenerate Table {n}")
@@ -865,6 +964,8 @@ def main(argv=None):
         return _cmd_suite(args)
     if args.command == "matrix":
         return _cmd_matrix(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "problems":
         return _cmd_problems(args)
     if args.command == "lint":

@@ -1,0 +1,30 @@
+"""Pluggable execution backends for sweep placement (``repro.exec``).
+
+Method sweeps are embarrassingly parallel — each cell trains an
+independent, self-seeding network — so *where* cells run is a pure
+placement decision.  This package owns that decision behind one
+interface:
+
+* :class:`SerialBackend` — in-process reference loop;
+* :class:`ProcessPoolBackend` — one shared local process pool;
+* :class:`QueueBackend` — durable store-backed job queue consumed by
+  ``repro worker`` daemons (crash-safe via lease expiry + re-claim).
+
+All three uphold the same contract — results in submission order,
+first-failure cancellation, obs adoption — and all three produce
+bit-identical per-cell trajectories, because backends never touch
+numerics.  Custom schedulers plug in via :func:`register_backend` and
+resolve by name through :func:`resolve_backend`.
+"""
+
+from .base import (ExecutionBackend, backend_names, register_backend,
+                   resolve_backend)
+from .local import ProcessPoolBackend, SerialBackend
+from .queue import QueueBackend, TaskQueue, function_ref
+from .worker import run_worker
+
+__all__ = [
+    "ExecutionBackend", "ProcessPoolBackend", "QueueBackend",
+    "SerialBackend", "TaskQueue", "backend_names", "function_ref",
+    "register_backend", "resolve_backend", "run_worker",
+]

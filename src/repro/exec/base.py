@@ -1,0 +1,130 @@
+"""The execution-backend interface and registry.
+
+A backend answers one question for the sweep layer: *where does each
+task run?*  :meth:`ExecutionBackend.submit` takes a module-level worker
+function plus a list of picklable task tuples and returns results in
+submission order, cancelling pending siblings on the first failure.
+Everything else — task construction, seeding, result assembly — stays in
+:mod:`repro.experiments`, which is what keeps per-cell trajectories
+bit-identical across backends: the backend only decides placement, never
+numerics.
+
+Backends self-register under a short name via :func:`register_backend`,
+so ``run_suite(..., backend="queue")`` and custom schedulers resolve
+through the same :func:`resolve_backend` lookup.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = [
+    "ExecutionBackend", "backend_names", "register_backend",
+    "resolve_backend",
+]
+
+#: name -> backend class, populated by :func:`register_backend`
+BACKENDS = {}
+
+
+def register_backend(name):
+    """Class decorator: register an :class:`ExecutionBackend` by name."""
+    def decorate(cls):
+        cls.name = name
+        BACKENDS[name] = cls
+        return cls
+    return decorate
+
+
+def backend_names():
+    """Registered backend names, sorted for stable error messages."""
+    return tuple(sorted(BACKENDS))
+
+
+def resolve_backend(backend, *, max_workers=None, store=None,
+                    workers_external=False):
+    """Normalise ``backend`` into a ready :class:`ExecutionBackend`.
+
+    Accepts a backend instance (passed through untouched, so callers can
+    hand in a pre-configured or custom backend) or a registry name, which
+    is instantiated via the class's :meth:`~ExecutionBackend.from_options`
+    hook with the sweep-level options.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    cls = BACKENDS.get(backend)
+    if cls is None:
+        raise ValueError(f"unknown backend {backend!r}; "
+                         f"choose from {backend_names()}")
+    return cls.from_options(max_workers=max_workers, store=store,
+                            workers_external=workers_external)
+
+
+def _with_cell_label(exc, label):
+    """Best-effort clone of ``exc`` with the failing cell's label attached.
+
+    Falls back to the original exception for types whose constructor does
+    not accept a single message (the label is still visible via the
+    ``__cause__`` chain the caller raises from).
+    """
+    try:
+        labelled = type(exc)(f"[{label}] {exc}")
+    except Exception:
+        return exc
+    return labelled
+
+
+class ExecutionBackend(ABC):
+    """Placement strategy for a batch of independent, picklable tasks.
+
+    Subclasses implement :meth:`submit`; the sweep layer relies on three
+    contracts it must uphold:
+
+    * results come back **in submission order**, regardless of completion
+      order;
+    * the **first failure cancels** every task that has not started and
+      re-raises with the failing cell's label attached (``raise
+      _with_cell_label(exc, labels[i]) from exc``);
+    * each result's ``obs_data`` (when present) is plain picklable data, so
+      :meth:`adopt_into` can graft worker spans into the sweep's tracer
+      identically for every backend.
+    """
+
+    #: registry name, set by :func:`register_backend`
+    name = None
+    #: True when tasks run in the submitting process (the sweep layer
+    #: enables per-task verbose printing only for inline backends, since a
+    #: remote worker's stdout does not reach the submitter)
+    inline = False
+
+    @classmethod
+    def from_options(cls, *, max_workers=None, store=None,
+                     workers_external=False):
+        """Build an instance from the sweep-level options.
+
+        The default covers backends configured by ``max_workers`` alone;
+        backends needing more (a store, a fleet flag) override this.
+        """
+        return cls(max_workers=max_workers)
+
+    @abstractmethod
+    def submit(self, fn, tasks, labels, verbose=False):
+        """Run ``fn`` over ``tasks``; return results in submission order.
+
+        ``labels`` parallels ``tasks`` and names each cell for progress
+        lines and failure messages.
+        """
+
+    def adopt_into(self, tracer, parent_id, labels, results):
+        """Graft each result's exported spans under a ``suite.cell`` span.
+
+        One code path for every backend: inline cells traced in-process,
+        pool/queue cells shipped their export back with the result —
+        either way each result carries a plain ``obs_data`` dict for
+        :meth:`repro.obs.Tracer.adopt`.
+        """
+        for label, result in zip(labels, results):
+            obs_data = getattr(result, "obs_data", None)
+            if obs_data:
+                tracer.adopt(obs_data, name="suite.cell", label=label,
+                             parent=parent_id)

@@ -1,0 +1,73 @@
+"""Single-machine backends: in-process serial and local process pool."""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+from .base import ExecutionBackend, _with_cell_label, register_backend
+
+__all__ = ["ProcessPoolBackend", "SerialBackend"]
+
+
+@register_backend("serial")
+class SerialBackend(ExecutionBackend):
+    """Run every task in the submitting process, one after another.
+
+    The reference backend: no pickling, no placement — every other
+    backend's trajectories are pinned bit-identical to this one.
+    """
+
+    inline = True
+
+    def __init__(self, max_workers=None):
+        # accepted for interface uniformity; a serial loop has one worker
+        self.max_workers = 1
+
+    def submit(self, fn, tasks, labels, verbose=False):
+        results = []
+        for task, label in zip(tasks, labels):
+            try:
+                results.append(fn(task))
+            except Exception as exc:
+                raise _with_cell_label(exc, label) from exc
+        return results
+
+
+@register_backend("process")
+class ProcessPoolBackend(ExecutionBackend):
+    """Shard tasks over one local ``ProcessPoolExecutor``.
+
+    All tasks — whatever problem they belong to — share a single pool,
+    and results come back in submission order regardless of completion
+    order.  The first worker failure cancels every pending sibling (no
+    wasted training of doomed cells) and re-raises with the failing
+    cell's label attached.
+    """
+
+    def __init__(self, max_workers=None):
+        self.max_workers = max_workers
+
+    def submit(self, fn, tasks, labels, verbose=False):
+        max_workers = self.max_workers
+        if max_workers is None:
+            max_workers = min(len(tasks), os.cpu_count() or 1)
+        results = [None] * len(tasks)
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {pool.submit(fn, task): i
+                       for i, task in enumerate(tasks)}
+            # collect as workers finish, but place by submission index so
+            # the result order is deterministic
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    results[index] = future.result()
+                except Exception as exc:
+                    for pending in futures:
+                        pending.cancel()
+                    raise _with_cell_label(exc, labels[index]) from exc
+                if verbose:
+                    done = results[index]
+                    print(f"[{labels[index]}] finished in "
+                          f"{done.wall_seconds:.1f}s")
+        return results

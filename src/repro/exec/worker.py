@@ -1,0 +1,118 @@
+"""The queue worker loop behind ``repro worker <store>``.
+
+A worker is a small daemon: claim one job from the store's task queue,
+execute it through the exact function the serial backend would call
+in-process, write the result back, repeat.  While a job runs, a
+heartbeat thread renews the lease every third of the lease period;
+a worker that dies — even via ``SIGKILL`` — simply stops renewing, and
+once the lease expires any surviving worker re-claims the job.  Task
+determinism (every task seeds itself from its spec) makes the re-run
+bit-identical, so a crash costs wall-clock, never correctness.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import uuid
+
+from .queue import TaskQueue
+
+__all__ = ["run_worker"]
+
+
+class _Heartbeat:
+    """Daemon thread renewing one lease until stopped (or lost)."""
+
+    def __init__(self, lease, lease_seconds):
+        self.lease = lease
+        self.lease_seconds = float(lease_seconds)
+        self.lost = False
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        # renew at a third of the lease period: two missed beats of slack
+        # before any sibling may legally take the job over
+        while not self._stop.wait(self.lease_seconds / 3.0):
+            if not self.lease.renew(self.lease_seconds):
+                self.lost = True
+                return
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self._stop.set()
+        self._thread.join(timeout=self.lease_seconds)
+
+
+def run_worker(store_root, *, worker_id=None, lease_seconds=30.0, poll=0.5,
+               max_tasks=None, exit_when_idle=False, max_idle_seconds=None,
+               verbose=False):
+    """Claim-and-execute loop over a store's task queue.
+
+    Parameters
+    ----------
+    store_root:
+        Run-store root (the queue lives under ``<store_root>/queue``).
+    worker_id:
+        Name recorded on claims/leases (default: ``worker-<pid>-<rand>``).
+    lease_seconds:
+        Claim lifetime between heartbeats.  A crashed worker's job is
+        re-claimable this long after its last renewal.
+    poll:
+        Idle sleep between claim attempts.
+    max_tasks:
+        Exit after executing this many tasks (``None`` = unlimited).
+    exit_when_idle:
+        Exit once the queue holds no unfinished jobs at all (used by the
+        queue backend's self-spawned fleet).  A job still leased by a
+        sibling counts as unfinished, so workers never abandon a sweep a
+        crashed sibling could hand back.
+    max_idle_seconds:
+        Exit after this long without claiming anything (``None`` = wait
+        forever).
+
+    Returns the number of tasks executed.
+    """
+    queue = TaskQueue.for_store(store_root)
+    if worker_id is None:
+        worker_id = f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+    executed = 0
+    idle_since = None
+    while True:
+        if max_tasks is not None and executed >= max_tasks:
+            return executed
+        lease = queue.claim(worker_id, lease_seconds)
+        if lease is None:
+            if exit_when_idle and not queue.pending():
+                return executed
+            now = time.time()
+            idle_since = idle_since if idle_since is not None else now
+            if (max_idle_seconds is not None
+                    and now - idle_since >= float(max_idle_seconds)):
+                return executed
+            time.sleep(poll)
+            continue
+        idle_since = None
+        if verbose:
+            meta = queue.job_meta(lease.job_id) or {}
+            print(f"[{worker_id}] claimed {lease.job_id} "
+                  f"({meta.get('label', '?')}, attempt "
+                  f"{meta.get('attempts', '?')})")
+        with _Heartbeat(lease, lease_seconds):
+            try:
+                fn, task = queue.load_task(lease.job_id)
+                result = fn(task)
+            except Exception as exc:
+                # the job failed, not the worker: record it and move on
+                queue.fail(lease, exc)
+            else:
+                queue.complete(lease, result)
+        executed += 1
+        if verbose:
+            meta = queue.job_meta(lease.job_id) or {}
+            print(f"[{worker_id}] {meta.get('status', '?')} {lease.job_id}")

@@ -25,7 +25,7 @@ from .runner import (
     run_ldc_suite, run_ar_suite, ldc_methods, ar_methods,
 )
 from .suite import (
-    EXECUTORS, MethodResult, SamplerStats, SuiteResult, method_label,
+    MethodResult, SamplerStats, SuiteResult, method_label,
     methods_from_samplers, resolve_methods, run_suite,
 )
 from .matrix import (
@@ -54,7 +54,7 @@ __all__ = [
     "build_ns3d_problem", "ns3d_validator",
     "MethodSpec", "RunResult",
     "run_ldc_suite", "run_ar_suite", "ldc_methods", "ar_methods",
-    "EXECUTORS", "MethodResult", "SamplerStats", "SuiteResult",
+    "MethodResult", "SamplerStats", "SuiteResult",
     "method_label", "methods_from_samplers", "resolve_methods", "run_suite",
     "MatrixResult", "matrix_table", "resolve_problems", "run_matrix",
     "table1_rows", "table2_rows", "suite_rows", "suite_table",

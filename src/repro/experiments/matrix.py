@@ -1,13 +1,13 @@
-"""Cross-problem benchmark matrix on one shared process pool.
+"""Cross-problem benchmark matrix on one shared execution backend.
 
 The paper's headline evidence is method-sweep tables across *several*
 workloads; importance-sampling baselines are only credible when compared
 over many PDEs (Nabian et al. 2021, DMIS).  :func:`run_matrix` resolves a
 problems × samplers grid into cells — one :class:`~repro.api.MethodSpec`
-per (problem, sampler) — and shards **all** cells over one shared
-``ProcessPoolExecutor`` via the same task loop ``run_suite`` uses, so a
-5-problem × 4-sampler matrix saturates the pool instead of running five
-sequential suites.
+per (problem, sampler) — and submits **all** cells to one shared
+:mod:`repro.exec` backend via the same task construction ``run_suite``
+uses, so a 5-problem × 4-sampler matrix saturates a local pool (or a
+``repro worker`` fleet) instead of running five sequential suites.
 
 Every cell is built from exactly the task tuple :func:`run_suite` would
 build for the same problem, so each cell's loss/error trajectory is
@@ -24,7 +24,8 @@ from dataclasses import dataclass, field
 
 from .. import obs
 from ..api.registry import problem_registry
-from .suite import (SuiteResult, _adopt_cells, _execute_tasks, _make_task,
+from ..exec import resolve_backend
+from .suite import (SuiteResult, _backend_choice, _make_task, _train_method,
                     resolve_methods)
 from .tables import suite_table
 
@@ -61,12 +62,12 @@ class MatrixResult:
 
     ``suites`` maps each problem name to a :class:`SuiteResult` whose
     methods are in spec order; ``total_seconds`` is the wall time of the
-    whole grid on the shared pool (each embedded suite's
+    whole grid on the shared backend (each embedded suite's
     ``total_seconds`` is the sum of its cells' training time, since the
     cells did not run as an isolated sweep).
     """
 
-    executor: str
+    backend: str
     suites: dict
     total_seconds: float
     scale: str = "repro"
@@ -74,6 +75,11 @@ class MatrixResult:
     #: grid-level span/metric export (every cell adopted under a
     #: ``suite.cell`` span) when the grid ran with ``trace=True``
     obs: dict = field(repr=False, default=None)
+
+    @property
+    def executor(self):
+        """Alias for :attr:`backend` (the field's pre-``repro.exec`` name)."""
+        return self.backend
 
     @property
     def problems(self):
@@ -122,7 +128,7 @@ def matrix_table(matrix, title=None):
     if title is None:
         title = (f"Benchmark matrix ({len(matrix.problems)} problems x "
                  f"{max((len(s) for s in matrix), default=0)} methods, "
-                 f"executor={matrix.executor})")
+                 f"backend={matrix.backend})")
     blocks = [title]
     for problem, suite in matrix.suites.items():
         blocks.append(suite_table(suite, title=f"[{problem}] min errors "
@@ -130,12 +136,12 @@ def matrix_table(matrix, title=None):
     return "\n\n".join(blocks)
 
 
-def run_matrix(problems=None, methods=None, *, executor="process",
-               max_workers=None, seed=None, steps=None, scale="repro",
-               configs=None, n_interior=None, batch_size=None,
-               validators=None, verbose=False, store=None,
+def run_matrix(problems=None, methods=None, *, backend=None, executor=None,
+               max_workers=None, workers_external=False, seed=None,
+               steps=None, scale="repro", configs=None, n_interior=None,
+               batch_size=None, validators=None, verbose=False, store=None,
                checkpoint_every=None, compile=False, trace=False):
-    """Train a problems × samplers benchmark matrix on one shared pool.
+    """Train a problems × samplers benchmark matrix on one shared backend.
 
     Parameters
     ----------
@@ -147,13 +153,20 @@ def run_matrix(problems=None, methods=None, *, executor="process",
         :class:`MethodSpec` objects; resolved *per problem config* via
         :func:`resolve_methods`, so column labels follow each problem's
         batch size.
+    backend:
+        ``"serial"``, ``"process"``, ``"queue"``, a registered custom
+        name, or a ready :class:`~repro.exec.ExecutionBackend` (default
+        ``"process"``).  Every cell of the grid goes to one shared
+        backend — a 5 × 4 matrix keeps a local pool or a ``repro
+        worker`` fleet saturated instead of running five sequential
+        suites.
     executor:
-        ``"serial"`` or ``"process"``.  The process path shards every
-        cell of the grid over one shared ``ProcessPoolExecutor`` — a
-        5 × 4 matrix keeps the pool saturated instead of running five
-        sequential suites.
+        Deprecated alias for ``backend`` (same names); warns.
     max_workers:
-        Shared pool size (default: ``min(n_cells, cpu_count)``).
+        Shared worker-fleet size (default: ``min(n_cells, cpu_count)``).
+    workers_external:
+        Queue backend only: rely on separately launched ``repro worker``
+        processes instead of spawning a local fleet.
     seed:
         Run seed shared by all cells (default: each problem's
         ``config.seed`` — the same default the standalone suite uses,
@@ -167,8 +180,9 @@ def run_matrix(problems=None, methods=None, *, executor="process",
         Optional ``{problem: config}`` overrides.
     store:
         Optional :class:`repro.store.RunStore` (or root path): every cell
-        — including each process-pool worker — records its own durable
-        run into this single store.
+        — including each pool/queue worker — records its own durable
+        run into this single store.  Required by the queue backend (its
+        job records live in the store).
     compile:
         Train every cell with record-once/replay-many tape execution
         (bit-identical to eager; automatic per-cell eager fallback).
@@ -177,7 +191,7 @@ def run_matrix(problems=None, methods=None, *, executor="process",
         (workers ship the data back), the grid adopts them under
         ``suite.cell`` spans, and the merged export lands on
         :attr:`MatrixResult.obs` — per-cell utilization for the shared
-        pool, plus per-run ``spans.jsonl`` when ``store`` is given.
+        backend, plus per-run ``spans.jsonl`` when ``store`` is given.
 
     Returns
     -------
@@ -188,7 +202,7 @@ def run_matrix(problems=None, methods=None, *, executor="process",
     --------
     >>> from repro.experiments import run_matrix
     >>> matrix = run_matrix(["burgers", "poisson3d"], ["uniform"],
-    ...                     executor="serial", scale="smoke", steps=2,
+    ...                     backend="serial", scale="smoke", steps=2,
     ...                     validators=[])
     >>> matrix.problems
     ['burgers', 'poisson3d']
@@ -201,6 +215,11 @@ def run_matrix(problems=None, methods=None, *, executor="process",
     if store is not None:
         from ..store import RunStore
         store_root = str(RunStore.coerce(store).root)
+    backend = _backend_choice(backend, executor, "process", "run_matrix")
+    exec_backend = resolve_backend(backend, max_workers=max_workers,
+                                   store=store_root,
+                                   workers_external=workers_external)
+    backend_name = exec_backend.name or type(exec_backend).__name__
 
     tasks, labels, grid = [], [], []
     for name in names:
@@ -215,7 +234,7 @@ def run_matrix(problems=None, methods=None, *, executor="process",
         for spec in specs:
             tasks.append(_make_task(entry.name, config, spec, cell_seed,
                                     steps, validators,
-                                    verbose and executor == "serial",
+                                    verbose and exec_backend.inline,
                                     store_root, checkpoint_every, compile,
                                     trace))
             labels.append(f"{entry.name}:{config.scale}:{spec.label}")
@@ -223,25 +242,24 @@ def run_matrix(problems=None, methods=None, *, executor="process",
     matrix_tracer = obs.Tracer() if trace else None
     with obs.stopwatch() as total_timer:
         if matrix_tracer is None:
-            results = _execute_tasks(tasks, labels, executor=executor,
-                                     max_workers=max_workers,
-                                     verbose=verbose)
+            results = exec_backend.submit(_train_method, tasks, labels,
+                                          verbose=verbose)
         else:
             with matrix_tracer.span("matrix.run", cells=len(tasks),
-                                    executor=executor) as root:
-                results = _execute_tasks(tasks, labels, executor=executor,
-                                         max_workers=max_workers,
-                                         verbose=verbose)
-                _adopt_cells(matrix_tracer, root.span_id, labels, results)
+                                    backend=backend_name) as root:
+                results = exec_backend.submit(_train_method, tasks, labels,
+                                              verbose=verbose)
+                exec_backend.adopt_into(matrix_tracer, root.span_id, labels,
+                                        results)
 
     suites = {}
     for name, config, specs, cell_seed, start in grid:
         cells = results[start:start + len(specs)]
         suites[name] = SuiteResult(
-            problem=name, executor=executor, methods=cells,
+            problem=name, backend=backend_name, methods=cells,
             total_seconds=sum(m.wall_seconds for m in cells),
             seed=cell_seed, config=config)
-    return MatrixResult(executor=executor, suites=suites,
+    return MatrixResult(backend=backend_name, suites=suites,
                         total_seconds=total_timer.seconds, scale=scale,
                         store_root=store_root,
                         obs=(None if matrix_tracer is None

@@ -70,30 +70,30 @@ def _run_method(name, config, method, validators=None, seed=None,
                        label=method.label, validators=validators)
 
 
-def run_ldc_suite(config, methods=None, verbose=True, executor="serial",
+def run_ldc_suite(config, methods=None, verbose=True, backend="serial",
                   max_workers=None):
     """Train all Table-1 methods; returns ``{label: RunResult}``.
 
     Thin wrapper over the registry-driven :func:`repro.experiments.run_suite`
-    engine, kept for the Table-1 call sites; pass ``executor="process"`` to
+    engine, kept for the Table-1 call sites; pass ``backend="process"`` to
     shard the sweep over a process pool.
     """
     from .suite import run_suite
     methods = methods if methods is not None else ldc_methods(config)
-    suite = run_suite("ldc", methods, executor=executor,
+    suite = run_suite("ldc", methods, backend=backend,
                       max_workers=max_workers, config=config, verbose=verbose)
     return suite.run_results()
 
 
 def run_ar_suite(config, include_plain_sgm=False, verbose=True,
-                 executor="serial", max_workers=None):
+                 backend="serial", max_workers=None):
     """Train all Table-2 methods; returns ``{label: RunResult}``.
 
     Thin wrapper over :func:`repro.experiments.run_suite`; pass
-    ``executor="process"`` to shard the sweep over a process pool.
+    ``backend="process"`` to shard the sweep over a process pool.
     """
     from .suite import run_suite
     methods = ar_methods(config, include_plain_sgm=include_plain_sgm)
-    suite = run_suite("annular_ring", methods, executor=executor,
+    suite = run_suite("annular_ring", methods, backend=backend,
                       max_workers=max_workers, config=config, verbose=verbose)
     return suite.run_results()

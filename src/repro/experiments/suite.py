@@ -1,4 +1,4 @@
-"""Registry-driven method sweeps with serial or sharded execution.
+"""Registry-driven method sweeps over pluggable execution backends.
 
 The paper's headline results are method-sweep tables: train the *same*
 problem under several samplers (uniform small/large batch, MIS, SGM,
@@ -8,20 +8,21 @@ registries: any registered problem crossed with any subset of registered
 samplers resolves into :class:`~repro.api.MethodSpec` columns.
 
 Method sweeps are embarrassingly parallel — each column trains an
-independent network — so :func:`run_suite` can shard them across a
-``ProcessPoolExecutor``.  Every worker seeds itself from its spec (the
-problem build, network init, and sampler all derive from ``config.seed`` /
-the run seed), so serial and process execution produce bit-identical loss
-trajectories; results are returned in spec order regardless of completion
-order.  Workers return :class:`MethodResult` payloads that are fully
-picklable (history, net state dict, sampler statistics) instead of live
-trainer objects.
+independent network — so *where* columns run is a pure placement choice,
+delegated to :mod:`repro.exec`: ``backend="serial"`` trains in-process,
+``"process"`` shards over one local pool, ``"queue"`` feeds a durable
+store-backed queue consumed by ``repro worker`` daemons.  Every worker
+seeds itself from its spec (the problem build, network init, and sampler
+all derive from ``config.seed`` / the run seed), so every backend
+produces bit-identical loss trajectories; results are returned in spec
+order regardless of completion order.  Workers return
+:class:`MethodResult` payloads that are fully picklable (history, net
+state dict, sampler statistics) instead of live trainer objects.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,10 +30,11 @@ import numpy as np
 from .. import obs
 from ..api.registry import problem_registry, sampler_registry
 from ..api.types import MethodSpec, RunResult
+from ..exec import resolve_backend
 
 __all__ = [
-    "EXECUTORS", "MethodResult", "SamplerStats", "SuiteResult",
-    "method_label", "methods_from_samplers", "resolve_methods", "run_suite",
+    "MethodResult", "SamplerStats", "SuiteResult", "method_label",
+    "methods_from_samplers", "resolve_methods", "run_suite",
 ]
 
 
@@ -47,7 +49,23 @@ def _make_task(problem, config, spec, seed, steps, validators, verbose,
     return (problem, config, spec, seed, steps, validators, verbose,
             store_root, checkpoint_every, compile, trace)
 
-EXECUTORS = ("serial", "process")
+
+def _backend_choice(backend, executor, default, owner):
+    """Resolve the ``backend=`` / deprecated ``executor=`` kwarg pair.
+
+    ``executor=`` mapped 1:1 onto backend names, so the shim just warns
+    and forwards; passing both (to different values) is an error.
+    """
+    if executor is not None:
+        if backend is not None and backend != executor:
+            raise ValueError(f"conflicting backend={backend!r} and "
+                             f"deprecated executor={executor!r}")
+        warnings.warn(
+            f"{owner}(executor=...) is deprecated; pass backend=... "
+            f"instead (same names: 'serial', 'process', ...)",
+            DeprecationWarning, stacklevel=3)
+        return executor
+    return default if backend is None else backend
 
 #: label prefixes mirroring the paper's column headers (U500, MIS500, ...)
 _LABEL_PREFIXES = {"uniform": "U", "mis": "MIS", "sgm": "SGM",
@@ -187,7 +205,7 @@ class SuiteResult:
     """All methods of one sweep, in spec order with per-method timing."""
 
     problem: str
-    executor: str
+    backend: str
     methods: list
     total_seconds: float
     seed: int = 0
@@ -195,6 +213,11 @@ class SuiteResult:
     #: sweep-level span/metric export (cells adopted under ``suite.cell``
     #: spans) when the sweep ran with ``trace=True``; else ``None``
     obs: dict = field(repr=False, default=None)
+
+    @property
+    def executor(self):
+        """Alias for :attr:`backend` (the field's pre-``repro.exec`` name)."""
+        return self.backend
 
     @property
     def labels(self):
@@ -229,10 +252,11 @@ class SuiteResult:
 def _train_method(task):
     """Worker: build the problem and train one method (picklable I/O).
 
-    Runs identically under both executors — the serial path calls this
-    function in-process, the process path ships ``task`` to a worker — so
-    trajectory parity between executors is parity of one code path.  All
-    randomness derives from ``(config, seed)``, never from worker state.
+    Runs identically under every backend — the serial backend calls this
+    function in-process, the process pool and queue workers ship ``task``
+    across a process boundary — so trajectory parity between backends is
+    parity of one code path.  All randomness derives from
+    ``(config, seed)``, never from worker state.
     """
     (name, config, spec, seed, steps, validators, verbose, store_root,
      checkpoint_every, compile, trace) = task
@@ -248,8 +272,8 @@ def _train_method(task):
         print(f"[{name}:{config.scale}] training {spec.label} "
               f"(N={spec.n_interior}, batch={spec.batch_size})")
     # a stopwatch, not a span: the cell's spans come from run_problem's own
-    # tracer and are adopted by the sweep afterwards (identically for serial
-    # and process executors), so a span here would double-count the cell
+    # tracer and are adopted by the sweep afterwards (identically for every
+    # backend), so a span here would double-count the cell
     with obs.stopwatch() as walltimer:
         prob = build_problem(name, config, spec.n_interior,
                              np.random.default_rng(seed))
@@ -280,78 +304,11 @@ def _train_method(task):
                         run_id=result.run_id, obs_data=result.obs)
 
 
-def _adopt_cells(tracer, parent_id, labels, results):
-    """Graft each cell's exported spans under a ``suite.cell`` span.
-
-    One code path for both executors: the serial path's cells traced
-    in-process, the process path's cells were pickled back with their
-    results — either way each :class:`MethodResult` carries a plain
-    ``obs_data`` dict for :meth:`repro.obs.Tracer.adopt`.
-    """
-    for label, result in zip(labels, results):
-        if result is not None and result.obs_data:
-            tracer.adopt(result.obs_data, name="suite.cell", label=label,
-                         parent=parent_id)
-
-
-def _with_cell_label(exc, label):
-    """Best-effort clone of ``exc`` with the failing cell's label attached.
-
-    Falls back to the original exception for types whose constructor does
-    not accept a single message (the label is still visible via the
-    ``__cause__`` chain the caller raises from).
-    """
-    try:
-        labelled = type(exc)(f"[{label}] {exc}")
-    except Exception:
-        return exc
-    return labelled
-
-
-def _execute_tasks(tasks, labels, *, executor, max_workers=None,
-                   verbose=False):
-    """Run :func:`_train_method` over ``tasks``, serially or on one pool.
-
-    This is the single task/placement loop shared by :func:`run_suite`
-    and the cross-problem matrix: all tasks — whatever problem they
-    belong to — shard over *one* ``ProcessPoolExecutor``, and results come
-    back in submission order regardless of completion order.  On the
-    process path the first worker failure cancels every pending sibling
-    (no wasted training of doomed cells) and re-raises with the failing
-    cell's label attached.
-    """
-    if executor not in EXECUTORS:
-        raise ValueError(f"unknown executor {executor!r}; "
-                         f"choose from {EXECUTORS}")
-    if executor == "serial":
-        return [_train_method(task) for task in tasks]
-    if max_workers is None:
-        max_workers = min(len(tasks), os.cpu_count() or 1)
-    results = [None] * len(tasks)
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = {pool.submit(_train_method, task): i
-                   for i, task in enumerate(tasks)}
-        # collect as workers finish, but place by submission index so
-        # the result order is deterministic
-        for future in as_completed(futures):
-            index = futures[future]
-            try:
-                results[index] = future.result()
-            except Exception as exc:
-                for pending in futures:
-                    pending.cancel()
-                raise _with_cell_label(exc, labels[index]) from exc
-            if verbose:
-                done = results[index]
-                print(f"[{labels[index]}] finished in "
-                      f"{done.wall_seconds:.1f}s")
-    return results
-
-
-def run_suite(problem, methods=None, *, executor="process", max_workers=None,
-              seed=None, steps=None, config=None, scale="repro",
-              validators=None, verbose=False, store=None,
-              checkpoint_every=None, compile=False, trace=False):
+def run_suite(problem, methods=None, *, backend=None, executor=None,
+              max_workers=None, workers_external=False, seed=None,
+              steps=None, config=None, scale="repro", validators=None,
+              verbose=False, store=None, checkpoint_every=None,
+              compile=False, trace=False):
     """Train a method sweep on any registered problem.
 
     Parameters
@@ -361,13 +318,22 @@ def run_suite(problem, methods=None, *, executor="process", max_workers=None,
     methods:
         ``None`` (all registered samplers), sampler names, or
         :class:`MethodSpec` objects — see :func:`resolve_methods`.
+    backend:
+        Placement, resolved via :func:`repro.exec.resolve_backend`
+        (default ``"process"``).  ``"serial"`` trains methods one after
+        another in-process; ``"process"`` shards them over one local
+        pool; ``"queue"`` enqueues durable jobs in the run store for
+        ``repro worker`` daemons.  A ready
+        :class:`~repro.exec.ExecutionBackend` instance is accepted as-is.
+        Every backend produces bit-identical loss/error trajectories
+        because every worker seeds independently from its spec.
     executor:
-        ``"serial"`` trains methods one after another in-process;
-        ``"process"`` shards them over a ``ProcessPoolExecutor``.  Both
-        produce bit-identical loss/error trajectories because every worker
-        seeds independently from its spec.
+        Deprecated alias for ``backend`` (same names); warns.
     max_workers:
-        Process-pool size (default: ``min(len(methods), cpu_count)``).
+        Worker-fleet size (default: ``min(len(methods), cpu_count)``).
+    workers_external:
+        Queue backend only: do not spawn a local worker fleet — jobs wait
+        for separately launched ``repro worker`` processes.
     seed:
         Run seed shared by all methods (default ``config.seed`` — the
         paper's fair-comparison invariant: identical initialisation).
@@ -378,11 +344,12 @@ def run_suite(problem, methods=None, *, executor="process", max_workers=None,
     validators:
         Validator override shared by every method (``[]`` skips validation
         entirely; ``None`` builds the problem's defaults per worker).  With
-        ``executor="process"`` custom validator objects must be picklable.
+        non-serial backends custom validator objects must be picklable.
     store:
         Optional :class:`repro.store.RunStore` (or root path).  Every
-        method — including each process-pool worker — records its own
+        method — including each pool/queue worker — records its own
         durable run into the store; :attr:`MethodResult.run_id` names it.
+        Required by the queue backend (its job records live in the store).
     compile:
         Train every cell with record-once/replay-many tape execution
         (bit-identical to eager; automatic per-cell eager fallback).
@@ -401,7 +368,7 @@ def run_suite(problem, methods=None, *, executor="process", max_workers=None,
     Examples
     --------
     >>> from repro.experiments import run_suite
-    >>> suite = run_suite("burgers", ["uniform", "sgm"], executor="serial",
+    >>> suite = run_suite("burgers", ["uniform", "sgm"], backend="serial",
     ...                   scale="smoke", steps=3, validators=[])
     >>> suite.labels
     ['U32', 'SGM32']
@@ -417,25 +384,29 @@ def run_suite(problem, methods=None, *, executor="process", max_workers=None,
     if store is not None:
         from ..store import RunStore
         store_root = str(RunStore.coerce(store).root)
+    backend = _backend_choice(backend, executor, "process", "run_suite")
+    exec_backend = resolve_backend(backend, max_workers=max_workers,
+                                   store=store_root,
+                                   workers_external=workers_external)
+    backend_name = exec_backend.name or type(exec_backend).__name__
     tasks = [_make_task(entry.name, config, spec, seed, steps, validators,
-                        verbose and executor == "serial", store_root,
+                        verbose and exec_backend.inline, store_root,
                         checkpoint_every, compile, trace) for spec in specs]
     labels = [f"{entry.name}:{config.scale}:{spec.label}" for spec in specs]
 
     suite_tracer = obs.Tracer() if trace else None
     with obs.stopwatch() as total_timer:
         if suite_tracer is None:
-            results = _execute_tasks(tasks, labels, executor=executor,
-                                     max_workers=max_workers,
-                                     verbose=verbose)
+            results = exec_backend.submit(_train_method, tasks, labels,
+                                          verbose=verbose)
         else:
             with suite_tracer.span("suite.run", problem=entry.name,
-                                   executor=executor) as root:
-                results = _execute_tasks(tasks, labels, executor=executor,
-                                         max_workers=max_workers,
-                                         verbose=verbose)
-                _adopt_cells(suite_tracer, root.span_id, labels, results)
-    return SuiteResult(problem=entry.name, executor=executor,
+                                   backend=backend_name) as root:
+                results = exec_backend.submit(_train_method, tasks, labels,
+                                              verbose=verbose)
+                exec_backend.adopt_into(suite_tracer, root.span_id, labels,
+                                        results)
+    return SuiteResult(problem=entry.name, backend=backend_name,
                        methods=results, total_seconds=total_timer.seconds,
                        seed=seed, config=config,
                        obs=(None if suite_tracer is None

@@ -100,7 +100,7 @@ def suite_table(suite, title=None):
     histories = suite.histories()
     columns, rows = suite_rows(histories)
     if title is None:
-        title = (f"Suite ({suite.problem}, executor={suite.executor}): "
+        title = (f"Suite ({suite.problem}, backend={suite.backend}): "
                  f"min errors and time-to-threshold [s]")
     timings = suite.timings()
     rows.append(("train wall [s]", {c: timings[c] for c in columns}))

@@ -66,6 +66,16 @@ METRICS = {
         "gauge", "recorded tensors pruned as dead nodes"),
     "replay.baked_constants": (
         "gauge", "stable constants baked into the replay program"),
+    # -- execution backends ---------------------------------------------
+    "exec.tasks_enqueued": (
+        "counter", "tasks submitted to the store-backed job queue"),
+    "exec.queue_depth": (
+        "gauge", "jobs not yet in a terminal status at the last poll"),
+    "exec.reclaims": (
+        "counter", "expired-lease takeovers (a worker crashed mid-job and "
+                   "a sibling re-claimed it)"),
+    "exec.lease_renewals": (
+        "counter", "heartbeat renewals of live job leases"),
 }
 
 

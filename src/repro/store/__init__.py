@@ -42,6 +42,7 @@ from .figures import (convergence_curves, curves_by_problem, render_curves,
                       render_convergence, save_convergence_csv,
                       write_curves_csv)
 from .resume import resume_run
+from .retention import keep_best_victims, run_score
 from .run_store import (STORE_ROOT_ENV, RunRecord, RunRecorder, RunStore,
                         history_from_jsonl, load_training_checkpoint,
                         save_training_checkpoint)
@@ -49,7 +50,8 @@ from .run_store import (STORE_ROOT_ENV, RunRecord, RunRecorder, RunStore,
 __all__ = [
     "RunStore", "RunRecord", "RunRecorder", "STORE_ROOT_ENV",
     "RunConfig", "load_run_config", "config_to_tables", "config_from_tables",
-    "resume_run", "compare_rows", "compare_table", "compare_by_problem",
+    "resume_run", "keep_best_victims", "run_score",
+    "compare_rows", "compare_table", "compare_by_problem",
     "group_by_problem", "history_from_jsonl",
     "convergence_curves", "curves_by_problem", "render_curves",
     "render_convergence", "save_convergence_csv", "write_curves_csv",

@@ -1,0 +1,55 @@
+"""Retention policies for long sweeps (``repro runs gc --keep-best``).
+
+A benchmark matrix re-run nightly fills a store with hundreds of
+completed records, most of them strictly worse than an earlier run of
+the same cell.  :func:`keep_best_victims` implements the retention rule
+the ROADMAP carries for training-as-a-service: group completed runs by
+their (problem, label) cell and keep only the N best per group, where
+"best" is the smallest recorded minimum validation error (falling back
+to final loss for runs trained without validators).  Non-completed runs
+— running, interrupted, failed — are never victims: they are either
+alive or the default gc's business.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["keep_best_victims", "run_score"]
+
+
+def run_score(record):
+    """The smaller-is-better quality score used to rank a cell's runs.
+
+    The minimum over the run's ``min_errors`` (each validator's best
+    error); runs without validation fall back to ``final_loss``; runs
+    with neither sort last (pure-infinite score — first to delete).
+    """
+    errors = record.meta.get("min_errors") or {}
+    finite = [float(v) for v in errors.values() if math.isfinite(float(v))]
+    if finite:
+        return min(finite)
+    loss = record.meta.get("final_loss")
+    return float(loss) if loss is not None else math.inf
+
+
+def keep_best_victims(store, keep):
+    """Completed runs beyond the ``keep`` best of their (problem, label).
+
+    Returns records to delete, in the store's newest-first order.  Within
+    a cell, runs rank by :func:`run_score` ascending with ``run_id`` as
+    the deterministic tie-break; the first ``keep`` survive.
+    """
+    keep = int(keep)
+    if keep < 1:
+        raise ValueError(f"--keep-best needs at least 1, got {keep}")
+    cells = {}
+    for record in store.runs(status="completed"):
+        key = (record.meta.get("problem"), record.label)
+        cells.setdefault(key, []).append(record)
+    survivors = set()
+    for records in cells.values():
+        ranked = sorted(records, key=lambda r: (run_score(r), r.run_id))
+        survivors.update(r.run_id for r in ranked[:keep])
+    return [record for record in store.runs(status="completed")
+            if record.run_id not in survivors]

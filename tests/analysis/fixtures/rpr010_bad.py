@@ -1,0 +1,21 @@
+"""RPR010 fixture: callables an execution backend cannot re-import."""
+
+
+class Sweep:
+    def run_cell(self, item):
+        return item * 2
+
+    def launch(self, backend, queue, items, labels):
+        results = [backend.submit(lambda item: item * 2, items, labels)]
+
+        def local_task(item):
+            return item * 2
+
+        queue.enqueue(local_task, items, labels)
+
+        runner = lambda item: item + 1        # noqa: E731 (fixture)
+        work_queue = queue
+        results.append(work_queue.submit(runner, items, labels))
+
+        results.append(backend.submit(self.run_cell, items, labels))
+        return results

@@ -1,0 +1,13 @@
+"""RPR010 clean counterpart: module-level tasks with importable names."""
+
+
+def run_cell(item):
+    return item * 2
+
+
+def launch(backend, queue, items, labels):
+    results = backend.submit(run_cell, items, labels)
+    job_ids = queue.enqueue("fixtures.rpr010_clean:run_cell", items, labels)
+    renamed = [series.submit(str, item)       # not a backend receiver
+               for series, item in zip(items, items)]
+    return results, job_ids, renamed

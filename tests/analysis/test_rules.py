@@ -19,7 +19,7 @@ RELPATHS = {"RPR002": "repro/training/{name}",
             "RPR009": "repro/training/{name}"}
 
 RULE_IDS = ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
-            "RPR007", "RPR008", "RPR009"]
+            "RPR007", "RPR008", "RPR009", "RPR010"]
 
 
 def run_fixture(rule_id, kind):
@@ -55,7 +55,7 @@ def test_expected_bad_fixture_counts():
               for rule_id in RULE_IDS}
     assert counts == {"RPR001": 5, "RPR002": 3, "RPR003": 4, "RPR004": 4,
                       "RPR005": 3, "RPR006": 5, "RPR007": 3, "RPR008": 4,
-                      "RPR009": 4}
+                      "RPR009": 4, "RPR010": 4}
 
 
 # ----------------------------------------------------------------------

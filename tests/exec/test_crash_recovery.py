@@ -1,0 +1,96 @@
+"""A SIGKILL'd queue worker must cost wall-clock, never correctness.
+
+The scenario: two external workers share a store's queue; the first to
+claim the sweep's only cell is killed mid-training (a validator SIGKILLs
+the process — no cleanup, no exception handling, exactly like the OOM
+killer).  Its lease stops renewing, expires, and the surviving worker
+re-claims and re-executes the cell.  Because every task seeds itself
+from its spec, the recovered run is bit-identical to a serial baseline.
+"""
+
+import dataclasses
+import multiprocessing
+import os
+import signal
+
+import numpy as np
+
+from repro.exec import QueueBackend, TaskQueue, run_worker
+from repro.experiments import burgers_config, run_suite
+
+
+class KillOnceValidator:
+    """Picklable validator that SIGKILLs the first process to run it.
+
+    The marker file makes the kill one-shot: the re-claiming worker (and
+    the serial baseline, which pre-creates the marker) sees the marker
+    and validates normally, so both runs record identical errors.
+    """
+
+    def __init__(self, marker):
+        self.marker = str(marker)
+
+    def evaluate(self, net):
+        if not os.path.exists(self.marker):
+            with open(self.marker, "w", encoding="utf-8") as handle:
+                handle.write("killed\n")
+            os.kill(os.getpid(), signal.SIGKILL)
+        return {"probe": 0.0}
+
+
+def _start_worker(store_root, index):
+    context = multiprocessing.get_context("fork")
+    proc = context.Process(
+        target=run_worker, args=(str(store_root),),
+        kwargs={"worker_id": f"crashtest-{index}", "lease_seconds": 2.0,
+                "poll": 0.1, "max_idle_seconds": 60.0},
+        daemon=True)
+    proc.start()
+    return proc
+
+
+def test_sigkilled_worker_job_is_reclaimed_bit_identically(tmp_path):
+    store_root = tmp_path / "store"
+    marker = tmp_path / "killed.marker"
+    config = dataclasses.replace(burgers_config("smoke"), validate_every=2)
+    validators = [KillOnceValidator(marker)]
+
+    workers = [_start_worker(store_root, i) for i in range(2)]
+    try:
+        backend = QueueBackend(store_root, workers_external=True,
+                               lease_seconds=2.0, poll=0.1,
+                               wait_timeout=120.0)
+        recovered = run_suite("burgers", ["uniform"], backend=backend,
+                              config=config, steps=6,
+                              validators=validators)
+    finally:
+        for proc in workers:
+            proc.terminate()
+            proc.join(timeout=10.0)
+
+    assert marker.exists()          # the kill really happened
+
+    # the one job went through a crash: claimed, died, re-claimed
+    queue = TaskQueue.for_store(store_root)
+    (job_id,) = [p.name for p in sorted(queue.jobs_dir.iterdir())]
+    meta = queue.job_meta(job_id)
+    assert meta["status"] == "done"
+    assert meta["attempts"] == 2
+    events = [e["event"] for e in queue.journal()]
+    assert "reclaim" in events
+    claimers = {e["worker"] for e in queue.journal()
+                if e["event"] in ("claim", "reclaim")}
+    assert len(claimers) == 2       # the survivor, not the ghost, finished
+
+    # bit-parity with a serial run that never crashed (marker pre-exists,
+    # so its validator behaves exactly like the re-claiming worker's)
+    serial = run_suite("burgers", ["uniform"], backend="serial",
+                       config=config, steps=6, validators=validators)
+    a, b = serial.methods[0], recovered.methods[0]
+    assert np.array_equal(a.history.losses, b.history.losses)
+    assert a.history.steps == b.history.steps
+    for var in a.history.errors:
+        np.testing.assert_array_equal(a.history.errors[var],
+                                      b.history.errors[var])
+    for key in a.net_state:
+        assert np.array_equal(a.net_state[key], b.net_state[key]), key

@@ -45,7 +45,7 @@ def test_resolve_problems_rejects_unknown_duplicates_empty():
 # MatrixResult surface
 # ----------------------------------------------------------------------
 def test_run_matrix_serial_returns_grid_grouped_by_problem():
-    matrix = run_matrix(PROBLEMS, SAMPLERS, executor="serial",
+    matrix = run_matrix(PROBLEMS, SAMPLERS, backend="serial",
                         scale="smoke", steps=3)
     assert isinstance(matrix, MatrixResult)
     assert matrix.problems == list(PROBLEMS)
@@ -66,16 +66,16 @@ def test_run_matrix_serial_returns_grid_grouped_by_problem():
 
 
 def test_matrix_table_renders_one_block_per_problem():
-    matrix = run_matrix(PROBLEMS, ["uniform"], executor="serial",
+    matrix = run_matrix(PROBLEMS, ["uniform"], backend="serial",
                         scale="smoke", steps=3)
     text = matrix_table(matrix)
     assert "[burgers]" in text and "[poisson3d]" in text
     assert "2 problems" in text
 
 
-def test_run_matrix_rejects_unknown_executor():
-    with pytest.raises(ValueError, match="unknown executor"):
-        run_matrix(["burgers"], ["uniform"], executor="threads",
+def test_run_matrix_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="unknown backend"):
+        run_matrix(["burgers"], ["uniform"], backend="threads",
                    scale="smoke", steps=1)
 
 
@@ -98,12 +98,12 @@ def _assert_cell_parity(suite_method, matrix_method):
             suite_method.label, key)
 
 
-@pytest.mark.parametrize("executor", ["serial", "process"])
-def test_matrix_cells_bit_identical_to_standalone_suites(executor):
-    matrix = run_matrix(PROBLEMS, SAMPLERS, executor=executor,
+@pytest.mark.parametrize("backend", ["serial", "process"])
+def test_matrix_cells_bit_identical_to_standalone_suites(backend):
+    matrix = run_matrix(PROBLEMS, SAMPLERS, backend=backend,
                         scale="smoke", steps=5)
     for problem in PROBLEMS:
-        suite = run_suite(problem, SAMPLERS, executor="serial",
+        suite = run_suite(problem, SAMPLERS, backend="serial",
                           scale="smoke", steps=5)
         assert suite.labels == matrix[problem].labels
         for s, m in zip(suite, matrix[problem]):
@@ -112,17 +112,17 @@ def test_matrix_cells_bit_identical_to_standalone_suites(executor):
 
 def test_matrix_honours_explicit_seed_and_config_overrides():
     config = burgers_config("smoke")
-    a = run_matrix(["burgers"], ["uniform"], executor="serial",
+    a = run_matrix(["burgers"], ["uniform"], backend="serial",
                    scale="smoke", steps=4, seed=7,
                    configs={"burgers": config})
-    b = run_suite("burgers", ["uniform"], executor="serial",
+    b = run_suite("burgers", ["uniform"], backend="serial",
                   config=config, steps=4, seed=7)
     _assert_cell_parity(b.methods[0], a["burgers"].methods[0])
 
 
 def test_matrix_accepts_explicit_method_specs():
     spec = MethodSpec("U-big", "uniform", 300, 16)
-    matrix = run_matrix(["burgers"], [spec], executor="serial",
+    matrix = run_matrix(["burgers"], [spec], backend="serial",
                         scale="smoke", steps=3)
     assert matrix.labels() == {"burgers": ["U-big"]}
 
@@ -132,7 +132,7 @@ def test_matrix_accepts_explicit_method_specs():
 # ----------------------------------------------------------------------
 def test_matrix_records_every_cell_into_one_store(tmp_path):
     store = RunStore(tmp_path / "matrix-runs")
-    matrix = run_matrix(PROBLEMS, ["uniform"], executor="process",
+    matrix = run_matrix(PROBLEMS, ["uniform"], backend="process",
                         scale="smoke", steps=4, store=store)
     run_ids = matrix.run_ids()
     assert len(run_ids) == 2
@@ -160,14 +160,14 @@ def test_process_failure_attaches_cell_label_and_cancels_siblings(tmp_path):
         # every cell would fail at its first validation, but the first
         # failure must cancel the pending queue instead of letting all
         # twenty train/fail to completion
-        run_matrix(None, None, executor="process", scale="smoke",
+        run_matrix(None, None, backend="process", scale="smoke",
                    steps=4, max_workers=1, store=store,
                    validators=[ExplodingValidator()])
     message = str(excinfo.value)
     assert ":smoke:" in message                  # the failing cell's label
     assert "validator exploded" in message
     assert excinfo.value.__cause__ is not None
-    # with max_workers=1 only the cells the executor had already fed to
+    # with max_workers=1 only the cells the pool had already fed to
     # the worker can have started; the cancelled majority never records.
     # (the exact count depends on the pool's prefetch, hence the margin)
     n_cells = len(repro.list_problems()) * len(repro.list_samplers())
@@ -176,7 +176,7 @@ def test_process_failure_attaches_cell_label_and_cancels_siblings(tmp_path):
 
 def test_serial_failure_propagates_immediately():
     with pytest.raises(RuntimeError, match="validator exploded"):
-        run_matrix(["burgers"], ["uniform"], executor="serial",
+        run_matrix(["burgers"], ["uniform"], backend="serial",
                    scale="smoke", steps=4,
                    validators=[ExplodingValidator()])
 

@@ -106,7 +106,7 @@ class TestRunnerSmoke:
         from repro.experiments import run_suite
         config = ldc_config("smoke")
         method = ldc_methods(config)[0]
-        suite = run_suite("ldc", [method], executor="serial", config=config,
+        suite = run_suite("ldc", [method], backend="serial", config=config,
                           steps=12)
         (result,) = suite.run_results().values()
         assert len(result.history.steps) >= 2

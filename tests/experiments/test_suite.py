@@ -56,10 +56,11 @@ def test_resolve_methods_rejects_unknown_sampler_and_duplicates():
 # Serial execution + SuiteResult surface
 # ----------------------------------------------------------------------
 def test_run_suite_serial_returns_ordered_suiteresult():
-    suite = run_suite("burgers", ["uniform", "sgm"], executor="serial",
+    suite = run_suite("burgers", ["uniform", "sgm"], backend="serial",
                       scale="smoke", steps=4)
     assert isinstance(suite, SuiteResult)
-    assert suite.problem == "burgers" and suite.executor == "serial"
+    assert suite.problem == "burgers" and suite.backend == "serial"
+    assert suite.executor == "serial"    # deprecated-name alias
     assert suite.labels == ["U32", "SGM32"]
     assert len(suite) == 2
     assert set(suite.histories()) == {"U32", "SGM32"}
@@ -69,17 +70,27 @@ def test_run_suite_serial_returns_ordered_suiteresult():
         suite["nope"]
 
 
-def test_run_suite_rejects_unknown_problem_and_executor():
+def test_run_suite_rejects_unknown_problem_and_backend():
     with pytest.raises(KeyError, match="unknown problem"):
         run_suite("not_a_problem", scale="smoke")
-    with pytest.raises(ValueError, match="unknown executor"):
-        run_suite("burgers", ["uniform"], executor="threads", scale="smoke",
+    with pytest.raises(ValueError, match="unknown backend"):
+        run_suite("burgers", ["uniform"], backend="threads", scale="smoke",
                   steps=1)
+
+
+def test_executor_kwarg_is_deprecated_but_still_routes():
+    with pytest.warns(DeprecationWarning, match="pass backend="):
+        suite = run_suite("burgers", ["uniform"], executor="serial",
+                          scale="smoke", steps=2)
+    assert suite.backend == "serial"
+    with pytest.raises(ValueError, match="conflicting"):
+        run_suite("burgers", ["uniform"], backend="serial",
+                  executor="process", scale="smoke", steps=1)
 
 
 def test_run_results_reconstruct_trained_networks():
     config = burgers_config("smoke")
-    suite = run_suite("burgers", ["uniform"], executor="serial",
+    suite = run_suite("burgers", ["uniform"], backend="serial",
                       config=config, steps=4)
     results = suite.run_results()
     (result,) = results.values()
@@ -91,7 +102,7 @@ def test_run_results_reconstruct_trained_networks():
 
 
 def test_suite_table_renders_all_columns():
-    suite = run_suite("burgers", ["uniform", "mis"], executor="serial",
+    suite = run_suite("burgers", ["uniform", "mis"], backend="serial",
                       scale="smoke", steps=4)
     text = suite_table(suite)
     assert "U32" in text and "MIS32" in text
@@ -100,7 +111,7 @@ def test_suite_table_renders_all_columns():
 
 @pytest.mark.parametrize("problem", sorted(repro.list_problems()))
 def test_run_suite_works_for_every_registered_problem(problem):
-    suite = run_suite(problem, ["uniform", "sgm"], executor="serial",
+    suite = run_suite(problem, ["uniform", "sgm"], backend="serial",
                       scale="smoke", steps=3)
     assert suite.problem == problem and len(suite) == 2
     for method in suite:
@@ -130,12 +141,12 @@ def _assert_method_parity(serial, parallel):
                 s.label, key)
 
 
-def test_serial_and_process_executors_are_bit_identical():
+def test_serial_and_process_backends_are_bit_identical():
     config = burgers_config("smoke")
     methods = ["uniform", "mis", "sgm"]
-    serial = run_suite("burgers", methods, executor="serial", config=config,
+    serial = run_suite("burgers", methods, backend="serial", config=config,
                        steps=6)
-    parallel = run_suite("burgers", methods, executor="process",
+    parallel = run_suite("burgers", methods, backend="process",
                          config=config, steps=6)
     _assert_method_parity(serial, parallel)
 
@@ -149,17 +160,17 @@ def test_process_results_keep_spec_order_not_completion_order():
         MethodSpec("SGM-heavy", "sgm", 900, 32),
         MethodSpec("U-light", "uniform", 120, 8),
     ]
-    suite = run_suite("ldc", methods, executor="process", config=config,
+    suite = run_suite("ldc", methods, backend="process", config=config,
                       steps=5, max_workers=3)
     assert suite.labels == ["SGM-S-heavy", "SGM-heavy", "U-light"]
 
 
-def test_process_executor_respects_explicit_seed():
-    a = run_suite("burgers", ["uniform"], executor="process", scale="smoke",
+def test_process_backend_respects_explicit_seed():
+    a = run_suite("burgers", ["uniform"], backend="process", scale="smoke",
                   steps=5, seed=7)
-    b = run_suite("burgers", ["uniform"], executor="serial", scale="smoke",
+    b = run_suite("burgers", ["uniform"], backend="serial", scale="smoke",
                   steps=5, seed=7)
-    c = run_suite("burgers", ["uniform"], executor="serial", scale="smoke",
+    c = run_suite("burgers", ["uniform"], backend="serial", scale="smoke",
                   steps=5, seed=8)
     assert np.array_equal(a.methods[0].history.losses,
                           b.methods[0].history.losses)
@@ -183,13 +194,13 @@ def test_session_suite_applies_overrides():
 def test_session_suite_honours_validators_override():
     suite = (repro.problem("burgers", scale="smoke")
              .n_interior(200).validators([])
-             .suite(["uniform"], executor="process", steps=4))
+             .suite(["uniform"], backend="process", steps=4))
     # validators=[] must reach the workers: no errors recorded at all
     assert suite.methods[0].history.errors == {}
 
 
 def test_run_suite_validators_override():
-    serial = run_suite("burgers", ["uniform"], executor="serial",
+    serial = run_suite("burgers", ["uniform"], backend="serial",
                        scale="smoke", steps=4, validators=[])
     assert serial.methods[0].history.errors == {}
 

@@ -94,7 +94,7 @@ class TestReplayTracing:
 class TestPoolRoundTrip:
     def test_process_suite_reparents_worker_spans(self):
         suite = _session().trace().suite(["uniform", "sgm"],
-                                         executor="process", steps=6,
+                                         backend="process", steps=6,
                                          max_workers=2)
         spans = suite.obs["spans"]
         by_id = {s["id"]: s for s in spans}
@@ -116,7 +116,7 @@ class TestPoolRoundTrip:
 
     def test_serial_suite_matches_shape(self):
         suite = _session().trace().suite(["uniform", "sgm"],
-                                         executor="serial", steps=6)
+                                         backend="serial", steps=6)
         cells = [s for s in suite.obs["spans"] if s["name"] == "suite.cell"]
         assert {c["attrs"]["label"] for c in cells} == {"burgers:smoke:U32",
                                                         "burgers:smoke:SGM32"}

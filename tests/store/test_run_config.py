@@ -33,7 +33,7 @@ checkpoint_every = 10
 
 [suite]
 samplers = ["uniform", "mis"]
-executor = "process"
+backend = "process"
 """
 
 
@@ -48,7 +48,18 @@ def test_load_run_config_toml(tmp_path):
     assert rc.problem == "burgers" and rc.sampler == "mis"
     assert rc.steps == 25 and rc.seed == 7
     assert rc.store_root == "my-runs" and rc.checkpoint_every == 10
-    assert rc.samplers == ["uniform", "mis"] and rc.executor == "process"
+    assert rc.samplers == ["uniform", "mis"] and rc.backend == "process"
+    assert rc.executor == "process"     # deprecated-name alias
+
+
+def test_legacy_executor_key_maps_onto_backend(tmp_path):
+    legacy = EXPERIMENT.replace('backend = "process"',
+                                'executor = "process"')
+    rc = load_run_config(_write(tmp_path, legacy))
+    assert rc.backend == "process"
+    both = EXPERIMENT + 'executor = "serial"\n'
+    with pytest.raises(ValueError, match="keep only backend"):
+        load_run_config(_write(tmp_path, both))
 
 
 def test_load_run_config_json(tmp_path):

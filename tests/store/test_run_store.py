@@ -124,7 +124,7 @@ class TestStoreConcurrency:
         suite = (repro.problem("burgers", scale="smoke")
                  .config(record_every=2)
                  .n_interior(300)
-                 .suite(["uniform", "mis", "sgm"], executor="process",
+                 .suite(["uniform", "mis", "sgm"], backend="process",
                         steps=6, store=store))
         run_ids = [m.run_id for m in suite]
         assert len(set(run_ids)) == 3 and all(run_ids)
@@ -140,9 +140,9 @@ class TestStoreConcurrency:
         parallel = RunStore(tmp_path / "parallel")
         base = (repro.problem("burgers", scale="smoke")
                 .config(record_every=2).n_interior(300))
-        s = base.suite(["uniform", "sgm"], executor="serial", steps=6,
+        s = base.suite(["uniform", "sgm"], backend="serial", steps=6,
                        store=serial)
-        p = base.suite(["uniform", "sgm"], executor="process", steps=6,
+        p = base.suite(["uniform", "sgm"], backend="process", steps=6,
                        store=parallel)
         for ms, mp in zip(s, p):
             hs = serial.open(ms.run_id).history()

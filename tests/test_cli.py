@@ -61,7 +61,7 @@ def test_suite_smoke_serial(capsys):
                  "--steps", "4"]) == 0
     out = capsys.readouterr().out
     assert "training U32" in out and "training SGM32" in out
-    assert "Suite (burgers, executor=serial)" in out
+    assert "Suite (burgers, backend=serial)" in out
     assert "sweep total" in out and "2 methods" in out
 
 
@@ -69,7 +69,57 @@ def test_suite_smoke_parallel(capsys):
     assert main(["suite", "burgers", "--samplers", "uniform,mis",
                  "--steps", "4", "--parallel"]) == 0
     out = capsys.readouterr().out
-    assert "Suite (burgers, executor=process)" in out
+    assert "Suite (burgers, backend=process)" in out
+
+
+def test_suite_parser_accepts_backend_flags():
+    parser = build_parser()
+    args = parser.parse_args(["suite", "burgers", "--backend", "queue",
+                              "--store", "runs", "--workers-external"])
+    assert args.backend == "queue" and args.workers_external
+    args = parser.parse_args(["suite", "burgers"])
+    assert args.backend is None and not args.workers_external
+
+
+def test_suite_queue_backend_smoke(tmp_path, capsys):
+    store = str(tmp_path / "qruns")
+    assert main(["suite", "burgers", "--samplers", "uniform",
+                 "--steps", "4", "--backend", "queue",
+                 "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "Suite (burgers, backend=queue)" in out
+    assert "queue backend" in out
+
+
+def test_suite_queue_backend_requires_store(capsys):
+    assert main(["suite", "burgers", "--samplers", "uniform",
+                 "--steps", "1", "--backend", "queue"]) == 2
+    assert "needs a run store" in capsys.readouterr().out
+
+
+def test_worker_parser_defaults():
+    parser = build_parser()
+    args = parser.parse_args(["worker", "runs", "--exit-when-idle",
+                              "--lease-seconds", "5", "--max-tasks", "3"])
+    assert args.command == "worker" and args.store == "runs"
+    assert args.exit_when_idle and args.lease_seconds == 5.0
+    assert args.max_tasks == 3 and args.poll == 0.5
+
+
+def _queue_probe_task(task):
+    return task * 10
+
+
+def test_worker_drains_an_existing_queue(tmp_path, capsys):
+    from repro.exec import TaskQueue, function_ref
+    store = tmp_path / "runs"
+    queue = TaskQueue.for_store(store)
+    job_ids = queue.enqueue(function_ref(_queue_probe_task), [1, 2],
+                            ["a", "b"])
+    assert main(["worker", str(store), "--exit-when-idle"]) == 0
+    out = capsys.readouterr().out
+    assert "executed 2 task(s)" in out
+    assert [queue.load_result(job_id) for job_id in job_ids] == [10, 20]
 
 
 def test_suite_rejects_unknown_names_via_registry(capsys):
@@ -261,6 +311,31 @@ class TestRunConfigAndStore:
         assert "no-ckpt" not in store and "has-ckpt" in store
         assert "live" in store
 
+    def test_gc_keep_best_retains_the_best_run_per_cell(self, tmp_path,
+                                                        capsys):
+        import repro
+        from repro.store import RunStore, run_score
+
+        store = RunStore(tmp_path / "runs")
+        for seed in (0, 1, 2):
+            (repro.problem("burgers", scale="smoke")
+             .n_interior(300).validators([]).sampler("uniform").seed(seed)
+             .train(steps=6, store=store))
+        records = store.runs(status="completed")
+        assert len(records) == 3
+        best = min(records, key=lambda r: (run_score(r), r.run_id)).run_id
+
+        assert main(["runs", "--store", str(store.root), "gc",
+                     "--keep-best", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 2 run(s)" in out and "kept the 1 best" in out
+        assert [r.run_id for r in store.runs()] == [best]
+
+    def test_gc_keep_best_rejects_status_policies(self, tmp_path, capsys):
+        assert main(["runs", "--store", str(tmp_path / "runs"), "gc",
+                     "--keep-best", "1", "--all"]) == 2
+        assert "drop --all" in capsys.readouterr().out
+
     def test_suite_config_uses_suite_table(self, tmp_path, capsys):
         config = tmp_path / "exp.toml"
         config.write_text("""
@@ -409,7 +484,7 @@ def test_lint_rules_catalog(capsys):
     assert main(["lint", "--rules"]) == 0
     out = capsys.readouterr().out
     for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
-                    "RPR006", "RPR007", "RPR008"):
+                    "RPR006", "RPR007", "RPR008", "RPR009", "RPR010"):
         assert rule_id in out
 
 
