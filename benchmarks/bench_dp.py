@@ -1,0 +1,137 @@
+"""Data-parallel scaling: steps/sec vs world size, parity-gated.
+
+``world_size`` chooses *placement only* — the trajectory is a pure
+function of the logical shard count — so the interesting numbers are
+throughput (steps/sec) as ranks are added and the allreduce volume per
+step, measured against the inline ``world_size=1`` baseline on the same
+problems.  Any divergence of losses, errors, or final weights from the
+baseline is a correctness bug, and the benchmark exits nonzero.
+
+Run standalone (the CI `dp-smoke` job does)::
+
+    PYTHONPATH=src python benchmarks/bench_dp.py --json BENCH_dp.json
+
+Exits nonzero on any cross-world-size trajectory divergence.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.dp import run_dp
+from repro.experiments import burgers_config, ldc_config, poisson3d_config
+
+CONFIGS = {
+    "burgers": burgers_config,
+    "ldc": ldc_config,
+    "poisson3d": poisson3d_config,
+}
+
+
+def _train(problem, *, world_size, backend, steps, n_interior, batch_size):
+    started = time.perf_counter()
+    result = run_dp(problem, CONFIGS[problem]("smoke"), sampler="sgm",
+                    steps=steps, n_interior=n_interior,
+                    batch_size=batch_size, world_size=world_size,
+                    backend=backend)
+    return time.perf_counter() - started, result
+
+
+def _assert_parity(problem, world_size, baseline, candidate):
+    """Trajectory + final weights must match the world_size=1 run bitwise."""
+    if baseline.history.losses != candidate.history.losses:
+        raise AssertionError(
+            f"world_size={world_size} loss trajectory diverged from the "
+            f"serial baseline on {problem} — world size must choose "
+            f"placement, never numerics")
+    for var in baseline.history.errors:
+        if not np.array_equal(baseline.history.errors[var],
+                              candidate.history.errors[var]):
+            raise AssertionError(
+                f"world_size={world_size} err({var}) diverged from the "
+                f"serial baseline on {problem}")
+    base_state = baseline.net.state_dict()
+    cand_state = candidate.net.state_dict()
+    for key in base_state:
+        if base_state[key].tobytes() != cand_state[key].tobytes():
+            raise AssertionError(
+                f"world_size={world_size} final weights diverged from the "
+                f"serial baseline on {problem} ({key})")
+
+
+def bench(problems, world_sizes, backend, steps, n_interior, batch_size):
+    """steps/sec for every problem x world size, parity-checked."""
+    rows = {}
+    for problem in problems:
+        baseline = None
+        rows[problem] = {}
+        for world_size in world_sizes:
+            wall, result = _train(
+                problem, world_size=world_size,
+                backend=backend if world_size > 1 else "process",
+                steps=steps, n_interior=n_interior, batch_size=batch_size)
+            if world_size == 1:
+                baseline = result
+            else:
+                _assert_parity(problem, world_size, baseline, result)
+            rows[problem][str(world_size)] = {
+                "wall_seconds": round(wall, 4),
+                "steps_per_second": round(steps / wall, 4),
+                "final_loss": float(result.history.losses[-1]),
+            }
+    return {
+        "problems": list(problems),
+        "world_sizes": list(world_sizes),
+        "backend": backend,
+        "steps": steps,
+        "n_interior": n_interior,
+        "batch_size": batch_size,
+        "throughput": rows,
+        "trajectories_identical": True,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default="BENCH_dp.json",
+                        help="output path for the benchmark artifact")
+    parser.add_argument("--problems", default="burgers,ldc,poisson3d",
+                        help="comma-separated registered problems")
+    parser.add_argument("--world-sizes", default="1,2,4",
+                        help="comma-separated world sizes (1 first: baseline)")
+    parser.add_argument("--backend", default="process",
+                        choices=("process", "thread"),
+                        help="rank placement for world_size > 1")
+    parser.add_argument("--steps", type=int, default=6)
+    parser.add_argument("--n-interior", type=int, default=320)
+    parser.add_argument("--batch-size", type=int, default=64)
+    args = parser.parse_args(argv)
+
+    problems = [p.strip() for p in args.problems.split(",") if p.strip()]
+    world_sizes = [int(w) for w in args.world_sizes.split(",") if w.strip()]
+    if world_sizes[0] != 1:
+        parser.error("--world-sizes must start with 1 (the parity baseline)")
+
+    result = bench(problems, world_sizes, args.backend, args.steps,
+                   args.n_interior, args.batch_size)
+
+    for problem, per_world in result["throughput"].items():
+        for world_size, numbers in per_world.items():
+            print(f"{problem:12s} W={world_size}  "
+                  f"{numbers['steps_per_second']:7.2f} steps/s  "
+                  f"({numbers['wall_seconds']:.2f}s)")
+    print(f"{len(problems)} problems bit-identical across world sizes "
+          f"{', '.join(str(w) for w in world_sizes)}")
+
+    with open(args.json, "w") as fh:
+        json.dump({"scale": "smoke", "result": result}, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -327,18 +327,42 @@ class Session:
         return build_problem(self.name, self._config, self._n_interior, rng)
 
     def train(self, steps=None, label=None, store=None, run_id=None,
-              checkpoint_every=None):
+              checkpoint_every=None, world_size=None, dp_shards=None,
+              backend="process"):
         """Build the problem and train it; returns a ``RunResult``.
 
         Pass ``store`` (a :class:`repro.store.RunStore` or root path) to
         persist the run — streamed history, checkpoints every
         ``checkpoint_every`` steps, and a ``run_id`` for ``repro runs``.
+
+        Pass ``world_size`` to train data-parallel over sharded collocation
+        clouds (:func:`repro.dp.run_dp`): the run is split into
+        ``dp_shards`` logical shards (default 4) hosted by ``world_size``
+        worker ranks on ``backend`` (``process``/``queue``/``thread``).
+        The trajectory is bit-identical for every ``world_size`` —
+        ``world_size=1`` runs the same sharded step inline.  Data-parallel
+        runs do not write checkpoints (no resume support).
         """
+        prob_steps = steps if steps is not None else self._steps
+        if world_size is not None:
+            from ..dp import run_dp
+            if checkpoint_every is not None:
+                raise ValueError("data-parallel runs do not write "
+                                 "checkpoints (no resume support); drop "
+                                 "checkpoint_every")
+            return run_dp(
+                self.name, self._config, sampler=self._sampler,
+                batch_size=self._batch_size, seed=self._seed,
+                steps=prob_steps, label=label,
+                n_interior=self._n_interior, validators=self._validators,
+                store=store, run_id=run_id, world_size=world_size,
+                n_shards=dp_shards, backend=backend,
+                compile=self._compile, trace=self._trace)
         prob = self.build()
         return run_problem(
             prob, self._config, sampler=self._sampler,
             batch_size=self._batch_size, seed=self._seed,
-            steps=steps if steps is not None else self._steps,
+            steps=prob_steps,
             label=label, validators=self._validators, store=store,
             run_id=run_id, checkpoint_every=checkpoint_every,
             compile=self._compile, trace=self._trace)

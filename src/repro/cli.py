@@ -83,6 +83,8 @@ def _cmd_info(args):
                         "cross-problem benchmark matrix"),
         ("exec", "pluggable sweep placement: serial, process pool, "
                  "store-backed job queue + `repro worker` daemons"),
+        ("dp", "data-parallel single-method training: sharded "
+               "collocation clouds, deterministic tree allreduce"),
         ("store", "persistent run store: TOML configs, resumable "
                   "checkpointed runs, figures from records"),
         ("analysis", "project lint rules + autodiff tape analyzer "
@@ -168,7 +170,9 @@ def _cmd_run(args):
                       (("--sampler", args.sampler), ("--scale", args.scale),
                        ("--seed", args.seed),
                        ("--n-interior", args.n_interior),
-                       ("--batch-size", args.batch_size))
+                       ("--batch-size", args.batch_size),
+                       ("--world-size", args.world_size),
+                       ("--dp-shards", args.dp_shards))
                       if value is not None]
             if frozen:
                 print(f"error: {', '.join(frozen)} cannot change on "
@@ -203,8 +207,17 @@ def _cmd_run(args):
                 session.compile()
             if args.trace:
                 session.trace()
-            result = session.train(steps=steps, store=store,
-                                   checkpoint_every=checkpoint_every)
+            if args.world_size is not None:
+                result = session.train(
+                    steps=steps, store=store,
+                    world_size=args.world_size, dp_shards=args.dp_shards,
+                    backend=args.backend or "process")
+            else:
+                if args.dp_shards is not None or args.backend is not None:
+                    print("error: --dp-shards/--backend need --world-size")
+                    return 2
+                result = session.train(steps=steps, store=store,
+                                       checkpoint_every=checkpoint_every)
     except (KeyError, ValueError) as exc:
         # registry/store lookup failures already name the alternatives
         print(f"error: {exc.args[0]}")
@@ -745,6 +758,17 @@ def build_parser():
                    help="record repro.obs spans/metrics; with a store the "
                         "record gains spans.jsonl + metrics.jsonl for "
                         "`repro runs profile`")
+    p.add_argument("--world-size", type=int, default=None, metavar="N",
+                   help="train data-parallel over N worker ranks hosting "
+                        "--dp-shards logical shards; the trajectory is "
+                        "bit-identical for every N (see docs/execution.md)")
+    p.add_argument("--dp-shards", type=int, default=None, metavar="S",
+                   help="logical shard count for --world-size runs "
+                        "(default 4; must be >= the world size)")
+    p.add_argument("--backend", default=None,
+                   choices=("process", "queue", "thread"),
+                   help="execution backend hosting --world-size ranks "
+                        "(default process; queue needs a store)")
 
     p = sub.add_parser("runs", help="inspect the persistent run store")
     p.add_argument("--store", default=None, metavar="DIR",

@@ -1,0 +1,210 @@
+"""Shard payload codec and allreduce rendezvous.
+
+A *payload* is the per-shard contribution to one allreduce round: the
+scaled loss, the gradient list (params order), bookkeeping counters, and
+partial validator sums.  Payloads cross process boundaries as flat ``.npz``
+archives; the codec round-trips every array bit-exactly, so reducing
+payloads that went through disk gives the same bits as reducing them
+in-process (``LocalExchange`` ≡ ``StoreExchange``).
+
+Exchanges implement one method::
+
+    exchange(step, phase, local) -> {shard_id: payload}  # ALL shards
+
+Every rank receives *all* shard payloads — including re-reading its own
+through the same path — and runs the identical fixed-order reduction, so
+ranks never need a broadcast to stay in lockstep.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import time
+
+import numpy as np
+
+from .. import obs
+
+__all__ = [
+    "LocalExchange", "StoreExchange", "decode_payload", "encode_payload",
+]
+
+_VAL_SEP = "|"
+
+
+def encode_payload(payload):
+    """Flatten a payload dict into ``{flat_key: ndarray}`` for ``np.savez``."""
+    flat = {}
+    if "loss" in payload:
+        flat["loss"] = np.asarray(payload["loss"])
+    for i, grad in enumerate(payload.get("grads", ())):
+        flat[f"grad{i:04d}"] = np.asarray(grad)
+    if "probe_points" in payload:
+        flat["probe_points"] = np.asarray(payload["probe_points"], dtype=np.int64)
+    if "rebuild_seconds" in payload:
+        flat["rebuild_seconds"] = np.asarray(payload["rebuild_seconds"],
+                                             dtype=np.float64)
+    for vi, per_var in sorted(payload.get("validators", {}).items()):
+        for var, (num, den) in sorted(per_var.items()):
+            if _VAL_SEP in var:
+                raise ValueError(f"validator variable name {var!r} may not "
+                                 f"contain {_VAL_SEP!r}")
+            prefix = f"val{int(vi):04d}{_VAL_SEP}{var}{_VAL_SEP}"
+            flat[prefix + "num"] = np.asarray(num, dtype=np.float64)
+            flat[prefix + "den"] = np.asarray(den, dtype=np.float64)
+    return flat
+
+
+def decode_payload(flat):
+    """Inverse of :func:`encode_payload`; tolerates absent sections."""
+    payload = {}
+    grads, validators = {}, {}
+    for key in flat:
+        value = np.asarray(flat[key])
+        if key == "loss":
+            payload["loss"] = value
+        elif key == "probe_points":
+            payload["probe_points"] = int(value)
+        elif key == "rebuild_seconds":
+            payload["rebuild_seconds"] = float(value)
+        elif key.startswith("grad"):
+            grads[int(key[4:])] = value
+        elif key.startswith("val"):
+            vi_str, var, part = key[3:].split(_VAL_SEP)
+            slot = validators.setdefault(int(vi_str), {}).setdefault(
+                var, [0.0, 0.0])
+            slot[0 if part == "num" else 1] = float(value)
+        else:
+            raise ValueError(f"unknown payload key {key!r}")
+    if grads:
+        payload["grads"] = [grads[i] for i in sorted(grads)]
+        if sorted(grads) != list(range(len(grads))):
+            raise ValueError("gradient slots are not contiguous")
+    if validators:
+        payload["validators"] = {
+            vi: {var: tuple(slot) for var, slot in per_var.items()}
+            for vi, per_var in validators.items()}
+    return payload
+
+
+class LocalExchange:
+    """In-process rendezvous for ``world_size == 1``: one rank owns every
+    shard, so the gather is just its own contributions."""
+
+    def __init__(self, n_shards):
+        self.n_shards = int(n_shards)
+
+    def exchange(self, step, phase, local):
+        if sorted(local) != list(range(self.n_shards)):
+            raise ValueError(f"local exchange needs all {self.n_shards} "
+                             f"shards, got {sorted(local)}")
+        return dict(local)
+
+    def close(self):
+        pass
+
+
+class StoreExchange:
+    """File rendezvous on a shared directory (the run store in practice).
+
+    Each round lives in ``round-<step>-<phase>/``; ranks publish their
+    shards as atomic ``shard-<s>.npz`` files, then poll until all
+    ``n_shards`` are visible and read every one back from disk.  Old rounds
+    are garbage-collected once every rank has dropped an ack in them.
+    """
+
+    def __init__(self, root, *, n_shards, world_size, rank,
+                 timeout=120.0, poll=0.005):
+        self.root = str(root)
+        self.n_shards = int(n_shards)
+        self.world_size = int(world_size)
+        self.rank = int(rank)
+        self.timeout = float(timeout)
+        self.poll = float(poll)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _round_dir(self, step, phase):
+        return os.path.join(self.root, f"round-{int(step):08d}-{phase}")
+
+    def _publish(self, round_dir, shard_id, payload):
+        final = os.path.join(round_dir, f"shard-{int(shard_id):04d}.npz")
+        tmp = final + f".tmp-{self.rank}"
+        buffer = io.BytesIO()
+        np.savez(buffer, **encode_payload(payload))
+        with open(tmp, "wb") as handle:
+            handle.write(buffer.getvalue())
+        os.replace(tmp, final)
+
+    def exchange(self, step, phase, local):
+        round_dir = self._round_dir(step, phase)
+        os.makedirs(round_dir, exist_ok=True)
+        for shard_id, payload in local.items():
+            self._publish(round_dir, shard_id, payload)
+
+        expected = [os.path.join(round_dir, f"shard-{s:04d}.npz")
+                    for s in range(self.n_shards)]
+        deadline = time.monotonic() + self.timeout
+        waited = 0.0
+        while not all(os.path.exists(path) for path in expected):
+            if time.monotonic() > deadline:
+                missing = [os.path.basename(p) for p in expected
+                           if not os.path.exists(p)]
+                raise TimeoutError(
+                    f"dp allreduce rank {self.rank} timed out after "
+                    f"{self.timeout:.0f}s waiting for {missing} in "
+                    f"{round_dir}")
+            time.sleep(self.poll)
+            waited += self.poll
+        if waited:
+            obs.inc("dp.straggler_wait_seconds", waited)
+
+        gathered = {}
+        for shard_id, path in enumerate(expected):
+            with np.load(path) as archive:
+                gathered[shard_id] = decode_payload(archive)
+
+        self._ack(round_dir)
+        self._collect_garbage(step)
+        return gathered
+
+    def _ack(self, round_dir):
+        ack = os.path.join(round_dir, f".ack-{self.rank}")
+        with open(ack, "w", encoding="utf-8") as handle:
+            handle.write("done\n")
+
+    def _collect_garbage(self, step):
+        # Keep the last two steps' rounds: a straggler may still be reading
+        # step-1 while this rank finishes step.  Everything older whose acks
+        # are all present is dead.  Races with other ranks collecting the
+        # same round are benign — removal tolerates missing files.
+        try:
+            entries = os.listdir(self.root)
+        except FileNotFoundError:
+            return
+        for entry in entries:
+            if not entry.startswith("round-"):
+                continue
+            try:
+                round_step = int(entry.split("-")[1])
+            except (IndexError, ValueError):
+                continue
+            if round_step > int(step) - 2:
+                continue
+            round_dir = os.path.join(self.root, entry)
+            acks = [os.path.join(round_dir, f".ack-{r}")
+                    for r in range(self.world_size)]
+            if not all(os.path.exists(a) for a in acks):
+                continue
+            try:
+                for name in sorted(os.listdir(round_dir)):
+                    try:
+                        os.unlink(os.path.join(round_dir, name))
+                    except FileNotFoundError:
+                        pass
+                os.rmdir(round_dir)
+            except (FileNotFoundError, OSError):
+                pass
+
+    def close(self):
+        pass

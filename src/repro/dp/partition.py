@@ -1,0 +1,87 @@
+"""Shard partitioning: exact disjoint covers of clouds, clusters, batches.
+
+Every partition here is a pure function of ``(n, n_shards)`` (plus cluster
+labels for the SGM path) — never of the worker count — so the same logical
+shards exist no matter how many workers host them.  The invariant every
+helper maintains, and :func:`check_disjoint_cover` asserts, is *exact
+disjoint cover*: each index lands in exactly one shard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "assign_clusters", "check_disjoint_cover", "shard_batch_sizes",
+    "stride_shards",
+]
+
+
+def stride_shards(n_points, n_shards):
+    """Partition ``range(n_points)`` by stable index stride.
+
+    Shard ``s`` owns indices ``s, s + S, s + 2S, ...`` — a deterministic
+    interleave that keeps every shard's subset spread over the whole cloud
+    (uniform and MIS sampling stay representative per shard).
+    """
+    n_points, n_shards = int(n_points), int(n_shards)
+    if n_shards < 1:
+        raise ValueError(f"need at least one shard, got {n_shards}")
+    if n_points < n_shards:
+        raise ValueError(f"cannot stride {n_points} points over {n_shards} "
+                         f"shards without an empty shard")
+    indices = np.arange(n_points)
+    return [indices[shard::n_shards] for shard in range(n_shards)]
+
+
+def shard_batch_sizes(batch_size, n_shards):
+    """Split a global batch size into per-shard sizes (earlier shards take
+    the remainder, one extra sample each)."""
+    batch_size, n_shards = int(batch_size), int(n_shards)
+    if batch_size < n_shards:
+        raise ValueError(f"batch size {batch_size} cannot feed {n_shards} "
+                         f"shards with at least one sample each")
+    base, extra = divmod(batch_size, n_shards)
+    return [base + (1 if shard < extra else 0) for shard in range(n_shards)]
+
+
+def assign_clusters(cluster_sizes, n_shards):
+    """Greedy balanced assignment of whole clusters to shards.
+
+    Clusters are processed largest-first (ties broken by cluster id) and
+    each goes to the shard currently holding the fewest points (ties to the
+    lowest shard id) — the classic LPT schedule, fully deterministic.
+    Returns ``shard_of_cluster``, an int array over cluster ids.
+    """
+    sizes = np.asarray(cluster_sizes, dtype=int)
+    n_shards = int(n_shards)
+    if len(sizes) < n_shards:
+        raise ValueError(
+            f"{len(sizes)} clusters cannot cover {n_shards} shards without "
+            f"an empty shard; lower the shard count (dp_shards) or the LRD "
+            f"level so the decomposition yields more clusters")
+    order = sorted(range(len(sizes)), key=lambda c: (-int(sizes[c]), c))
+    load = [0] * n_shards
+    shard_of_cluster = np.empty(len(sizes), dtype=int)
+    for cluster in order:
+        shard = min(range(n_shards), key=lambda s: (load[s], s))
+        shard_of_cluster[cluster] = shard
+        load[shard] += int(sizes[cluster])
+    return shard_of_cluster
+
+
+def check_disjoint_cover(shards, n_points):
+    """Raise unless ``shards`` partition ``range(n_points)`` exactly."""
+    seen = np.zeros(int(n_points), dtype=int)
+    for shard in shards:
+        shard = np.asarray(shard, dtype=int)
+        if shard.size and (shard.min() < 0 or shard.max() >= n_points):
+            raise ValueError(f"shard index out of range for {n_points} "
+                             f"points")
+        np.add.at(seen, shard, 1)
+    if (seen > 1).any():
+        raise ValueError(f"{int((seen > 1).sum())} points appear in more "
+                         f"than one shard")
+    if (seen == 0).any():
+        raise ValueError(f"{int((seen == 0).sum())} points missing from "
+                         f"every shard")

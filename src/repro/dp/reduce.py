@@ -1,0 +1,76 @@
+"""Deterministic fixed-order pairwise tree reduction over shard pytrees.
+
+Floating-point addition is not associative, so the *order* in which shard
+gradients are summed decides the bits of the result.  :func:`tree_reduce`
+fixes that order once and for all: contributions are combined pairwise in
+ascending shard order — ``(0+1), (2+3), ...`` — and the partial sums are
+reduced the same way recursively.  Because the schedule depends only on the
+*logical shard count* (never on which worker computed a contribution, how
+many workers there are, or when each payload arrived), the reduced float32
+gradient is bit-identical for every placement of the same shards.
+
+The reduction is generic over gradient *pytrees*: numpy arrays and scalars,
+lists/tuples of pytrees, and string-keyed dicts of pytrees (keys must match
+across contributions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["payload_nbytes", "tree_add", "tree_reduce"]
+
+
+def tree_add(left, right):
+    """Structure-preserving ``left + right`` over one pytree level pair."""
+    if isinstance(left, dict):
+        if set(left) != set(right):
+            raise ValueError(f"pytree dict keys differ: {sorted(left)} vs "
+                             f"{sorted(right)}")
+        return {key: tree_add(left[key], right[key])
+                for key in sorted(left)}
+    if isinstance(left, (list, tuple)):
+        if len(left) != len(right):
+            raise ValueError(f"pytree lengths differ: {len(left)} vs "
+                             f"{len(right)}")
+        combined = [tree_add(a, b) for a, b in zip(left, right)]
+        return type(left)(combined) if isinstance(left, tuple) else combined
+    # leaves: numpy arrays / numpy scalars / python numbers — numpy addition
+    # preserves the (already matching) dtype, so float32 stays float32
+    return left + right
+
+
+def tree_reduce(contributions):
+    """Pairwise tree sum of ``contributions`` in their given (shard) order.
+
+    ``contributions`` must be ordered by logical shard id before calling;
+    the schedule is then a pure function of ``len(contributions)``, which
+    is what makes the sum independent of worker count and arrival order.
+    An odd tail passes through a round unchanged and joins the next one.
+    """
+    items = list(contributions)
+    if not items:
+        raise ValueError("tree_reduce needs at least one contribution")
+    while len(items) > 1:
+        reduced = [tree_add(items[i], items[i + 1])
+                   for i in range(0, len(items) - 1, 2)]
+        if len(items) % 2:
+            reduced.append(items[-1])
+        items = reduced
+    return items[0]
+
+
+def payload_nbytes(payload):
+    """Bytes of array data in one shard payload (the dp.bytes_reduced
+    metric counts what the allreduce actually moved and summed)."""
+    total = 0
+    for value in payload.values():
+        if isinstance(value, np.ndarray):
+            total += value.nbytes
+        elif isinstance(value, (list, tuple)):
+            total += sum(np.asarray(item).nbytes for item in value)
+        elif isinstance(value, dict):
+            total += payload_nbytes(value)
+        else:
+            total += np.asarray(value).nbytes
+    return total

@@ -125,21 +125,29 @@ class Lease:
 
 
 class TaskQueue:
-    """Durable job records + lease files under ``<store>/queue``."""
+    """Durable job records + lease files under ``<store>/queue``.
 
-    def __init__(self, root):
+    ``clock`` is the time source for every lease decision (enqueue stamps,
+    expiries, renewals, the journal): a zero-argument callable returning
+    epoch seconds, defaulting to :func:`time.time`.  Tests inject a fake
+    clock so lease expiry and crash reclamation are exercised without
+    real-time sleeps.
+    """
+
+    def __init__(self, root, clock=None):
         self.root = Path(root)
         self.jobs_dir = self.root / "jobs"
         self.journal_path = self.root / "journal.jsonl"
+        self.clock = clock if clock is not None else time.time
 
     @classmethod
-    def for_store(cls, store_root):
+    def for_store(cls, store_root, clock=None):
         """The queue living inside a run store's root directory."""
-        return cls(Path(store_root) / "queue")
+        return cls(Path(store_root) / "queue", clock=clock)
 
     # -- journal --------------------------------------------------------
     def _journal(self, event, **fields):
-        line = json.dumps({"event": event, "time": time.time(), **fields})
+        line = json.dumps({"event": event, "time": self.clock(), **fields})
         with open(self.journal_path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
 
@@ -176,7 +184,7 @@ class TaskQueue:
             # workers once its spec is fully on disk
             _atomic_write_text(job_dir / "job.json", json.dumps({
                 "id": job_id, "label": label, "status": "queued",
-                "attempts": 0, "worker": None, "created_at": time.time(),
+                "attempts": 0, "worker": None, "created_at": self.clock(),
             }, indent=2) + "\n")
             self._journal("enqueue", job=job_id, label=label)
             job_ids.append(job_id)
@@ -237,7 +245,7 @@ class TaskQueue:
         lease = _read_json(job_dir / "lease.json")
         if lease is None or "expires" not in lease:
             return None
-        if float(lease["expires"]) <= time.time():
+        if float(lease["expires"]) <= self.clock():
             return None
         return lease
 
@@ -265,7 +273,7 @@ class TaskQueue:
 
     def _try_claim(self, job_dir, meta, worker, lease_seconds):
         nonce = uuid.uuid4().hex
-        expires = time.time() + float(lease_seconds)
+        expires = self.clock() + float(lease_seconds)
         payload = json.dumps({"worker": worker, "nonce": nonce,
                               "expires": expires})
         lease_path = job_dir / "lease.json"
@@ -273,23 +281,38 @@ class TaskQueue:
         tmp.write_text(payload, encoding="utf-8")
         reclaim = meta["status"] == "running" or meta["attempts"] > 0
         try:
-            if not lease_path.exists():
-                # fresh claim: hard-link the fully written temp file onto
-                # the lease path — atomic create, exactly one winner
+            if lease_path.exists():
+                # dead-lease takeover, stage 1: atomically rename the dead
+                # lease aside — exactly one renamer wins.  The caller's
+                # eligibility read may be stale (a sibling can have
+                # freshly claimed between the scan and here), so verify
+                # the renamed lease really was dead and restore it if not;
+                # blindly replacing would steal a sibling's live claim.
+                grave = lease_path.with_name(
+                    f".dead-{worker}-{os.getpid()}-{nonce[:8]}")
                 try:
-                    os.link(tmp, lease_path)
-                except FileExistsError:
+                    os.rename(lease_path, grave)
+                except FileNotFoundError:
+                    return None         # a sibling's takeover won
+                renamed = _read_json(grave)
+                if (renamed is not None and "expires" in renamed
+                        and float(renamed["expires"]) > self.clock()):
+                    try:
+                        os.link(grave, lease_path)
+                    except FileExistsError:
+                        pass
+                    os.unlink(grave)
                     return None
-            else:
-                # dead-lease takeover: replace, then read back — whoever's
-                # nonce survives the race owns the job
-                os.replace(tmp, lease_path)
-                tmp = None
-                current = _read_json(lease_path)
-                if current is None or current.get("nonce") != nonce:
-                    return None
+                os.unlink(grave)
+            # fresh claim / takeover stage 2: hard-link the fully written
+            # temp file onto the lease path — atomic create, exactly one
+            # winner
+            try:
+                os.link(tmp, lease_path)
+            except FileExistsError:
+                return None
         finally:
-            if tmp is not None and tmp.exists():
+            if tmp.exists():
                 tmp.unlink()
         with obs.span("exec.claim", job=meta["id"], worker=worker,
                       reclaim=reclaim):
@@ -305,6 +328,26 @@ class TaskQueue:
             self._journal("claim", job=meta["id"], worker=worker)
         return Lease(self, meta["id"], worker, nonce, expires)
 
+    def force_expire(self, job_id):
+        """Atomically rewrite a job's lease as already expired.
+
+        Preserves the worker/nonce (the holder's heartbeat keeps failing
+        the nonce check only if someone re-claims; until then a renewal
+        would legally revive the lease, exactly as with a real timeout).
+        Returns ``True`` when a lease file existed.  This is the test
+        hook for crash-recovery scenarios: it compresses the "stopped
+        renewing, expiry passed" wait to zero without touching any clock.
+        """
+        lease_path = self.jobs_dir / job_id / "lease.json"
+        current = _read_json(lease_path)
+        if current is None:
+            return False
+        current["expires"] = 0.0
+        _atomic_write_text(lease_path, json.dumps(current))
+        self._journal("force_expire", job=job_id,
+                      worker=current.get("worker"))
+        return True
+
     def renew(self, lease, lease_seconds):
         """Heartbeat: push the lease expiry out by ``lease_seconds``.
 
@@ -317,7 +360,7 @@ class TaskQueue:
             current = _read_json(lease_path)
             if current is None or current.get("nonce") != lease.nonce:
                 return False
-            lease.expires = time.time() + float(lease_seconds)
+            lease.expires = self.clock() + float(lease_seconds)
             _atomic_write_text(lease_path, json.dumps(
                 {"worker": lease.worker, "nonce": lease.nonce,
                  "expires": lease.expires}))

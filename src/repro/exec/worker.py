@@ -51,7 +51,7 @@ class _Heartbeat:
 
 def run_worker(store_root, *, worker_id=None, lease_seconds=30.0, poll=0.5,
                max_tasks=None, exit_when_idle=False, max_idle_seconds=None,
-               verbose=False):
+               verbose=False, clock=None):
     """Claim-and-execute loop over a store's task queue.
 
     Parameters
@@ -75,10 +75,15 @@ def run_worker(store_root, *, worker_id=None, lease_seconds=30.0, poll=0.5,
     max_idle_seconds:
         Exit after this long without claiming anything (``None`` = wait
         forever).
+    clock:
+        Time source for lease decisions and idle accounting (default
+        :func:`time.time`); tests inject a fake clock to drive expiry
+        without sleeping.
 
     Returns the number of tasks executed.
     """
-    queue = TaskQueue.for_store(store_root)
+    queue = TaskQueue.for_store(store_root, clock=clock)
+    clock = queue.clock
     if worker_id is None:
         worker_id = f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
     executed = 0
@@ -90,7 +95,7 @@ def run_worker(store_root, *, worker_id=None, lease_seconds=30.0, poll=0.5,
         if lease is None:
             if exit_when_idle and not queue.pending():
                 return executed
-            now = time.time()
+            now = clock()
             idle_since = idle_since if idle_since is not None else now
             if (max_idle_seconds is not None
                     and now - idle_since >= float(max_idle_seconds)):

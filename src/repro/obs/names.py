@@ -76,6 +76,16 @@ METRICS = {
                    "a sibling re-claimed it)"),
     "exec.lease_renewals": (
         "counter", "heartbeat renewals of live job leases"),
+    # -- data-parallel training ------------------------------------------
+    "dp.allreduce_rounds": (
+        "counter", "allreduce rounds completed (gradient and validation)"),
+    "dp.bytes_reduced": (
+        "counter", "payload bytes gathered and tree-reduced across shards"),
+    "dp.straggler_wait_seconds": (
+        "counter", "wall seconds spent polling the rendezvous for missing "
+                   "shard payloads"),
+    "dp.shards": (
+        "gauge", "logical shard count of the data-parallel run"),
 }
 
 

@@ -22,9 +22,11 @@ from ..autodiff.introspect import record_tape
 from ..autodiff.replay import (
     ReplayRefused, ReplayStale, StepTrace, compile_step,
 )
+from ..dp.reduce import payload_nbytes, tree_reduce
 from ..sampling import UniformSampler
 from ..utils import TrainingClock
 from .history import History
+from .validators import merge_partial_l2
 
 __all__ = ["Trainer"]
 
@@ -74,11 +76,19 @@ class Trainer:
         ``extra_parameters`` is not, the parameter list is derived from the
         modules; checkpoints persist each module's ``state_dict`` under its
         name so resumed inverse runs restore the coefficient exactly.
+    dp:
+        A :class:`repro.dp.DataParallelContext` switching the trainer into
+        the lockstep shard-replica step: every owned shard's ``1/S``-scaled
+        loss/gradient is computed locally, all ``S`` contributions are
+        gathered through ``dp.exchange``, tree-reduced in ascending shard
+        order, and the identical reduced gradient drives the optimizer on
+        every rank.  Mutually exclusive with ``samplers`` (the shard
+        samplers live on the context).
     """
 
     def __init__(self, net, constraints, optimizer, scheduler=None,
                  samplers=None, validators=(), background_rebuild=True,
-                 extra_parameters=(), extra_modules=None, seed=0):
+                 extra_parameters=(), extra_modules=None, seed=0, dp=None):
         self.net = net
         self.constraints = list(constraints)
         if not self.constraints:
@@ -93,6 +103,25 @@ class Trainer:
             extra = [param for module in self.extra_modules.values()
                      for param in module.parameters()]
         self.params = net.parameters() + extra
+
+        self.dp = dp
+        if dp is not None:
+            if samplers:
+                raise ValueError("pass shard samplers on the dp context, "
+                                 "not through samplers=")
+            by_name = {c.name: c for c in self.constraints}
+            self.samplers = {}
+            for (cname, shard), sampler in sorted(dp.shard_samplers.items()):
+                self.samplers[f"{cname}@shard{shard}"] = sampler
+                self._bind_probes(by_name[cname], sampler)
+            # global totals from the allreduce; the baseline keeps the
+            # start()-time builds charged (only mid-training rebuilds are
+            # credited back to the clock, same as serial training)
+            self._dp_probe_total = 0
+            self._dp_rebuild_total = 0.0
+            self._dp_rebuild_baseline = None
+            self._dp_replay = None
+            return
 
         samplers = dict(samplers or {})
         self.samplers = {}
@@ -313,14 +342,203 @@ class Trainer:
                         f"{tensor.data.shape})")
         return None
 
+    # ------------------------------------------------------------------
+    # Data-parallel step: shard losses/gradients, deterministic allreduce
+    # ------------------------------------------------------------------
+    def _dp_shard_batches(self, step, shard):
+        """Per-constraint batches/weights for one owned shard (indices are
+        global, drawn by the shard's own samplers)."""
+        dp = self.dp
+        batches, weights = {}, {}
+        for constraint in self.constraints:
+            sampler = dp.shard_samplers[(constraint.name, shard)]
+            indices = sampler.batch_indices(
+                step, dp.shard_batch[constraint.name][shard])
+            batches[constraint.name] = indices
+            weight = constraint.sample_weight_for(indices)
+            importance = sampler.batch_weights(indices)
+            if importance is not None:
+                imp = importance.reshape(-1, 1)
+                weight = imp if weight is None else weight * imp
+            weights[constraint.name] = weight
+        return batches, weights
+
+    def _dp_assemble_loss(self, batches, weights):
+        """One shard's loss, ``1/S``-scaled *inside* the graph so the
+        allreduce is a pure fixed-order sum (compile tapes carry the
+        scale)."""
+        return self._assemble_loss(batches, weights) * self.dp.loss_scale
+
+    def _dp_payload(self, shard, loss, grads):
+        """This shard's allreduce contribution: scaled loss, float gradient
+        arrays in params order, and cumulative bookkeeping counters."""
+        dp = self.dp
+        arrays = [np.asarray(g.numpy() if hasattr(g, "numpy") else g)
+                  for g in grads]
+        probe = sum(dp.shard_samplers[(c.name, shard)].probe_points
+                    for c in self.constraints)
+        rebuild = sum(dp.shard_samplers[(c.name, shard)].rebuild_seconds
+                      for c in self.constraints)
+        return {
+            "loss": np.asarray(loss.numpy() if hasattr(loss, "numpy")
+                               else loss),
+            "grads": arrays,
+            "probe_points": int(probe),
+            "rebuild_seconds": float(rebuild),
+        }
+
+    def _dp_shard_step(self, step, shard, replay):
+        """One shard's eager / traced / replayed contribution."""
+        with obs.span("dp.shard", shard=shard):
+            with obs.span("train.sample"):
+                batches, weights = self._dp_shard_batches(step, shard)
+            if replay is not None and replay.program is not None:
+                try:
+                    with obs.span("train.replay"):
+                        loss_value, grads = replay.program.run(
+                            self._replay_externals(batches),
+                            self._weight_list(weights))
+                except ReplayStale as exc:
+                    replay.program = None
+                    replay.disabled = True
+                    replay.refusal = f"stale tape: {exc}"
+                    obs.inc("replay.fallback_stale")
+                else:
+                    return self._dp_payload(shard, loss_value, grads)
+            if replay is not None and not replay.disabled:
+                loss, grads = self._dp_traced_shard(step, shard, replay,
+                                                    batches, weights)
+                return self._dp_payload(shard, loss, grads)
+            with obs.span("train.forward"):
+                loss = self._dp_assemble_loss(batches, weights)
+            with obs.span("train.backward"):
+                grads = gradients(loss, self.params)
+            return self._dp_payload(shard, loss, grads)
+
+    def _dp_traced_shard(self, step, shard, replay, batches, weights):
+        """Mirror of :meth:`_traced_step` for one shard (no optimizer
+        step — that happens once, on the reduced gradient)."""
+        param_data = [p.data.copy() for p in self.params]
+        with record_tape(provenance=True) as tape:
+            with obs.span("train.forward"):
+                loss = self._dp_assemble_loss(batches, weights)
+            with obs.span("train.backward"):
+                grads = gradients(loss, self.params)
+        mismatch = self._verify_replay_externals(tape, batches)
+        if mismatch is not None:
+            replay.disabled = True
+            replay.refusal = mismatch
+            replay.traces = []
+            return loss, grads
+        replay.traces.append(StepTrace(tape, loss, grads, param_data,
+                                       self._weight_list(weights)))
+        if len(replay.traces) == self.TRACE_STEPS:
+            try:
+                with obs.timed_span("replay.compile") as compile_timer:
+                    replay.program = compile_step(replay.traces[0],
+                                                  replay.traces[1],
+                                                  self.params)
+            except ReplayRefused as exc:
+                replay.disabled = True
+                replay.refusal = str(exc)
+                obs.inc("replay.fallback_refused")
+            else:
+                obs.inc("replay.compile_count")
+                obs.inc("replay.compile_seconds", compile_timer.seconds)
+            replay.traces = []
+        return loss, grads
+
+    def _dp_reduce(self, step, phase, local):
+        """Gather all shard contributions and tree-reduce them in ascending
+        shard order — the fixed schedule making the sum bit-identical for
+        every worker count, backend, and arrival order."""
+        dp = self.dp
+        with obs.span("dp.allreduce", step=step, phase=phase):
+            gathered = dp.exchange.exchange(step, phase, local)
+            contributions = [gathered[s] for s in range(dp.n_shards)]
+            reduced = tree_reduce(contributions)
+            obs.inc("dp.bytes_reduced",
+                    sum(payload_nbytes(p) for p in contributions))
+            obs.inc("dp.allreduce_rounds")
+        return reduced
+
+    def _dp_step(self, step):
+        """One lockstep data-parallel optimizer step."""
+        dp = self.dp
+        local = {}
+        for shard in dp.owned:
+            replay = (None if self._dp_replay is None
+                      else self._dp_replay[shard])
+            local[shard] = self._dp_shard_step(step, shard, replay)
+        reduced = self._dp_reduce(step, "grad", local)
+
+        # exact global totals come out of the reduction itself; the first
+        # round's rebuild total becomes the charged baseline (start()-time
+        # builds), later growth is credited like serial background rebuilds
+        self._dp_probe_total = int(reduced["probe_points"])
+        total_rebuild = float(reduced["rebuild_seconds"])
+        if self._dp_rebuild_baseline is None:
+            self._dp_rebuild_baseline = total_rebuild
+        self._dp_rebuild_total = total_rebuild - self._dp_rebuild_baseline
+
+        with obs.span("train.optimizer"):
+            self.optimizer.step(reduced["grads"])
+        return float(np.asarray(reduced["loss"]).item())
+
+    def _dp_validate(self, step):
+        """Validation with pointwise sums sharded over the same shards.
+
+        Validators without ``evaluate_partial`` are evaluated fully on every
+        rank — replicas are in lockstep, so all ranks get identical values
+        without an exchange.  When no validator shards, the whole pass is
+        local and no rendezvous round is issued.
+        """
+        dp = self.dp
+        if not self.validators:
+            return {}
+        partial = {}
+        if dp.validator_rows:
+            local = {}
+            for shard in dp.owned:
+                per_val = {
+                    vi: self.validators[vi].evaluate_partial(
+                        self.net, rows[shard])
+                    for vi, rows in dp.validator_rows.items()}
+                local[shard] = {"validators": per_val}
+            partial = self._dp_reduce(step, "val", local).get(
+                "validators", {})
+        merged = {}
+        for vi, validator in enumerate(self.validators):
+            if vi in partial:
+                errs = {var: merge_partial_l2(num, den)
+                        for var, (num, den) in partial[vi].items()}
+            else:
+                errs = validator.evaluate(self.net)
+            for var, err in errs.items():
+                merged.setdefault(var, []).append(err)
+        return {var: float(np.mean(vals)) for var, vals in merged.items()}
+
     def compile_info(self):
         """Execution-mode summary of the last ``train`` call (diagnostics).
 
         One of ``"eager"``, ``"tracing"``, ``"replay"`` or
         ``"eager (refused: ...)"`` / ``"eager (stale: ...)"`` when the
-        compile attempt fell back.
+        compile attempt fell back.  Under data-parallel training the modes
+        of this rank's shard replays are reported per shard when they
+        disagree.
         """
-        replay = getattr(self, "replay_state", None)
+        if self.dp is not None:
+            if self._dp_replay is None:
+                return "eager"
+            modes = {shard: self._replay_mode(self._dp_replay[shard])
+                     for shard in sorted(self._dp_replay)}
+            if len(set(modes.values())) == 1:
+                return next(iter(modes.values()))
+            return "; ".join(f"shard{s}: {m}" for s, m in modes.items())
+        return self._replay_mode(getattr(self, "replay_state", None))
+
+    @staticmethod
+    def _replay_mode(replay):
         if replay is None:
             return "eager"
         if replay.program is not None:
@@ -340,8 +558,25 @@ class Trainer:
         return {var: float(np.mean(vals)) for var, vals in merged.items()}
 
     def total_probe_points(self):
-        """Probed points across all samplers (overhead metric of §3.6)."""
+        """Probed points across all samplers (overhead metric of §3.6).
+
+        Under data-parallel training this is the *global* total from the
+        last allreduce — identical on every rank — not just this rank's
+        hosted shards."""
+        if self.dp is not None:
+            return self._dp_probe_total
         return sum(s.probe_points for s in self.samplers.values())
+
+    def _total_rebuild_seconds(self):
+        """Rebuild seconds eligible for clock credit.
+
+        Serial: the samplers' cumulative total.  Data-parallel: the global
+        baseline-subtracted total carried by the allreduce — identical on
+        every rank, so all replicas credit their clocks by the same
+        amount."""
+        if self.dp is not None:
+            return self._dp_rebuild_total
+        return sum(s.rebuild_seconds for s in self.samplers.values())
 
     # ------------------------------------------------------------------
     def train(self, steps, validate_every=200, record_every=50, label="run",
@@ -380,21 +615,39 @@ class Trainer:
         """
         history = history if history is not None else History(label=label)
         clock = clock if clock is not None else TrainingClock()
+        use_closure = hasattr(self.optimizer, "step_closure")
+        if self.dp is not None:
+            if start_step != 0:
+                raise ValueError("data-parallel training does not support "
+                                 "checkpoint resume (start_step must be 0)")
+            if use_closure:
+                raise ValueError("data-parallel training needs a gradient "
+                                 "optimizer; closure-driven optimizers "
+                                 "(L-BFGS) re-evaluate the loss internally "
+                                 "and cannot fold an allreduced gradient")
+            if obs.enabled():
+                obs.gauge("dp.shards", self.dp.n_shards)
         if start_step == 0:
             for sampler in self.samplers.values():
                 sampler.start()
         # the initial S1/S2 build is charged (it happens before training);
         # only mid-training rebuilds run on the paper's background thread
-        credited = sum(s.rebuild_seconds for s in self.samplers.values())
+        credited = self._total_rebuild_seconds()
 
-        use_closure = hasattr(self.optimizer, "step_closure")
         self.replay_state = (_ReplayState()
-                             if compile and not use_closure else None)
+                             if compile and not use_closure
+                             and self.dp is None else None)
+        if self.dp is not None:
+            self._dp_replay = ({shard: _ReplayState()
+                                for shard in self.dp.owned}
+                               if compile else None)
         last_errors = dict(last_errors or {})
         with obs.span("train.run", label=label):
             for step in range(start_step, steps):
                 with obs.span("train.step", step=step) as step_span:
-                    if use_closure:
+                    if self.dp is not None:
+                        loss_value = self._dp_step(step)
+                    elif use_closure:
                         loss_value = self._closure_step(step)
                     else:
                         loss_value = self._run_step(step, self.replay_state)
@@ -402,8 +655,7 @@ class Trainer:
                         self.scheduler.step()
 
                     if self.background_rebuild:
-                        rebuilt = sum(s.rebuild_seconds
-                                      for s in self.samplers.values())
+                        rebuilt = self._total_rebuild_seconds()
                         if rebuilt > credited:
                             clock.credit(rebuilt - credited)
                             credited = rebuilt
@@ -411,7 +663,9 @@ class Trainer:
                     is_last = step == steps - 1
                     if step % validate_every == 0 or is_last:
                         with obs.span("train.validate"):
-                            last_errors = self.validate()
+                            last_errors = (self._dp_validate(step)
+                                           if self.dp is not None
+                                           else self.validate())
                         obs.inc("train.validations")
                     step_span.set(mode="closure" if use_closure
                                   else self.compile_info())

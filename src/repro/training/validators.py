@@ -12,7 +12,8 @@ import numpy as np
 from ..autodiff import Tensor
 from ..pde import Fields
 
-__all__ = ["CoefficientValidator", "PointwiseValidator", "relative_l2"]
+__all__ = ["CoefficientValidator", "PointwiseValidator", "merge_partial_l2",
+           "relative_l2"]
 
 
 def relative_l2(predicted, reference):
@@ -24,6 +25,20 @@ def relative_l2(predicted, reference):
     if denom == 0.0:
         return float(np.linalg.norm(predicted))
     return float(np.linalg.norm(predicted - reference) / denom)
+
+
+def merge_partial_l2(num, den):
+    """Relative L2 from allreduced partial sums.
+
+    ``num`` is the summed ``Σ (pred - ref)²`` and ``den`` the summed
+    ``Σ ref²`` across shards (see
+    :meth:`PointwiseValidator.evaluate_partial`); a zero reference falls
+    back to the absolute norm, mirroring :func:`relative_l2`.
+    """
+    num, den = float(num), float(den)
+    if den == 0.0:
+        return float(np.sqrt(num))
+    return float(np.sqrt(num) / np.sqrt(den))
 
 
 class CoefficientValidator:
@@ -119,4 +134,35 @@ class PointwiseValidator:
             else:
                 predicted = fields.get(var).numpy()
             results[var] = relative_l2(predicted, reference)
+        return results
+
+    def evaluate_partial(self, net, rows):
+        """Partial squared sums over a row subset, for sharded validation.
+
+        Returns ``{var: (Σ (pred - ref)², Σ ref²)}`` as float64 scalars;
+        shards' tuples sum elementwise, and :func:`merge_partial_l2` turns
+        the totals into the relative L2.  An empty row set contributes
+        exact zeros without evaluating the network.
+        """
+        rows = np.asarray(rows, dtype=int)
+        if rows.size == 0:
+            return {var: (0.0, 0.0) for var in self.references}
+        fields = Fields.from_features(self.features[rows],
+                                      spatial_names=self.spatial_names,
+                                      param_names=self.param_names)
+        outputs = net(fields.input_tensor())
+        for i, var in enumerate(self.output_names):
+            fields.register(var, outputs[:, i:i + 1])
+        if self.sdf is not None:
+            fields.register("sdf", Tensor(self.sdf[rows].reshape(-1, 1)))
+        results = {}
+        for var, reference in self.references.items():
+            if var in self.derived:
+                predicted = self.derived[var](fields).numpy()
+            else:
+                predicted = fields.get(var).numpy()
+            predicted = np.asarray(predicted, dtype=np.float64).ravel()
+            reference = reference[rows]
+            results[var] = (float(((predicted - reference) ** 2).sum()),
+                            float((reference ** 2).sum()))
         return results

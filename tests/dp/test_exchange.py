@@ -1,0 +1,59 @@
+"""StoreExchange rendezvous mechanics: publication, timeout, garbage."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.dp import StoreExchange
+
+
+def _payload(value):
+    return {"loss": np.float32(value),
+            "grads": [np.full(4, value, dtype=np.float32)]}
+
+
+def test_two_ranks_rendezvous_and_see_identical_bits(tmp_path):
+    root = tmp_path / "dp"
+    a = StoreExchange(root, n_shards=4, world_size=2, rank=0, timeout=30.0)
+    b = StoreExchange(root, n_shards=4, world_size=2, rank=1, timeout=30.0)
+
+    results = {}
+
+    def run(rank, exchange, local):
+        results[rank] = exchange.exchange(0, "grad", local)
+
+    t = threading.Thread(target=run, args=(1, b, {1: _payload(1.0),
+                                                  3: _payload(3.0)}))
+    t.start()
+    run(0, a, {0: _payload(0.0), 2: _payload(2.0)})
+    t.join(timeout=30.0)
+
+    assert sorted(results[0]) == sorted(results[1]) == [0, 1, 2, 3]
+    for shard in range(4):
+        left = results[0][shard]["grads"][0]
+        right = results[1][shard]["grads"][0]
+        assert left.tobytes() == right.tobytes()
+        assert left[0] == np.float32(shard)
+
+
+def test_missing_shard_raises_a_named_timeout(tmp_path):
+    exchange = StoreExchange(tmp_path / "dp", n_shards=2, world_size=2,
+                             rank=0, timeout=0.1, poll=0.02)
+    with pytest.raises(TimeoutError, match="shard-0001"):
+        exchange.exchange(0, "grad", {0: _payload(0.0)})
+
+
+def test_old_rounds_are_garbage_collected_after_all_acks(tmp_path):
+    root = tmp_path / "dp"
+    exchange = StoreExchange(root, n_shards=1, world_size=1, rank=0,
+                             timeout=5.0)
+    for step in range(4):
+        exchange.exchange(step, "grad", {0: _payload(float(step))})
+    rounds = sorted(p.name for p in root.iterdir())
+    # rounds older than step-2 with every rank's ack are gone; the two
+    # freshest (a straggler may still read step-1) remain
+    assert "round-00000000-grad" not in rounds
+    assert "round-00000001-grad" not in rounds
+    assert "round-00000002-grad" in rounds
+    assert "round-00000003-grad" in rounds

@@ -3,20 +3,31 @@
 The scenario: two external workers share a store's queue; the first to
 claim the sweep's only cell is killed mid-training (a validator SIGKILLs
 the process — no cleanup, no exception handling, exactly like the OOM
-killer).  Its lease stops renewing, expires, and the surviving worker
+killer).  Its lease stops renewing; once it expires the surviving worker
 re-claims and re-executes the cell.  Because every task seeds itself
 from its spec, the recovered run is bit-identical to a serial baseline.
+
+The lease period is an hour, so expiry never happens by the wall clock:
+the test watches for the kill marker and *force-expires* the dead
+worker's lease (:meth:`TaskQueue.force_expire`), compressing the
+"stopped renewing, expiry passed" wait to zero.  No step of the
+recovery story depends on a real-time sleep.
 """
 
 import dataclasses
 import multiprocessing
 import os
 import signal
+import threading
 
 import numpy as np
 
 from repro.exec import QueueBackend, TaskQueue, run_worker
 from repro.experiments import burgers_config, run_suite
+
+#: long enough that lease expiry cannot happen by wall clock during the
+#: test — reclamation must come from the explicit force-expire below
+LEASE_SECONDS = 3600.0
 
 
 class KillOnceValidator:
@@ -42,11 +53,29 @@ def _start_worker(store_root, index):
     context = multiprocessing.get_context("fork")
     proc = context.Process(
         target=run_worker, args=(str(store_root),),
-        kwargs={"worker_id": f"crashtest-{index}", "lease_seconds": 2.0,
-                "poll": 0.1, "max_idle_seconds": 60.0},
+        kwargs={"worker_id": f"crashtest-{index}",
+                "lease_seconds": LEASE_SECONDS,
+                "poll": 0.05, "max_idle_seconds": 60.0},
         daemon=True)
     proc.start()
     return proc
+
+
+def _expire_after_kill(queue, marker, stop):
+    """Watch for the kill marker, then force-expire the dead lease.
+
+    The marker is written immediately before the SIGKILL, so once it
+    exists the claiming worker is gone (or going) and its lease — which
+    would otherwise pin the job for an hour — can be expired at once.
+    """
+    while not stop.is_set():
+        if marker.exists():
+            for job_dir in (sorted(queue.jobs_dir.iterdir())
+                            if queue.jobs_dir.is_dir() else []):
+                if (job_dir / "lease.json").exists():
+                    queue.force_expire(job_dir.name)
+                    return
+        stop.wait(0.05)
 
 
 def test_sigkilled_worker_job_is_reclaimed_bit_identically(tmp_path):
@@ -55,15 +84,23 @@ def test_sigkilled_worker_job_is_reclaimed_bit_identically(tmp_path):
     config = dataclasses.replace(burgers_config("smoke"), validate_every=2)
     validators = [KillOnceValidator(marker)]
 
+    queue = TaskQueue.for_store(store_root)
+    stop = threading.Event()
+    watcher = threading.Thread(target=_expire_after_kill,
+                               args=(queue, marker, stop), daemon=True)
+    watcher.start()
+
     workers = [_start_worker(store_root, i) for i in range(2)]
     try:
         backend = QueueBackend(store_root, workers_external=True,
-                               lease_seconds=2.0, poll=0.1,
+                               lease_seconds=LEASE_SECONDS, poll=0.05,
                                wait_timeout=120.0)
         recovered = run_suite("burgers", ["uniform"], backend=backend,
                               config=config, steps=6,
                               validators=validators)
     finally:
+        stop.set()
+        watcher.join(timeout=10.0)
         for proc in workers:
             proc.terminate()
             proc.join(timeout=10.0)
@@ -71,13 +108,13 @@ def test_sigkilled_worker_job_is_reclaimed_bit_identically(tmp_path):
     assert marker.exists()          # the kill really happened
 
     # the one job went through a crash: claimed, died, re-claimed
-    queue = TaskQueue.for_store(store_root)
     (job_id,) = [p.name for p in sorted(queue.jobs_dir.iterdir())]
     meta = queue.job_meta(job_id)
     assert meta["status"] == "done"
     assert meta["attempts"] == 2
     events = [e["event"] for e in queue.journal()]
     assert "reclaim" in events
+    assert "force_expire" in events
     claimers = {e["worker"] for e in queue.journal()
                 if e["event"] in ("claim", "reclaim")}
     assert len(claimers) == 2       # the survivor, not the ghost, finished

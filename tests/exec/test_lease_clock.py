@@ -1,0 +1,163 @@
+"""Lease lifecycle under an injected fake clock — zero real-time sleeps.
+
+Every expiry decision in :class:`TaskQueue` flows through its ``clock``
+callable, so advancing a counter exercises claim / expiry / reclaim /
+renewal exactly as hours of wall time would.
+"""
+
+import pickle
+
+import pytest
+
+from repro.exec import TaskQueue
+from repro.exec.queue import function_ref, resolve_ref
+
+
+class FakeClock:
+    """Settable epoch-seconds source."""
+
+    def __init__(self, start=1_000.0):
+        self.now = float(start)
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += float(seconds)
+
+
+def _square(task):
+    (x,) = task
+    return x * x
+
+
+def _enqueue_one(queue):
+    ref = function_ref(_square)
+    (job_id,) = queue.enqueue(ref, [(3,)], ["cell"])
+    return job_id
+
+
+def test_claim_expire_reclaim_without_sleeping(tmp_path):
+    clock = FakeClock()
+    queue = TaskQueue(tmp_path / "queue", clock=clock)
+    job_id = _enqueue_one(queue)
+
+    lease = queue.claim("worker-a", lease_seconds=30.0)
+    assert lease is not None and lease.job_id == job_id
+    assert queue.job_meta(job_id)["attempts"] == 1
+
+    # while the lease is live no sibling can claim, no matter how often
+    # it asks
+    assert queue.claim("worker-b", lease_seconds=30.0) is None
+    clock.advance(29.0)
+    assert queue.claim("worker-b", lease_seconds=30.0) is None
+
+    # one more second and the lease is dead: the takeover path fires
+    clock.advance(1.5)
+    takeover = queue.claim("worker-b", lease_seconds=30.0)
+    assert takeover is not None and takeover.worker == "worker-b"
+    assert queue.job_meta(job_id)["attempts"] == 2
+    events = [e["event"] for e in queue.journal()]
+    assert events.count("claim") == 1 and events.count("reclaim") == 1
+
+    # the ghost's renewal fails (its nonce was replaced), the winner's
+    # heartbeat works
+    assert lease.renew(30.0) is False
+    assert takeover.renew(30.0) is True
+
+
+def test_renewal_pushes_expiry_from_the_fake_clock(tmp_path):
+    clock = FakeClock()
+    queue = TaskQueue(tmp_path / "queue", clock=clock)
+    _enqueue_one(queue)
+
+    lease = queue.claim("worker-a", lease_seconds=10.0)
+    clock.advance(8.0)
+    assert lease.renew(10.0) is True        # heartbeat at t+8 -> expires t+18
+    clock.advance(8.0)                      # t+16 < t+18: still live
+    assert queue.claim("worker-b", lease_seconds=10.0) is None
+    clock.advance(3.0)                      # t+19 > t+18: dead
+    assert queue.claim("worker-b", lease_seconds=10.0) is not None
+
+
+def test_force_expire_makes_a_live_lease_reclaimable(tmp_path):
+    clock = FakeClock()
+    queue = TaskQueue(tmp_path / "queue", clock=clock)
+    job_id = _enqueue_one(queue)
+
+    lease = queue.claim("worker-a", lease_seconds=3600.0)
+    assert queue.claim("worker-b", lease_seconds=3600.0) is None
+    assert queue.force_expire(job_id) is True
+    takeover = queue.claim("worker-b", lease_seconds=3600.0)
+    assert takeover is not None
+    # the original holder lost the race the moment the nonce changed
+    assert lease.renew(3600.0) is False
+    assert "force_expire" in [e["event"] for e in queue.journal()]
+
+
+def test_stale_eligibility_read_cannot_steal_a_fresh_live_lease(tmp_path):
+    """Regression: the claim-scan/claim-write race must have one winner.
+
+    A worker can read a job as eligible (queued, no live lease) and then
+    lose the claim race to a sibling before it writes its own lease.  Its
+    stale eligibility read must NOT let it take over the sibling's fresh
+    live lease — that double claim left one dp rank computing nowhere
+    while two workers computed the same rank.
+    """
+    clock = FakeClock()
+    queue = TaskQueue(tmp_path / "queue", clock=clock)
+    job_id = _enqueue_one(queue)
+    job_dir = queue.jobs_dir / job_id
+    stale_meta = dict(queue.job_meta(job_id))   # read while still queued
+
+    winner = queue.claim("worker-a", lease_seconds=30.0)
+    assert winner is not None
+
+    # worker-b now acts on its stale read, exactly as claim() would
+    loser = queue._try_claim(job_dir, dict(stale_meta), "worker-b", 30.0)
+    assert loser is None
+    assert winner.renew(30.0) is True           # the live lease survived
+    assert queue.job_meta(job_id)["attempts"] == 1
+
+    # once the winner's lease really is dead the same stale read may win
+    clock.advance(31.0)
+    takeover = queue._try_claim(job_dir, dict(queue.job_meta(job_id)),
+                                "worker-b", 30.0)
+    assert takeover is not None and takeover.worker == "worker-b"
+    assert winner.renew(30.0) is False
+
+
+def test_force_expire_without_a_lease_reports_false(tmp_path):
+    queue = TaskQueue(tmp_path / "queue", clock=FakeClock())
+    job_id = _enqueue_one(queue)
+    assert queue.force_expire(job_id) is False
+
+
+def test_completed_job_round_trips_result_under_fake_clock(tmp_path):
+    clock = FakeClock()
+    queue = TaskQueue(tmp_path / "queue", clock=clock)
+    job_id = _enqueue_one(queue)
+    lease = queue.claim("worker-a", lease_seconds=5.0)
+    fn, task = queue.load_task(job_id)
+    assert fn is resolve_ref(function_ref(_square))
+    queue.complete(lease, fn(task))
+    assert queue.job_meta(job_id)["status"] == "done"
+    assert queue.load_result(job_id) == 9
+    assert queue.pending() == []
+    # journal timestamps come from the fake clock, not the wall
+    assert all(e["time"] == pytest.approx(clock.now, abs=1e-6)
+               or e["time"] <= clock.now
+               for e in queue.journal())
+
+
+def test_default_clock_is_wall_time(tmp_path):
+    queue = TaskQueue(tmp_path / "queue")
+    import time
+    before = time.time()
+    assert before <= queue.clock() <= time.time()
+
+
+def test_fake_clock_pickles_for_forked_workers():
+    clock = FakeClock(42.0)
+    clone = pickle.loads(pickle.dumps(clock))
+    assert clone() == 42.0

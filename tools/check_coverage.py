@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Gate per-subsystem line coverage against declared floors.
+
+Reads the JSON report that ``pytest --cov=repro --cov-report=json`` wrote
+(run by the CI ``tier1`` job) and fails if any subsystem listed in
+``FLOORS`` covers fewer lines than its floor.  Aggregation is by lines,
+not by file average, so one large cold file cannot hide behind many hot
+small ones.
+
+Usage::
+
+    python tools/check_coverage.py coverage.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: subsystem (path fragment under src/repro/) -> minimum covered-line %
+FLOORS = {
+    "exec/": 65.0,
+    "dp/": 75.0,
+    "autodiff/": 60.0,
+}
+
+
+def subsystem_of(path):
+    """Map a measured file path onto a floor key, or None."""
+    normalized = path.replace("\\", "/")
+    for fragment in FLOORS:
+        if f"/repro/{fragment}" in f"/{normalized}":
+            return fragment
+    return None
+
+
+def aggregate(report):
+    """Sum covered/total statements per subsystem from a coverage JSON."""
+    totals = {fragment: [0, 0] for fragment in FLOORS}
+    for path, entry in report.get("files", {}).items():
+        fragment = subsystem_of(path)
+        if fragment is None:
+            continue
+        summary = entry["summary"]
+        totals[fragment][0] += summary["covered_lines"]
+        totals[fragment][1] += summary["num_statements"]
+    return totals
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    report_path = argv[0] if argv else "coverage.json"
+    try:
+        with open(report_path, encoding="utf-8") as fh:
+            report = json.load(fh)
+    except OSError as exc:
+        print(f"error: cannot read coverage report {report_path!r}: {exc}")
+        return 1
+
+    totals = aggregate(report)
+    failures = []
+    print(f"{'subsystem':12s} {'covered':>8s} {'lines':>8s} "
+          f"{'percent':>8s} {'floor':>6s}")
+    for fragment in sorted(FLOORS):
+        covered, lines = totals[fragment]
+        if lines == 0:
+            failures.append(f"{fragment}: no measured files — was the "
+                            f"subsystem renamed or excluded from --cov?")
+            continue
+        percent = 100.0 * covered / lines
+        floor = FLOORS[fragment]
+        marker = "ok" if percent >= floor else "FAIL"
+        print(f"{fragment:12s} {covered:8d} {lines:8d} {percent:7.1f}% "
+              f"{floor:5.0f}% {marker}")
+        if percent < floor:
+            failures.append(
+                f"{fragment}: {percent:.1f}% covered, floor is "
+                f"{floor:.0f}% — add tests or consciously lower the floor "
+                f"in tools/check_coverage.py")
+
+    for failure in failures:
+        print(f"error: {failure}")
+    if failures:
+        return 1
+    print("coverage floors satisfied")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
